@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the fusion operator itself (Figure 6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use typefuse_bench::{run_scale, ScaleConfig};
+use typefuse_datagen::{DatasetProfile, Profile};
+use typefuse_infer::{fuse, infer_type};
+use typefuse_types::{RecordBuilder, Type};
+
+/// The fused schema of a small prefix of a profile — a realistic "wide"
+/// fusion operand.
+fn profile_schema(profile: Profile, n: u64) -> Type {
+    run_scale(&ScaleConfig::new(profile, n).workers(1).partitions(1)).schema
+}
+
+fn bench_same_schema_refusion(c: &mut Criterion) {
+    // Steady-state of the reduce: almost every record's type is already
+    // included in the accumulator, so Fuse(acc, t) must be cheap.
+    let mut group = c.benchmark_group("refuse_record_into_schema");
+    for profile in Profile::ALL {
+        let schema = profile_schema(profile, 500);
+        let record_type = infer_type(&profile.record(99, 0));
+        group.bench_function(profile.name(), |b| {
+            b.iter(|| fuse(black_box(&schema), black_box(&record_type)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schema_merge(c: &mut Criterion) {
+    // The final step of partitioned processing: fusing two fused schemas.
+    let mut group = c.benchmark_group("fuse_two_partition_schemas");
+    for profile in Profile::ALL {
+        let a = profile_schema(profile, 400);
+        let b_schema = {
+            let cfg = ScaleConfig {
+                seed: 777,
+                ..ScaleConfig::new(profile, 400)
+            };
+            run_scale(&cfg.workers(1).partitions(1)).schema
+        };
+        group.bench_function(profile.name(), |b| {
+            b.iter(|| fuse(black_box(&a), black_box(&b_schema)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_record_width(c: &mut Criterion) {
+    // Record fusion is a merge-join over sorted fields: cost should be
+    // linear in the field count.
+    let mut group = c.benchmark_group("record_fusion_by_width");
+    for width in [4usize, 16, 64, 256] {
+        let mut left = RecordBuilder::new();
+        let mut right = RecordBuilder::new();
+        for i in 0..width {
+            left = left.required(format!("k{i:04}"), Type::Num);
+            // Half the keys overlap, half are disjoint.
+            let key = if i % 2 == 0 {
+                format!("k{i:04}")
+            } else {
+                format!("r{i:04}")
+            };
+            right = right.required(key, Type::Str);
+        }
+        let (l, r) = (left.into_type(), right.into_type());
+        group.bench_function(format!("width_{width}"), |b| {
+            b.iter(|| fuse(black_box(&l), black_box(&r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_atomic_dispatch(c: &mut Criterion) {
+    // The kind-indexed union table: fusing small unions of mixed kinds.
+    let u1 = Type::Num.plus(Type::Str).plus(Type::Null);
+    let u2 = Type::Bool.plus(Type::Str);
+    c.bench_function("union_kind_dispatch", |b| {
+        b.iter(|| fuse(black_box(&u1), black_box(&u2)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_same_schema_refusion, bench_schema_merge, bench_record_width, bench_atomic_dispatch
+}
+criterion_main!(benches);

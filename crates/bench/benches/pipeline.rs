@@ -1,0 +1,67 @@
+//! End-to-end pipeline benchmarks — the Table 6 measurement as a
+//! criterion bench: generate → infer → fuse per profile, plus worker
+//! scaling (the paper's scalability claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use typefuse_bench::{run_scale, ScaleConfig};
+use typefuse_datagen::Profile;
+
+const N: u64 = 2_000;
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_by_profile");
+    group.throughput(Throughput::Elements(N));
+    for profile in Profile::ALL {
+        group.bench_function(BenchmarkId::from_parameter(profile), |b| {
+            b.iter(|| run_scale(&ScaleConfig::new(profile, N)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_worker_scaling");
+    group.throughput(Throughput::Elements(N));
+    let max = typefuse_engine::runtime::available_workers();
+    for workers in [1usize, 2, 4, 8] {
+        if workers > max {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                run_scale(
+                    &ScaleConfig::new(Profile::Twitter, N)
+                        .workers(w)
+                        .partitions(w * 4),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_record_scaling(c: &mut Criterion) {
+    // Time should be linear in record count (the scalability table).
+    let mut group = c.benchmark_group("pipeline_record_scaling");
+    for n in [500u64, 1_000, 2_000, 4_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_scale(&ScaleConfig::new(Profile::GitHub, n)))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_profiles, bench_worker_scaling, bench_record_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for the schema-checked query layer: how much the static
+//! check costs relative to evaluation, and evaluation throughput of each
+//! operator class.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use typefuse_bench::{run_scale, ScaleConfig};
+use typefuse_datagen::{DatasetProfile, Profile};
+use typefuse_json::Value;
+use typefuse_query::Pipeline;
+
+const N: usize = 1_000;
+
+fn rows() -> Vec<Value> {
+    Profile::NYTimes.generate(11, N).collect()
+}
+
+fn schema() -> typefuse_types::Type {
+    run_scale(&ScaleConfig::new(Profile::NYTimes, N as u64)).schema
+}
+
+fn pipeline() -> Pipeline {
+    Pipeline::parse(
+        "filter exists $.byline and $.word_count > 100\n\
+         flatten $.keywords\n\
+         filter $.keywords.name == \"subject\"\n\
+         project $.headline.main, $.keywords.value\n\
+         distinct\n\
+         limit 100",
+    )
+    .unwrap()
+}
+
+fn bench_check(c: &mut Criterion) {
+    let schema = schema();
+    let pipeline = pipeline();
+    c.bench_function("query_static_check", |b| {
+        b.iter(|| pipeline.check(&schema).unwrap().size())
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let rows = rows();
+    let mut group = c.benchmark_group("query_eval");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("full_pipeline", |b| {
+        let p = pipeline();
+        b.iter(|| p.eval(&rows).unwrap().len())
+    });
+    group.bench_function("filter_only", |b| {
+        let p = Pipeline::parse("filter $.word_count > 100").unwrap();
+        b.iter(|| p.eval(&rows).unwrap().len())
+    });
+    group.bench_function("project_only", |b| {
+        let p = Pipeline::parse("project $.headline.main, $.pub_date").unwrap();
+        b.iter(|| p.eval(&rows).unwrap().len())
+    });
+    group.bench_function("flatten_only", |b| {
+        let p = Pipeline::parse("flatten $.keywords").unwrap();
+        b.iter(|| p.eval(&rows).unwrap().len())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_check, bench_eval
+}
+criterion_main!(benches);

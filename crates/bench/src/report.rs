@@ -1,0 +1,134 @@
+//! Plain-text table formatting for the `tables` binary.
+
+use std::time::Duration;
+
+/// A text table with a header row, built row by row, rendered with
+/// right-aligned columns (matching the paper's layout).
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns: first column left-aligned, the rest
+    /// right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// `2.85 min` / `4.2 s` / `310 ms` — the paper mixes units; pick the
+/// natural one.
+pub fn human_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 90.0 {
+        format!("{:.2} min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.1} s")
+    } else {
+        format!("{:.0} ms", secs * 1e3)
+    }
+}
+
+/// Thousands separators: `312,458` like the paper's tables.
+pub fn human_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "count"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "12345"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_duration(Duration::from_millis(310)), "310 ms");
+        assert_eq!(human_duration(Duration::from_secs_f64(4.23)), "4.2 s");
+        assert_eq!(human_duration(Duration::from_secs_f64(171.0)), "2.85 min");
+    }
+
+    #[test]
+    fn human_counts() {
+        assert_eq!(human_count(7), "7");
+        assert_eq!(human_count(1234), "1,234");
+        assert_eq!(human_count(312458), "312,458");
+        assert_eq!(human_count(1_000_000), "1,000,000");
+    }
+}

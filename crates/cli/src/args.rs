@@ -1,0 +1,137 @@
+//! A small argument parser: positionals, `--flag` booleans and
+//! `--option value` pairs, consumed in one pass.
+
+use crate::CliError;
+use std::collections::VecDeque;
+
+/// The remaining command-line arguments.
+pub(crate) struct ArgStream {
+    args: VecDeque<String>,
+}
+
+impl ArgStream {
+    /// Capture `std::env::args` (program name dropped).
+    pub(crate) fn from_env() -> Self {
+        ArgStream {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Build from explicit arguments (tests).
+    #[cfg(test)]
+    pub(crate) fn from_vec(args: &[&str]) -> Self {
+        ArgStream {
+            args: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Take the next positional (non-`--`) argument, if the stream front
+    /// holds one.
+    pub(crate) fn next_positional(&mut self) -> Option<String> {
+        match self.args.front() {
+            Some(front) if !front.starts_with("--") => self.args.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Consume the boolean flag `name` anywhere in the stream. Returns
+    /// whether it was present.
+    pub(crate) fn flag(&mut self, name: &str) -> bool {
+        if let Some(pos) = self.args.iter().position(|a| a == name) {
+            self.args.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `name <value>` anywhere in the stream.
+    pub(crate) fn option(&mut self, name: &str) -> Result<Option<String>, CliError> {
+        if let Some(pos) = self.args.iter().position(|a| a == name) {
+            self.args.remove(pos);
+            match self.args.remove(pos) {
+                Some(v) if !v.starts_with("--") => Ok(Some(v)),
+                _ => Err(CliError::usage(format!("option `{name}` needs a value"))),
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Consume `name <value>` and parse it.
+    pub(crate) fn parsed_option<T>(&mut self, name: &str) -> Result<Option<T>, CliError>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        match self.option(name)? {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| CliError::usage(format!("invalid value {raw:?} for `{name}`: {e}"))),
+        }
+    }
+
+    /// Error if anything was left unconsumed.
+    pub(crate) fn finish(&mut self) -> Result<(), CliError> {
+        match self.args.front() {
+            None => Ok(()),
+            Some(extra) => Err(CliError::usage(format!("unexpected argument `{extra}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_then_flags() {
+        let mut a = ArgStream::from_vec(&["infer", "file.ndjson", "--stats"]);
+        assert_eq!(a.next_positional().as_deref(), Some("infer"));
+        assert_eq!(a.next_positional().as_deref(), Some("file.ndjson"));
+        assert!(a.flag("--stats"));
+        assert!(!a.flag("--stats"), "flag consumed");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn options_with_values() {
+        let mut a = ArgStream::from_vec(&["--records", "100", "--profile", "github"]);
+        assert_eq!(a.parsed_option::<usize>("--records").unwrap(), Some(100));
+        assert_eq!(a.option("--profile").unwrap().as_deref(), Some("github"));
+        assert_eq!(a.option("--seed").unwrap(), None);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn option_missing_value() {
+        let mut a = ArgStream::from_vec(&["--records"]);
+        assert!(a.parsed_option::<usize>("--records").is_err());
+    }
+
+    #[test]
+    fn option_value_cannot_be_a_flag() {
+        let mut a = ArgStream::from_vec(&["--records", "--stats"]);
+        assert!(a.parsed_option::<usize>("--records").is_err());
+    }
+
+    #[test]
+    fn invalid_parse() {
+        let mut a = ArgStream::from_vec(&["--records", "many"]);
+        assert!(a.parsed_option::<usize>("--records").is_err());
+    }
+
+    #[test]
+    fn finish_rejects_leftovers() {
+        let mut a = ArgStream::from_vec(&["--unknown"]);
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn positional_stops_at_flag() {
+        let mut a = ArgStream::from_vec(&["--flag", "pos"]);
+        assert_eq!(a.next_positional(), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! `typefuse check` — validate NDJSON records against a schema.
+//!
+//! The use case from the paper's introduction: once a schema has been
+//! inferred, downstream producers can be checked against it, catching
+//! structural drift (new fields, type changes) before it breaks queries.
+
+use crate::args::ArgStream;
+use crate::{CliError, CliResult};
+use typefuse_types::parse_type;
+
+pub(crate) fn run(args: &mut ArgStream) -> CliResult {
+    let input = args.next_positional();
+    let schema_path = args
+        .option("--schema")?
+        .ok_or_else(|| CliError::usage("check requires --schema FILE"))?;
+    let max_errors: usize = args.parsed_option("--max-errors")?.unwrap_or(10);
+    args.finish()?;
+
+    let schema_text = std::fs::read_to_string(&schema_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {schema_path}: {e}")))?;
+    let schema = parse_type(schema_text.trim())
+        .map_err(|e| CliError::runtime(format!("invalid schema: {e}")))?;
+
+    let values = crate::cmd_infer::read_values(input.as_deref())?;
+    let mut failures = 0usize;
+    for (i, v) in values.iter().enumerate() {
+        if !schema.admits(v) {
+            failures += 1;
+            if failures <= max_errors {
+                eprintln!("record {}: not admitted by the schema", i + 1);
+            }
+        }
+    }
+    if failures > max_errors {
+        eprintln!("… and {} more", failures - max_errors);
+    }
+    println!(
+        "{} of {} records conform",
+        values.len() - failures,
+        values.len()
+    );
+    if failures > 0 {
+        return Err(CliError::runtime(format!(
+            "{failures} records do not conform"
+        )));
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! `typefuse diff` — structural drift between two datasets or schemas.
+
+use crate::args::ArgStream;
+use crate::{CliError, CliResult};
+use typefuse::pipeline::SchemaJob;
+use typefuse_types::diff::diff;
+use typefuse_types::{parse_type, Type};
+
+pub(crate) fn run(args: &mut ArgStream) -> CliResult {
+    let old_input = args
+        .next_positional()
+        .ok_or_else(|| CliError::usage("diff requires OLD and NEW inputs"))?;
+    let new_input = args
+        .next_positional()
+        .ok_or_else(|| CliError::usage("diff requires OLD and NEW inputs"))?;
+    let as_schemas = args.flag("--schemas");
+    args.finish()?;
+
+    let (old, new) = if as_schemas {
+        (load_schema(&old_input)?, load_schema(&new_input)?)
+    } else {
+        (infer_schema(&old_input)?, infer_schema(&new_input)?)
+    };
+
+    let changes = diff(&old, &new);
+    if changes.is_empty() {
+        println!("no structural changes");
+        return Ok(());
+    }
+    for change in &changes {
+        println!("{change}");
+    }
+    println!("\n{} change(s)", changes.len());
+    // Non-zero exit so CI pipelines can gate on drift.
+    Err(CliError::runtime(format!(
+        "{} structural changes detected",
+        changes.len()
+    )))
+}
+
+fn load_schema(path: &str) -> Result<Type, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    parse_type(text.trim()).map_err(|e| CliError::runtime(format!("invalid schema in {path}: {e}")))
+}
+
+fn infer_schema(input: &str) -> Result<Type, CliError> {
+    let values = crate::cmd_infer::read_values(Some(input))?;
+    Ok(SchemaJob::new()
+        .without_type_stats()
+        .run_values(values)
+        .schema)
+}

@@ -1,0 +1,30 @@
+//! `typefuse generate` — emit a synthetic dataset as NDJSON.
+
+use crate::args::ArgStream;
+use crate::{CliError, CliResult};
+use std::io::{self, BufWriter, Write};
+use typefuse_datagen::{DatasetProfile, Profile};
+
+pub(crate) fn run(args: &mut ArgStream) -> CliResult {
+    let profile_name = args
+        .option("--profile")?
+        .ok_or_else(|| CliError::usage("generate requires --profile"))?;
+    let records: usize = args.parsed_option("--records")?.unwrap_or(1000);
+    let seed: u64 = args.parsed_option("--seed")?.unwrap_or(42);
+    args.finish()?;
+
+    let profile = Profile::from_name(&profile_name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown profile `{profile_name}` (expected github, twitter, wikidata or nytimes)"
+        ))
+    })?;
+
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for value in profile.generate(seed, records) {
+        writeln!(out, "{value}").map_err(|e| CliError::runtime(format!("write failed: {e}")))?;
+    }
+    out.flush()
+        .map_err(|e| CliError::runtime(format!("write failed: {e}")))?;
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! `typefuse infer` — the full pipeline over an NDJSON input.
+
+use crate::args::ArgStream;
+use crate::{CliError, CliResult};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read};
+use typefuse::pipeline::SchemaJob;
+use typefuse_engine::ReducePlan;
+use typefuse_infer::{ArrayFusion, CountingFuser, FuseConfig};
+use typefuse_json::{NdjsonReader, Value};
+use typefuse_types::export::to_json_schema_document;
+
+pub(crate) fn run(args: &mut ArgStream) -> CliResult {
+    let input = args.next_positional();
+    let partitions: Option<usize> = args.parsed_option("--partitions")?;
+    let workers: Option<usize> = args.parsed_option("--workers")?;
+    let format = args
+        .option("--format")?
+        .unwrap_or_else(|| "pretty".to_string());
+    let stats = args.flag("--stats");
+    let counting = args.flag("--counting");
+    let positional_arrays = args.flag("--positional-arrays");
+    let sequential_reduce = args.flag("--sequential-reduce");
+    let streaming = args.flag("--streaming");
+    let maplike = args.flag("--maplike");
+    args.finish()?;
+
+    if streaming {
+        if stats || counting {
+            return Err(CliError::usage(
+                "--streaming is incompatible with --stats/--counting",
+            ));
+        }
+        let schema = run_streaming(input.as_deref(), positional_arrays)?;
+        print_schema(&schema, &format)?;
+        return Ok(());
+    }
+
+    let values = read_values(input.as_deref())?;
+
+    let mut job = SchemaJob::new();
+    if let Some(w) = workers {
+        job = job.workers(w);
+    }
+    if let Some(p) = partitions {
+        job = job.partitions(p);
+    }
+    if positional_arrays {
+        job = job.fuse_config(FuseConfig {
+            array_fusion: ArrayFusion::PositionalWhenAligned,
+        });
+    }
+    if sequential_reduce {
+        job = job.reduce_plan(ReducePlan::Sequential);
+    }
+    if !stats {
+        job = job.without_type_stats();
+    }
+
+    // Path statistics, if requested. The counting fuser already computes
+    // the fused schema, so when no per-record type statistics are needed
+    // the main pipeline run is skipped entirely.
+    let counted = counting.then(|| {
+        let mut cf = CountingFuser::new();
+        for v in &values {
+            cf.absorb(v);
+        }
+        cf.finish()
+    });
+
+    let result = match &counted {
+        Some(cs) if !stats => {
+            let mut fake = job.without_type_stats().run_values(Vec::new());
+            fake.schema = cs.schema.clone();
+            fake.records = cs.total;
+            fake
+        }
+        _ => job.run_values(values),
+    };
+
+    if maplike {
+        println!(
+            "{}",
+            typefuse_infer::maplike::summarize(
+                &result.schema,
+                typefuse_infer::MapLikeConfig::default()
+            )
+        );
+    } else {
+        print_schema(&result.schema, &format)?;
+    }
+
+    if stats {
+        eprintln!();
+        eprintln!("records           {}", result.records);
+        eprintln!("partitions        {}", result.partitions);
+        eprintln!("distinct types    {}", result.type_stats.distinct);
+        eprintln!(
+            "type size         min {}  max {}  avg {:.1}",
+            result.type_stats.min_size, result.type_stats.max_size, result.type_stats.avg_size
+        );
+        eprintln!("fused type size   {}", result.fused_size);
+        eprintln!("compaction ratio  {:.2}", result.compaction_ratio());
+        eprintln!(
+            "map {:.3}s  reduce {:.3}s  total {:.3}s",
+            result.map_time.as_secs_f64(),
+            result.reduce_time.as_secs_f64(),
+            result.wall.as_secs_f64()
+        );
+    }
+
+    if let Some(cs) = counted {
+        eprintln!();
+        eprintln!("{:<40} {:>10} {:>8}", "path", "count", "ratio");
+        for row in cs.rows().iter().take(40) {
+            eprintln!(
+                "{:<40} {:>10} {:>7.1}%",
+                row.path,
+                row.count,
+                row.ratio * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+fn print_schema(schema: &typefuse_types::Type, format: &str) -> CliResult {
+    match format {
+        "text" => println!("{schema}"),
+        "pretty" => println!("{}", typefuse_types::print::pretty(schema)),
+        "json-schema" => println!(
+            "{}",
+            typefuse_json::to_string_pretty(&to_json_schema_document(schema))
+        ),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown format `{other}` (expected text, pretty or json-schema)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Constant-memory path: infer each line's type directly from its text
+/// (no value tree) and fuse it into a running schema. Real files are
+/// processed with parallel byte-range splits (`typefuse::splits`);
+/// stdin falls back to a sequential line loop.
+fn run_streaming(
+    input: Option<&str>,
+    positional_arrays: bool,
+) -> Result<typefuse_types::Type, CliError> {
+    use std::io::BufRead;
+    if let Some(path) = input.filter(|p| *p != "-") {
+        if positional_arrays {
+            return Err(CliError::usage(
+                "--positional-arrays is not supported with file-parallel --streaming",
+            ));
+        }
+        let fs = typefuse::splits::infer_file_schema(
+            std::path::Path::new(path),
+            &typefuse_engine::Runtime::default(),
+        )
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        return Ok(fs.schema);
+    }
+    let reader: Box<dyn Read> = Box::new(io::stdin());
+    let mut cfg = FuseConfig::default();
+    if positional_arrays {
+        cfg.array_fusion = ArrayFusion::PositionalWhenAligned;
+    }
+    let mut acc = typefuse_infer::Incremental::with_config(cfg);
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0u64;
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| CliError::runtime(format!("read failed: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let ty = typefuse_infer::streaming::infer_type_from_str(trimmed)
+            .map_err(|e| CliError::runtime(format!("parse error on line {line_no}: {e}")))?;
+        acc.absorb_type(ty);
+    }
+    Ok(acc.into_schema())
+}
+
+/// Read NDJSON from a file path or stdin (`-` or absent).
+pub(crate) fn read_values(input: Option<&str>) -> Result<Vec<Value>, CliError> {
+    let reader: Box<dyn Read> = match input {
+        None | Some("-") => Box::new(io::stdin()),
+        Some(path) => Box::new(
+            File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?,
+        ),
+    };
+    collect_ndjson(BufReader::new(reader))
+}
+
+pub(crate) fn collect_ndjson<R: BufRead>(reader: R) -> Result<Vec<Value>, CliError> {
+    NdjsonReader::new(reader)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| CliError::runtime(format!("parse error: {e}")))
+}

@@ -1,0 +1,20 @@
+//! `typefuse stats` — Table-1-style dataset statistics.
+
+use crate::args::ArgStream;
+use crate::CliResult;
+use typefuse_datagen::stats::DatasetStats;
+
+pub(crate) fn run(args: &mut ArgStream) -> CliResult {
+    let input = args.next_positional();
+    args.finish()?;
+
+    let values = crate::cmd_infer::read_values(input.as_deref())?;
+    let stats = DatasetStats::measure(&values);
+
+    println!("records     {}", stats.records);
+    println!("bytes       {} ({})", stats.bytes, stats.human_bytes());
+    println!("max depth   {}", stats.max_depth);
+    println!("avg depth   {:.2}", stats.avg_depth());
+    println!("avg nodes   {:.1}", stats.avg_nodes());
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! `typefuse` — schema inference for massive JSON datasets from the
+//! command line.
+//!
+//! ```text
+//! typefuse infer data.ndjson --format pretty --stats
+//! typefuse generate --profile twitter --records 10000 | typefuse infer -
+//! typefuse stats data.ndjson
+//! typefuse check --schema schema.txt data.ndjson
+//! typefuse sim --placement single --blocks 24
+//! typefuse help
+//! ```
+
+mod args;
+mod cmd_check;
+mod cmd_diff;
+mod cmd_generate;
+mod cmd_infer;
+mod cmd_query;
+mod cmd_registry;
+mod cmd_sim;
+mod cmd_stats;
+
+use args::ArgStream;
+use std::process::ExitCode;
+
+/// A CLI failure: message plus exit code.
+#[derive(Debug)]
+pub(crate) struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    pub(crate) fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    pub(crate) fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for CliError {
+    fn from(e: E) -> Self {
+        CliError::runtime(e.to_string())
+    }
+}
+
+pub(crate) type CliResult = Result<(), CliError>;
+
+const USAGE: &str = "\
+typefuse — schema inference for massive JSON datasets (EDBT 2017)
+
+USAGE:
+    typefuse <COMMAND> [OPTIONS]
+
+COMMANDS:
+    infer [FILE|-]       infer a schema from NDJSON input (default: stdin)
+        --partitions N     dataset partitions (default: 4 x workers)
+        --workers N        worker threads (default: all cores)
+        --format F         text | pretty | json-schema  (default: pretty)
+        --stats            print type statistics (Tables 2-5 columns)
+        --counting         print per-path presence statistics
+        --positional-arrays  keep aligned positional arrays (ablation)
+        --sequential-reduce  fold partials sequentially instead of tree
+        --streaming          constant-memory single pass (no value trees)
+        --maplike            summarise ids-as-keys records as {<key>: T}
+
+    generate             emit a synthetic dataset as NDJSON on stdout
+        --profile P        github | twitter | wikidata | nytimes (required)
+        --records N        number of records (default: 1000)
+        --seed S           generator seed (default: 42)
+
+    stats [FILE|-]       dataset statistics (records, bytes, depth)
+
+    check [FILE|-]       validate records against a schema
+        --schema FILE      schema in typefuse notation (required)
+        --max-errors N     stop after N failures (default: 10)
+
+    diff OLD NEW         structural drift between two NDJSON datasets
+        --schemas          treat OLD/NEW as schema files instead of data
+
+    query [FILE|-]       run a schema-checked pipeline over NDJSON data
+        --script FILE      pipeline script (required; see typefuse-query)
+        --schema FILE      check against this schema instead of inferring
+        --check-only       type-check without evaluating
+
+    registry ACTION      versioned schema store (--log FILE, default
+                         typefuse.registry.ndjson)
+        publish NAME [DATA] [--schema FILE] [--compat backward|forward|full|none]
+        latest NAME | history NAME | diff NAME FROM TO | names
+
+    sim                  simulate the 6-node cluster experiment
+        --placement P      single | spread   (default: single)
+        --blocks N         number of input blocks (default: 176)
+        --block-mb M       block size in MB (default: 128)
+        --records-per-block N  (default: 7000)
+        --relaxed          allow non-local tasks (network reads)
+
+    help                 print this message
+";
+
+fn main() -> ExitCode {
+    let mut args = ArgStream::from_env();
+    let command = match args.next_positional() {
+        Some(c) => c,
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "infer" => cmd_infer::run(&mut args),
+        "generate" => cmd_generate::run(&mut args),
+        "stats" => cmd_stats::run(&mut args),
+        "check" => cmd_check::run(&mut args),
+        "diff" => cmd_diff::run(&mut args),
+        "query" => cmd_query::run(&mut args),
+        "registry" => cmd_registry::run(&mut args),
+        "sim" => cmd_sim::run(&mut args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("typefuse: {}", e.message);
+            if e.code == 2 {
+                eprintln!("run `typefuse help` for usage");
+            }
+            ExitCode::from(e.code)
+        }
+    }
+}

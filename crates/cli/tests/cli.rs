@@ -1,0 +1,440 @@
+//! Integration tests driving the real `typefuse` binary.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn typefuse(args: &[&str], stdin: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_typefuse"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    cmd.stdin(if stdin.is_some() {
+        Stdio::piped()
+    } else {
+        Stdio::null()
+    });
+    let mut child = cmd.spawn().expect("binary spawns");
+    if let Some(input) = stdin {
+        // The binary may exit (e.g. on a usage error) before reading all
+        // of stdin; a broken pipe here is expected, not a test failure.
+        let _ = child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes());
+    }
+    child.wait_with_output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = typefuse(&["help"], None);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn no_args_is_a_usage_error() {
+    let out = typefuse(&[], None);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = typefuse(&["frobnicate"], None);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn infer_from_stdin_text_format() {
+    let out = typefuse(
+        &["infer", "-", "--format", "text"],
+        Some("{\"a\":1}\n{\"a\":\"x\",\"b\":true}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out).trim(), "{a: Num + Str, b: Bool?}");
+}
+
+#[test]
+fn infer_stats_go_to_stderr() {
+    let out = typefuse(
+        &["infer", "-", "--format", "text", "--stats"],
+        Some("{\"a\":1}\n{\"a\":2}\n"),
+    );
+    assert!(out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("records           2"), "stderr: {err}");
+    assert!(err.contains("distinct types    1"));
+}
+
+#[test]
+fn infer_json_schema_format() {
+    let out = typefuse(
+        &["infer", "-", "--format", "json-schema"],
+        Some("{\"a\":1}\n"),
+    );
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("\"$schema\""));
+    assert!(text.contains("\"properties\""));
+}
+
+#[test]
+fn infer_rejects_bad_json() {
+    let out = typefuse(&["infer", "-"], Some("{oops\n"));
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("parse error"));
+}
+
+#[test]
+fn infer_rejects_unknown_format() {
+    let out = typefuse(&["infer", "-", "--format", "yaml"], Some("{}\n"));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn generate_then_infer_pipe() {
+    let gen = typefuse(
+        &[
+            "generate",
+            "--profile",
+            "github",
+            "--records",
+            "50",
+            "--seed",
+            "3",
+        ],
+        None,
+    );
+    assert!(gen.status.success());
+    let ndjson = stdout(&gen);
+    assert_eq!(ndjson.lines().count(), 50);
+
+    let inf = typefuse(&["infer", "-", "--format", "text"], Some(&ndjson));
+    assert!(inf.status.success());
+    let schema = stdout(&inf);
+    assert!(schema.contains("merged_at"), "schema: {schema}");
+}
+
+#[test]
+fn generate_is_deterministic() {
+    let a = typefuse(
+        &["generate", "--profile", "twitter", "--records", "5"],
+        None,
+    );
+    let b = typefuse(
+        &["generate", "--profile", "twitter", "--records", "5"],
+        None,
+    );
+    assert_eq!(stdout(&a), stdout(&b));
+}
+
+#[test]
+fn generate_requires_profile() {
+    let out = typefuse(&["generate"], None);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--profile"));
+}
+
+#[test]
+fn generate_rejects_unknown_profile() {
+    let out = typefuse(&["generate", "--profile", "hackernews"], None);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stats_reports_counts() {
+    let out = typefuse(&["stats", "-"], Some("{\"a\":1}\n{\"a\":{\"b\":2}}\n"));
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("records     2"));
+    assert!(text.contains("max depth   3"));
+}
+
+#[test]
+fn check_accepts_conforming_data() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-ok");
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema_path = dir.join("schema.txt");
+    std::fs::write(&schema_path, "{a: Num, b: Str?}\n").unwrap();
+
+    let out = typefuse(
+        &["check", "-", "--schema", schema_path.to_str().unwrap()],
+        Some("{\"a\":1}\n{\"a\":2,\"b\":\"x\"}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("2 of 2 records conform"));
+}
+
+#[test]
+fn check_rejects_nonconforming_data() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema_path = dir.join("schema.txt");
+    std::fs::write(&schema_path, "{a: Num}\n").unwrap();
+
+    let out = typefuse(
+        &["check", "-", "--schema", schema_path.to_str().unwrap()],
+        Some("{\"a\":1}\n{\"a\":\"nope\"}\n"),
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("record 2"));
+}
+
+#[test]
+fn sim_single_placement_idles_nodes() {
+    let out = typefuse(&["sim", "--placement", "single", "--blocks", "24"], None);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("busy nodes   2 of 6"), "output: {text}");
+}
+
+#[test]
+fn sim_spread_placement_uses_all_nodes() {
+    let out = typefuse(&["sim", "--placement", "spread", "--blocks", "24"], None);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("busy nodes   6 of 6"));
+}
+
+#[test]
+fn sim_rejects_unknown_placement() {
+    let out = typefuse(&["sim", "--placement", "everywhere"], None);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unexpected_argument_is_reported() {
+    let out = typefuse(&["stats", "-", "--bogus"], None);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--bogus"));
+}
+
+#[test]
+fn diff_reports_drift_between_datasets() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-diff");
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.ndjson");
+    let new = dir.join("new.ndjson");
+    std::fs::write(&old, "{\"id\":1,\"name\":\"a\"}\n").unwrap();
+    std::fs::write(&new, "{\"id\":\"x\",\"name\":\"a\",\"tags\":[1]}\n").unwrap();
+    let out = typefuse(
+        &["diff", old.to_str().unwrap(), new.to_str().unwrap()],
+        None,
+    );
+    assert_eq!(out.status.code(), Some(1), "drift exits non-zero");
+    let text = stdout(&out);
+    assert!(text.contains("+ $.tags (new)"), "output: {text}");
+    assert!(text.contains("~ $.id: Num"), "output: {text}");
+}
+
+#[test]
+fn diff_of_identical_data_is_clean() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-diff2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("same.ndjson");
+    std::fs::write(&f, "{\"a\":1}\n").unwrap();
+    let out = typefuse(&["diff", f.to_str().unwrap(), f.to_str().unwrap()], None);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("no structural changes"));
+}
+
+#[test]
+fn diff_schemas_mode() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-diff3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.schema");
+    let new = dir.join("new.schema");
+    std::fs::write(&old, "{a: Num}\n").unwrap();
+    std::fs::write(&new, "{a: Num?}\n").unwrap();
+    let out = typefuse(
+        &[
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--schemas",
+        ],
+        None,
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("mandatory → optional"));
+}
+
+#[test]
+fn streaming_infer_matches_batch() {
+    let data = "{\"a\":1}\n{\"a\":\"x\",\"b\":[1,2]}\n{\"b\":[]}\n";
+    let batch = typefuse(&["infer", "-", "--format", "text"], Some(data));
+    let streaming = typefuse(
+        &["infer", "-", "--format", "text", "--streaming"],
+        Some(data),
+    );
+    assert!(batch.status.success() && streaming.status.success());
+    assert_eq!(stdout(&batch), stdout(&streaming));
+}
+
+#[test]
+fn streaming_rejects_stats() {
+    let out = typefuse(&["infer", "-", "--streaming", "--stats"], Some("{}\n"));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn streaming_reports_line_numbers_on_errors() {
+    let out = typefuse(&["infer", "-", "--streaming"], Some("{}\n{bad\n"));
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("line 2"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn query_runs_checked_pipelines() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-query");
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("q.tfq");
+    std::fs::write(&script, "filter $.n > 1\nproject $.n\n").unwrap();
+    let out = typefuse(
+        &["query", "-", "--script", script.to_str().unwrap()],
+        Some("{\"n\":1}\n{\"n\":2}\n{\"n\":3}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), "{\"n\":2}\n{\"n\":3}\n");
+    assert!(stderr(&out).contains("output schema: {n: Num}"));
+}
+
+#[test]
+fn query_rejects_bad_paths_statically() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-query2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("q.tfq");
+    std::fs::write(&script, "project $.typo\n").unwrap();
+    let out = typefuse(
+        &[
+            "query",
+            "-",
+            "--script",
+            script.to_str().unwrap(),
+            "--check-only",
+        ],
+        Some("{\"n\":1}\n"),
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("type error"));
+}
+
+#[test]
+fn query_against_explicit_schema() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-query3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("q.tfq");
+    let schema = dir.join("s.schema");
+    std::fs::write(&script, "filter exists $.extra\n").unwrap();
+    std::fs::write(&schema, "{n: Num}\n").unwrap();
+    let out = typefuse(
+        &[
+            "query",
+            "-",
+            "--script",
+            script.to_str().unwrap(),
+            "--schema",
+            schema.to_str().unwrap(),
+            "--check-only",
+        ],
+        Some("{\"n\":1}\n"),
+    );
+    // $.extra is unknown in the declared schema even though checking data
+    // alone would also reject it here; the point is the schema wins.
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn streaming_file_uses_parallel_splits() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-splits");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("data.ndjson");
+    let contents: String = (0..200)
+        .map(|i| format!("{{\"n\":{i},\"s\":\"{}\"}}\n", "x".repeat(i % 40)))
+        .collect();
+    std::fs::write(&path, &contents).unwrap();
+
+    let parallel = typefuse(
+        &[
+            "infer",
+            path.to_str().unwrap(),
+            "--streaming",
+            "--format",
+            "text",
+        ],
+        None,
+    );
+    let batch = typefuse(&["infer", path.to_str().unwrap(), "--format", "text"], None);
+    assert!(parallel.status.success(), "stderr: {}", stderr(&parallel));
+    assert_eq!(stdout(&parallel), stdout(&batch));
+}
+
+#[test]
+fn registry_publish_and_gate() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-registry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("reg.ndjson");
+    let _ = std::fs::remove_file(&log);
+    let log = log.to_str().unwrap();
+
+    // v1 inferred from data.
+    let out = typefuse(
+        &["registry", "publish", "events", "-", "--log", log],
+        Some("{\"id\":1,\"name\":\"a\"}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("published version 1"));
+
+    // Widened v2 passes the backward gate.
+    let out = typefuse(
+        &["registry", "publish", "events", "-", "--log", log],
+        Some("{\"id\":1,\"name\":\"a\",\"tags\":[\"x\"]}\n{\"id\":2,\"name\":\"b\"}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("published version 2"));
+
+    // Narrowing is rejected with the changes listed.
+    let out = typefuse(
+        &["registry", "publish", "events", "-", "--log", log],
+        Some("{\"id\":1}\n"),
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("not backward-compatible"));
+    assert!(stderr(&out).contains("$.name"), "stderr: {}", stderr(&out));
+
+    // History and diff work.
+    let out = typefuse(&["registry", "history", "events", "--log", log], None);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).lines().count(), 2);
+
+    let out = typefuse(
+        &["registry", "diff", "events", "1", "2", "--log", log],
+        None,
+    );
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("+ $.tags (new)"));
+
+    let out = typefuse(&["registry", "names", "--log", log], None);
+    assert_eq!(stdout(&out).trim(), "events");
+
+    let out = typefuse(&["registry", "latest", "events", "--log", log], None);
+    assert!(stdout(&out).contains("tags"));
+}
+
+#[test]
+fn registry_usage_errors() {
+    let out = typefuse(&["registry"], None);
+    assert_eq!(out.status.code(), Some(2));
+    let out = typefuse(&["registry", "frobnicate"], None);
+    assert_eq!(out.status.code(), Some(2));
+    let out = typefuse(&["registry", "publish"], None);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,154 @@
+//! A generic random-JSON generator for stress tests and scalability
+//! experiments that are not tied to one of the four paper datasets.
+
+use crate::{record_rng, text, DatasetProfile};
+use rand::Rng;
+use typefuse_json::{Map, Value};
+
+/// A configurable random-document generator.
+///
+/// Unlike the dataset profiles this makes no attempt at realism; it is a
+/// dial for structural experiments: depth, fan-out, key-space size and
+/// the scalar/array/record mix are all explicit.
+#[derive(Debug, Clone)]
+pub struct GenericProfile {
+    /// Maximum nesting depth of generated records.
+    pub max_depth: usize,
+    /// Maximum fields per record / elements per array.
+    pub max_width: usize,
+    /// Number of distinct keys to draw from; smaller = more overlap
+    /// between records = better fusion.
+    pub key_space: usize,
+    /// Probability that a nested position is a record (vs array).
+    pub record_bias: f64,
+    /// Probability that a position nests at all (vs scalar).
+    pub nest_prob: f64,
+}
+
+impl Default for GenericProfile {
+    fn default() -> Self {
+        GenericProfile {
+            max_depth: 4,
+            max_width: 6,
+            key_space: 40,
+            record_bias: 0.7,
+            nest_prob: 0.35,
+        }
+    }
+}
+
+impl DatasetProfile for GenericProfile {
+    fn name(&self) -> &'static str {
+        "generic"
+    }
+
+    fn record(&self, seed: u64, index: u64) -> Value {
+        let mut rng = record_rng(seed ^ 0x67656e6572696321, index);
+        self.gen_record(&mut rng, self.max_depth)
+    }
+}
+
+impl GenericProfile {
+    fn key<R: Rng>(&self, r: &mut R) -> String {
+        format!("k{:03}", r.gen_range(0..self.key_space.max(1)))
+    }
+
+    fn gen_record<R: Rng>(&self, r: &mut R, depth: usize) -> Value {
+        let n = r.gen_range(1..=self.max_width.max(1));
+        let mut m = Map::with_capacity(n);
+        for _ in 0..n {
+            let key = self.key(r);
+            if !m.contains_key(&key) {
+                m.insert_unchecked(key, self.gen_value(r, depth.saturating_sub(1)));
+            }
+        }
+        Value::Object(m)
+    }
+
+    fn gen_value<R: Rng>(&self, r: &mut R, depth: usize) -> Value {
+        if depth > 0 && r.gen_bool(self.nest_prob) {
+            if r.gen_bool(self.record_bias) {
+                return self.gen_record(r, depth);
+            }
+            let n = r.gen_range(0..=self.max_width.max(1));
+            return Value::Array(
+                (0..n)
+                    .map(|_| self.gen_value(r, depth.saturating_sub(1)))
+                    .collect(),
+            );
+        }
+        match r.gen_range(0..5) {
+            0 => Value::Null,
+            1 => Value::Bool(r.gen()),
+            2 => Value::from(r.gen_range(-1_000_000..1_000_000i64)),
+            3 => Value::from(r.gen_range(-1.0e6..1.0e6)),
+            _ => {
+                let n = r.gen_range(1..4);
+                Value::String(text::words(r, n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_depth_bound() {
+        let p = GenericProfile {
+            max_depth: 3,
+            ..Default::default()
+        };
+        for v in p.generate(1, 200) {
+            assert!(v.depth() <= 4, "depth {} exceeds bound", v.depth());
+        }
+    }
+
+    #[test]
+    fn key_space_controls_overlap() {
+        let narrow = GenericProfile {
+            key_space: 3,
+            ..Default::default()
+        };
+        let keys: std::collections::HashSet<String> = narrow
+            .generate(2, 50)
+            .flat_map(|v| {
+                v.as_object()
+                    .unwrap()
+                    .keys()
+                    .map(str::to_owned)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert!(keys.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = GenericProfile::default();
+        let a: Vec<Value> = p.generate(9, 10).collect();
+        let b: Vec<Value> = p.generate(9, 10).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn produces_mixed_scalars() {
+        let p = GenericProfile {
+            nest_prob: 0.0,
+            ..Default::default()
+        };
+        let values: Vec<Value> = p.generate(3, 100).collect();
+        let mut saw_null = false;
+        let mut saw_num = false;
+        let mut saw_str = false;
+        for v in &values {
+            for (_, child) in v.as_object().unwrap().iter() {
+                saw_null |= child.is_null();
+                saw_num |= child.as_f64().is_some();
+                saw_str |= child.as_str().is_some();
+            }
+        }
+        assert!(saw_null && saw_num && saw_str);
+    }
+}

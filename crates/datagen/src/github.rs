@@ -1,0 +1,291 @@
+//! The GitHub profile: pull-request metadata.
+//!
+//! Paper signature (§6.1): "1 million JSON objects sharing the same
+//! top-level schema and only varying in their lower-level schema. All
+//! objects … consist exclusively of records, sometimes nested, with a
+//! nesting depth never greater than four. Arrays are not used at all."
+//!
+//! Variation comes from two mechanisms, both *below* the top level:
+//!
+//! * nullable leaves (`closed_at`, `merged_at`, `body`, …) that are
+//!   sometimes `Null` and sometimes typed — these fuse into `T + Null`
+//!   without growing the schema;
+//! * rare optional sub-records (`milestone`, `assignee`, repo
+//!   `license`) whose independent presence combinations make the number
+//!   of *distinct* per-record types grow steadily with the dataset while
+//!   the *fused* type stays near-constant — the Table 2 shape.
+
+use crate::{record_rng, text, DatasetProfile};
+use rand::Rng;
+use typefuse_json::{Map, Value};
+
+/// Tunable generator for GitHub-like pull-request records.
+#[derive(Debug, Clone)]
+pub struct GitHubProfile {
+    /// Probability that a nullable timestamp/text field is `null`.
+    pub null_prob: f64,
+    /// Probability that the `milestone` sub-record is present (vs null).
+    pub milestone_prob: f64,
+    /// Probability that the `assignee` sub-record is present (vs null).
+    pub assignee_prob: f64,
+    /// Probability of each rare deep optional field (drives distinct-type
+    /// growth).
+    pub rare_prob: f64,
+}
+
+impl Default for GitHubProfile {
+    fn default() -> Self {
+        GitHubProfile {
+            null_prob: 0.35,
+            milestone_prob: 0.15,
+            assignee_prob: 0.25,
+            rare_prob: 0.004,
+        }
+    }
+}
+
+impl DatasetProfile for GitHubProfile {
+    fn name(&self) -> &'static str {
+        "github"
+    }
+
+    fn record(&self, seed: u64, index: u64) -> Value {
+        let mut rng = record_rng(seed ^ 0x6974_4875_622e_636f, index);
+        let r = &mut rng;
+        let number = 1 + index as i64;
+        // The PR lifecycle state correlates the nullable fields the way
+        // real pull requests do: open PRs have no closed_at/merged_at,
+        // merged PRs have both plus a merge commit. Correlation keeps the
+        // number of *distinct* record types growing slowly (Table 2) where
+        // independent nullables would explode combinatorially.
+        let state = r.gen_range(0..3u8); // 0 = open, 1 = closed, 2 = merged
+
+        let mut pr = Map::with_capacity(24);
+        pr.insert_unchecked("id", 10_000_000 + number);
+        pr.insert_unchecked("url", text::url(r, "api.github.com", 3));
+        pr.insert_unchecked("number", number);
+        pr.insert_unchecked("state", if state == 0 { "open" } else { "closed" });
+        pr.insert_unchecked("locked", r.gen_bool(0.05));
+        pr.insert_unchecked("title", text::sentence(r, 3, 9));
+        pr.insert_unchecked("body", self.nullable_text(r, 5, 40));
+        pr.insert_unchecked("created_at", text::iso_date(r));
+        pr.insert_unchecked("updated_at", text::iso_date(r));
+        pr.insert_unchecked(
+            "closed_at",
+            if state >= 1 {
+                Value::String(text::iso_date(r))
+            } else {
+                Value::Null
+            },
+        );
+        pr.insert_unchecked(
+            "merged_at",
+            if state == 2 {
+                Value::String(text::iso_date(r))
+            } else {
+                Value::Null
+            },
+        );
+        pr.insert_unchecked(
+            "merge_commit_sha",
+            if state == 2 {
+                Value::String(text::sha(r))
+            } else {
+                Value::Null
+            },
+        );
+        pr.insert_unchecked("user", self.user(r));
+        pr.insert_unchecked(
+            "assignee",
+            if r.gen_bool(self.assignee_prob) {
+                self.user(r)
+            } else {
+                Value::Null
+            },
+        );
+        pr.insert_unchecked(
+            "milestone",
+            if r.gen_bool(self.milestone_prob) {
+                self.milestone(r)
+            } else {
+                Value::Null
+            },
+        );
+        pr.insert_unchecked("head", self.branch(r));
+        pr.insert_unchecked("base", self.branch(r));
+        pr.insert_unchecked("comments", r.gen_range(0..50i64));
+        pr.insert_unchecked("commits", r.gen_range(1..30i64));
+        pr.insert_unchecked("additions", r.gen_range(0..5_000i64));
+        pr.insert_unchecked("deletions", r.gen_range(0..5_000i64));
+        pr.insert_unchecked("changed_files", r.gen_range(1..100i64));
+        pr.insert_unchecked("mergeable_state", text::word(r));
+        Value::Object(pr)
+    }
+}
+
+impl GitHubProfile {
+    fn nullable_text<R: Rng>(&self, r: &mut R, min: usize, max: usize) -> Value {
+        if r.gen_bool(self.null_prob) {
+            Value::Null
+        } else {
+            Value::String(text::sentence(r, min, max))
+        }
+    }
+
+    fn nullable_date<R: Rng>(&self, r: &mut R) -> Value {
+        if r.gen_bool(self.null_prob) {
+            Value::Null
+        } else {
+            Value::String(text::iso_date(r))
+        }
+    }
+
+    /// depth 2 sub-record.
+    fn user<R: Rng>(&self, r: &mut R) -> Value {
+        let login = text::username(r);
+        let mut u = Map::with_capacity(8);
+        u.insert_unchecked("id", r.gen_range(1..5_000_000i64));
+        u.insert_unchecked("avatar_url", text::url(r, "avatars.github.com", 1));
+        u.insert_unchecked("gravatar_id", "");
+        u.insert_unchecked("url", format!("https://api.github.com/users/{login}"));
+        u.insert_unchecked("type", "User");
+        u.insert_unchecked("site_admin", r.gen_bool(0.01));
+        // Rare optional deep fields: each independently present.
+        if r.gen_bool(self.rare_prob) {
+            u.insert_unchecked("name", text::username(r));
+        }
+        if r.gen_bool(self.rare_prob) {
+            u.insert_unchecked("company", text::word(r).to_string());
+        }
+        u.insert_unchecked("login", login);
+        Value::Object(u)
+    }
+
+    fn milestone<R: Rng>(&self, r: &mut R) -> Value {
+        let mut m = Map::with_capacity(8);
+        m.insert_unchecked("id", r.gen_range(1..100_000i64));
+        m.insert_unchecked("number", r.gen_range(1..200i64));
+        m.insert_unchecked("title", text::words(r, 2));
+        m.insert_unchecked("description", self.nullable_text(r, 3, 12));
+        m.insert_unchecked("open_issues", r.gen_range(0..100i64));
+        m.insert_unchecked("closed_issues", r.gen_range(0..100i64));
+        m.insert_unchecked("state", "open");
+        m.insert_unchecked("due_on", self.nullable_date(r));
+        Value::Object(m)
+    }
+
+    /// depth 3–4 sub-record (`branch.repo.owner` is level 4).
+    fn branch<R: Rng>(&self, r: &mut R) -> Value {
+        let mut b = Map::with_capacity(5);
+        b.insert_unchecked("label", format!("{}:{}", text::username(r), text::word(r)));
+        b.insert_unchecked("ref", text::word(r).to_string());
+        b.insert_unchecked("sha", text::sha(r));
+        b.insert_unchecked("user", self.user(r));
+        b.insert_unchecked("repo", self.repo(r));
+        Value::Object(b)
+    }
+
+    fn repo<R: Rng>(&self, r: &mut R) -> Value {
+        let name = text::word(r);
+        let mut repo = Map::with_capacity(14);
+        repo.insert_unchecked("id", r.gen_range(1..10_000_000i64));
+        repo.insert_unchecked("name", name);
+        repo.insert_unchecked("full_name", format!("{}/{}", text::username(r), name));
+        repo.insert_unchecked("owner", self.user(r));
+        repo.insert_unchecked("private", r.gen_bool(0.1));
+        repo.insert_unchecked(
+            "description",
+            if r.gen_bool(0.06) {
+                Value::Null
+            } else {
+                Value::String(text::sentence(r, 2, 10))
+            },
+        );
+        repo.insert_unchecked("fork", r.gen_bool(0.3));
+        repo.insert_unchecked("size", r.gen_range(0..1_000_000i64));
+        repo.insert_unchecked("stargazers_count", r.gen_range(0..50_000i64));
+        repo.insert_unchecked("language", self.nullable_language(r));
+        repo.insert_unchecked("has_issues", r.gen_bool(0.9));
+        repo.insert_unchecked("has_wiki", r.gen_bool(0.7));
+        repo.insert_unchecked("default_branch", "master");
+        if r.gen_bool(self.rare_prob) {
+            repo.insert_unchecked("homepage", text::url(r, "example.com", 1));
+        }
+        Value::Object(repo)
+    }
+
+    fn nullable_language<R: Rng>(&self, r: &mut R) -> Value {
+        const LANGS: &[&str] = &["Rust", "Scala", "Java", "Python", "Go", "C"];
+        if r.gen_bool(0.06) {
+            Value::Null
+        } else {
+            Value::String(LANGS[r.gen_range(0..LANGS.len())].to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Value> {
+        GitHubProfile::default().generate(99, n).collect()
+    }
+
+    #[test]
+    fn no_arrays_anywhere() {
+        fn has_array(v: &Value) -> bool {
+            match v {
+                Value::Array(_) => true,
+                Value::Object(m) => m.values().any(has_array),
+                _ => false,
+            }
+        }
+        for v in sample(100) {
+            assert!(!has_array(&v), "GitHub records must not contain arrays");
+        }
+    }
+
+    #[test]
+    fn depth_at_most_five() {
+        // Paper: nesting never greater than four *below* the root record;
+        // with our depth() convention (root counts 1) that is ≤ 5.
+        for v in sample(100) {
+            assert!(v.depth() <= 5, "depth {} too deep: {v}", v.depth());
+        }
+    }
+
+    #[test]
+    fn top_level_keys_are_fixed() {
+        let records = sample(50);
+        let first: Vec<&str> = records[0].as_object().unwrap().keys().collect();
+        for v in &records {
+            let keys: Vec<&str> = v.as_object().unwrap().keys().collect();
+            assert_eq!(keys, first, "top-level schema must be identical");
+        }
+    }
+
+    #[test]
+    fn nullable_fields_actually_vary() {
+        let records = sample(200);
+        let nulls = records
+            .iter()
+            .filter(|v| v.get("closed_at").unwrap().is_null())
+            .count();
+        assert!(nulls > 10, "some closed_at should be null");
+        assert!(nulls < 190, "some closed_at should be set");
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let records = sample(10);
+        let ids: Vec<i64> = records
+            .iter()
+            .map(|v| v.get("id").unwrap().as_i64().unwrap())
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+}

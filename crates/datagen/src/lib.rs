@@ -1,0 +1,207 @@
+//! # typefuse-datagen
+//!
+//! Seeded synthetic generators for the four datasets of the paper's
+//! evaluation (Section 6.1). The real datasets (GitHub and Twitter crawls
+//! borrowed from DiScala & Abadi, a Wikidata snapshot, an NYTimes API
+//! crawl — up to 75 GB) are not redistributable, so each generator is
+//! engineered to reproduce the *structural signature* the paper reports,
+//! which is what the evaluation actually measures:
+//!
+//! | profile   | signature |
+//! |-----------|-----------|
+//! | [`github`]   | one homogeneous top-level record kind, nesting ≤ 4, **no arrays**; variation only through nullable and rare optional fields |
+//! | [`twitter`]  | five top-level kinds sharing structure; tiny `delete` records (min type size ≈ 7); arrays of records; nesting ≤ 3 |
+//! | [`wikidata`] | identifiers (property ids, language codes, site names) used **as record keys**, so nearly every record has a distinct type and the fused type keeps growing |
+//! | [`nytimes`]  | fixed first-level schema, varying lower levels: two `headline` variants, fields oscillating between `Num` and `Str`, nullable text fields, heterogeneous keyword arrays; nesting ≤ 7, text-heavy |
+//!
+//! All generators are deterministic functions of `(seed, index)` — records
+//! are generated from a per-record RNG, so dataset prefixes are stable and
+//! generation parallelises trivially.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generic;
+pub mod github;
+pub mod nytimes;
+pub mod stats;
+pub mod text;
+pub mod twitter;
+pub mod wikidata;
+
+use typefuse_json::Value;
+
+/// The common interface of dataset generators.
+pub trait DatasetProfile {
+    /// Short machine-readable name (`github`, `twitter`, …).
+    fn name(&self) -> &'static str;
+
+    /// Generate the record at `index` for the dataset identified by
+    /// `seed`. Deterministic: the same `(seed, index)` always produces
+    /// the same record.
+    fn record(&self, seed: u64, index: u64) -> Value;
+
+    /// Iterator over records `0..n`.
+    fn generate(&self, seed: u64, n: usize) -> ProfileIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        ProfileIter {
+            profile: self,
+            seed,
+            next: 0,
+            end: n as u64,
+        }
+    }
+}
+
+/// Iterator returned by [`DatasetProfile::generate`].
+pub struct ProfileIter<'a, P: DatasetProfile> {
+    profile: &'a P,
+    seed: u64,
+    next: u64,
+    end: u64,
+}
+
+impl<P: DatasetProfile> Iterator for ProfileIter<'_, P> {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.next >= self.end {
+            return None;
+        }
+        let v = self.profile.record(self.seed, self.next);
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl<P: DatasetProfile> ExactSizeIterator for ProfileIter<'_, P> {}
+
+/// The four evaluation datasets, as one dispatchable enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Profile {
+    /// GitHub pull-request metadata.
+    GitHub,
+    /// Twitter statuses and deletes.
+    Twitter,
+    /// Wikidata entities.
+    Wikidata,
+    /// NYTimes article metadata.
+    NYTimes,
+}
+
+impl Profile {
+    /// All four profiles in the paper's order.
+    pub const ALL: [Profile; 4] = [
+        Profile::GitHub,
+        Profile::Twitter,
+        Profile::Wikidata,
+        Profile::NYTimes,
+    ];
+
+    /// Parse from the CLI-facing name.
+    pub fn from_name(name: &str) -> Option<Profile> {
+        match name.to_ascii_lowercase().as_str() {
+            "github" => Some(Profile::GitHub),
+            "twitter" => Some(Profile::Twitter),
+            "wikidata" => Some(Profile::Wikidata),
+            "nytimes" => Some(Profile::NYTimes),
+            _ => None,
+        }
+    }
+}
+
+impl DatasetProfile for Profile {
+    fn name(&self) -> &'static str {
+        match self {
+            Profile::GitHub => "github",
+            Profile::Twitter => "twitter",
+            Profile::Wikidata => "wikidata",
+            Profile::NYTimes => "nytimes",
+        }
+    }
+
+    fn record(&self, seed: u64, index: u64) -> Value {
+        match self {
+            Profile::GitHub => github::GitHubProfile::default().record(seed, index),
+            Profile::Twitter => twitter::TwitterProfile::default().record(seed, index),
+            Profile::Wikidata => wikidata::WikidataProfile::default().record(seed, index),
+            Profile::NYTimes => nytimes::NYTimesProfile::default().record(seed, index),
+        }
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Derive the per-record RNG for `(seed, index)`: a SplitMix64 scramble
+/// feeding a seeded `StdRng`-free small PRNG (xoshiro-style via `rand`'s
+/// `SeedableRng` on `rand::rngs::StdRng`).
+pub(crate) fn record_rng(seed: u64, index: u64) -> impl rand::Rng {
+    use rand::SeedableRng;
+    // SplitMix64 over (seed, index) to decorrelate consecutive records.
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    rand::rngs::StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic() {
+        for p in Profile::ALL {
+            let a: Vec<Value> = p.generate(42, 5).collect();
+            let b: Vec<Value> = p.generate(42, 5).collect();
+            assert_eq!(a, b, "{p} not deterministic");
+            let c: Vec<Value> = p.generate(43, 5).collect();
+            assert_ne!(a, c, "{p} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn prefixes_are_stable() {
+        for p in Profile::ALL {
+            let long: Vec<Value> = p.generate(7, 10).collect();
+            let short: Vec<Value> = p.generate(7, 4).collect();
+            assert_eq!(&long[..4], &short[..], "{p} prefix unstable");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in Profile::ALL {
+            assert_eq!(Profile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Profile::from_name("GitHub"), Some(Profile::GitHub));
+        assert_eq!(Profile::from_name("nope"), None);
+    }
+
+    #[test]
+    fn iterator_len_is_exact() {
+        let it = Profile::GitHub.generate(1, 17);
+        assert_eq!(it.len(), 17);
+        assert_eq!(it.count(), 17);
+    }
+
+    #[test]
+    fn every_record_is_an_object() {
+        for p in Profile::ALL {
+            for v in p.generate(3, 20) {
+                assert!(v.as_object().is_some(), "{p} produced a non-record");
+            }
+        }
+    }
+}

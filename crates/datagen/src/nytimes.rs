@@ -1,0 +1,289 @@
+//! The NYTimes profile: article metadata.
+//!
+//! Paper signature (§6.1): "records feature both nested records and
+//! arrays and are nested up to 7 levels. Most of the fields … are
+//! associated to text data … the content of fields is not fixed and
+//! varies from one record to another. … the content of the headline
+//! field is associated, in some records, to subfields labeled main,
+//! content, kicker … while in other records it is associated to
+//! subfields labeled main and print_headline. Another common pattern …
+//! is the use of Num and Str types for the same field."
+//!
+//! The first level is fixed (every record has the same top-level keys);
+//! all variation happens below it. This is why NYTimes fuses *better*
+//! than the others in Table 5: the top level collapses perfectly and
+//! only leaf unions accumulate.
+
+use crate::{record_rng, text, DatasetProfile};
+use rand::Rng;
+use typefuse_json::{Map, Value};
+
+/// Tunable generator for NYTimes-like article records.
+#[derive(Debug, Clone)]
+pub struct NYTimesProfile {
+    /// Probability that a numeric-ish field is emitted as `Str` instead
+    /// of `Num` (the paper's Num/Str mixing).
+    pub str_num_mix: f64,
+    /// Probability that `headline` uses the kicker variant rather than
+    /// the print variant.
+    pub kicker_variant_prob: f64,
+    /// Maximum keywords per article.
+    pub max_keywords: usize,
+    /// Maximum multimedia entries per article.
+    pub max_multimedia: usize,
+}
+
+impl Default for NYTimesProfile {
+    fn default() -> Self {
+        NYTimesProfile {
+            str_num_mix: 0.3,
+            kicker_variant_prob: 0.5,
+            max_keywords: 5,
+            max_multimedia: 3,
+        }
+    }
+}
+
+impl DatasetProfile for NYTimesProfile {
+    fn name(&self) -> &'static str {
+        "nytimes"
+    }
+
+    fn record(&self, seed: u64, index: u64) -> Value {
+        let mut rng = record_rng(seed ^ 0x6e79_7469_6d65_7321, index);
+        let r = &mut rng;
+
+        let mut a = Map::with_capacity(20);
+        a.insert_unchecked("web_url", text::url(r, "www.nytimes.com", 4));
+        a.insert_unchecked("snippet", text::sentence(r, 8, 25));
+        a.insert_unchecked("lead_paragraph", text::sentence(r, 20, 60));
+        a.insert_unchecked("abstract", self.nullable_sentence(r, 0.4, 6, 20));
+        a.insert_unchecked("print_page", self.num_or_str(r, 1..=40));
+        a.insert_unchecked("blog", Value::Array(vec![]));
+        a.insert_unchecked("source", "The New York Times");
+        a.insert_unchecked("multimedia", self.multimedia(r));
+        a.insert_unchecked("headline", self.headline(r));
+        a.insert_unchecked("keywords", self.keywords(r));
+        a.insert_unchecked("pub_date", text::iso_date(r));
+        a.insert_unchecked("document_type", "article");
+        a.insert_unchecked("news_desk", self.nullable_word(r, 0.3));
+        a.insert_unchecked("section_name", self.nullable_word(r, 0.2));
+        a.insert_unchecked("subsection_name", self.nullable_word(r, 0.7));
+        a.insert_unchecked("byline", self.byline(r));
+        a.insert_unchecked("type_of_material", "News");
+        a.insert_unchecked("_id", text::sha(r)[..24].to_string());
+        a.insert_unchecked("word_count", self.num_or_str(r, 50..=3000));
+        a.insert_unchecked("slideshow_credits", Value::Null);
+        Value::Object(a)
+    }
+}
+
+impl NYTimesProfile {
+    /// The paper's Num/Str mixing on the same field.
+    fn num_or_str<R: Rng>(&self, r: &mut R, range: std::ops::RangeInclusive<i64>) -> Value {
+        let n = r.gen_range(range);
+        if r.gen_bool(self.str_num_mix) {
+            Value::String(n.to_string())
+        } else {
+            Value::from(n)
+        }
+    }
+
+    fn nullable_sentence<R: Rng>(&self, r: &mut R, p_null: f64, min: usize, max: usize) -> Value {
+        if r.gen_bool(p_null) {
+            Value::Null
+        } else {
+            Value::String(text::sentence(r, min, max))
+        }
+    }
+
+    fn nullable_word<R: Rng>(&self, r: &mut R, p_null: f64) -> Value {
+        if r.gen_bool(p_null) {
+            Value::Null
+        } else {
+            Value::String(text::word(r).to_string())
+        }
+    }
+
+    /// The two headline variants called out by the paper.
+    fn headline<R: Rng>(&self, r: &mut R) -> Value {
+        let mut h = Map::with_capacity(4);
+        h.insert_unchecked("main", text::sentence(r, 4, 10));
+        if r.gen_bool(self.kicker_variant_prob) {
+            h.insert_unchecked("content_kicker", text::words(r, 2));
+            h.insert_unchecked("kicker", text::word(r).to_string());
+        } else {
+            h.insert_unchecked("print_headline", text::sentence(r, 4, 10));
+        }
+        Value::Object(h)
+    }
+
+    fn keywords<R: Rng>(&self, r: &mut R) -> Value {
+        let n = r.gen_range(0..=self.max_keywords);
+        let list: Vec<Value> = (0..n)
+            .map(|i| {
+                let mut k = Map::with_capacity(4);
+                k.insert_unchecked(
+                    "name",
+                    ["subject", "persons", "glocations", "organizations"][r.gen_range(0..4)],
+                );
+                k.insert_unchecked("value", text::words(r, 2));
+                // rank is sometimes Num, sometimes Str — per the paper.
+                k.insert_unchecked("rank", self.num_or_str(r, 1..=9));
+                if r.gen_bool(0.5) {
+                    k.insert_unchecked("is_major", if r.gen_bool(0.5) { "Y" } else { "N" });
+                }
+                let _ = i;
+                Value::Object(k)
+            })
+            .collect();
+        Value::Array(list)
+    }
+
+    /// `multimedia[].legacy` nests to level 4; with the array and the top
+    /// record the article reaches 5–7 total depth.
+    fn multimedia<R: Rng>(&self, r: &mut R) -> Value {
+        let n = r.gen_range(0..=self.max_multimedia);
+        let list: Vec<Value> = (0..n)
+            .map(|_| {
+                let mut m = Map::with_capacity(6);
+                m.insert_unchecked("url", text::url(r, "static01.nyt.com", 3));
+                m.insert_unchecked("format", ["thumbnail", "wide", "xlarge"][r.gen_range(0..3)]);
+                m.insert_unchecked("height", r.gen_range(50..=800i64));
+                m.insert_unchecked("width", r.gen_range(50..=800i64));
+                m.insert_unchecked("type", "image");
+                m.insert_unchecked("legacy", self.legacy(r));
+                Value::Object(m)
+            })
+            .collect();
+        Value::Array(list)
+    }
+
+    fn legacy<R: Rng>(&self, r: &mut R) -> Value {
+        let mut l = Map::with_capacity(3);
+        // Variant subfields, lower-level variation again.
+        if r.gen_bool(0.5) {
+            l.insert_unchecked("xlarge", text::url(r, "static01.nyt.com", 2));
+            l.insert_unchecked("xlargewidth", r.gen_range(100..=800i64));
+            l.insert_unchecked("xlargeheight", r.gen_range(100..=800i64));
+        } else {
+            l.insert_unchecked("thumbnail", text::url(r, "static01.nyt.com", 2));
+            l.insert_unchecked("thumbnailwidth", r.gen_range(50..=150i64));
+        }
+        Value::Object(l)
+    }
+
+    fn byline<R: Rng>(&self, r: &mut R) -> Value {
+        if r.gen_bool(0.15) {
+            return Value::Null;
+        }
+        let mut b = Map::with_capacity(3);
+        let n = r.gen_range(1..=2);
+        let people: Vec<Value> = (0..n)
+            .map(|rank| {
+                let mut p = Map::with_capacity(5);
+                p.insert_unchecked("firstname", text::username(r));
+                p.insert_unchecked(
+                    "middlename",
+                    if r.gen_bool(0.7) {
+                        Value::Null
+                    } else {
+                        Value::from(text::word(r))
+                    },
+                );
+                p.insert_unchecked("lastname", text::username(r));
+                p.insert_unchecked("rank", rank as i64 + 1);
+                p.insert_unchecked("role", "reported");
+                Value::Object(p)
+            })
+            .collect();
+        b.insert_unchecked("person", Value::Array(people));
+        if r.gen_bool(0.1) {
+            b.insert_unchecked("organization", "The New York Times");
+        }
+        b.insert_unchecked("original", format!("By {}", text::username(r)));
+        Value::Object(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Value> {
+        NYTimesProfile::default().generate(5, n).collect()
+    }
+
+    #[test]
+    fn top_level_keys_are_fixed() {
+        let records = sample(50);
+        let first: Vec<&str> = records[0].as_object().unwrap().keys().collect();
+        for v in &records {
+            let keys: Vec<&str> = v.as_object().unwrap().keys().collect();
+            assert_eq!(keys, first);
+        }
+    }
+
+    #[test]
+    fn headline_has_two_variants() {
+        let records = sample(100);
+        let kicker = records
+            .iter()
+            .filter(|v| v.get("headline").unwrap().get("kicker").is_some())
+            .count();
+        let print = records
+            .iter()
+            .filter(|v| v.get("headline").unwrap().get("print_headline").is_some())
+            .count();
+        assert!(kicker > 0 && print > 0);
+        assert_eq!(kicker + print, 100, "exactly one variant per record");
+    }
+
+    #[test]
+    fn num_str_mixing_on_word_count() {
+        let records = sample(200);
+        let strings = records
+            .iter()
+            .filter(|v| v.get("word_count").unwrap().as_str().is_some())
+            .count();
+        assert!(strings > 20, "some word_count are strings ({strings})");
+        assert!(strings < 180, "some word_count are numbers");
+    }
+
+    #[test]
+    fn depth_reaches_five_or_more() {
+        let deepest = sample(100).iter().map(Value::depth).max().unwrap();
+        assert!(deepest >= 5, "deepest {deepest}");
+    }
+
+    #[test]
+    fn records_are_text_heavy() {
+        // NYTimes records should serialize much larger than their node
+        // count would suggest (the paper: 22 GB for 1.2 M records).
+        let v = &sample(1)[0];
+        let bytes = typefuse_json::to_string(v).len();
+        assert!(bytes > 500, "record only {bytes} bytes");
+    }
+
+    #[test]
+    fn keyword_records_vary_in_shape() {
+        let records = sample(200);
+        let with_major = records.iter().any(|v| {
+            v.get("keywords")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|k| k.get("is_major").is_some())
+        });
+        let without_major = records.iter().any(|v| {
+            v.get("keywords")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|k| k.get("is_major").is_none())
+        });
+        assert!(with_major && without_major);
+    }
+}

@@ -1,0 +1,134 @@
+//! Dataset-level measurements: serialized byte size, record counts, depth
+//! distribution — the raw ingredients of the paper's Table 1.
+
+use typefuse_json::Value;
+
+/// Aggregate statistics over a stream of records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetStats {
+    /// Number of records.
+    pub records: u64,
+    /// Total serialized size in bytes (compact NDJSON, including the
+    /// newline per record) — the Table 1 metric.
+    pub bytes: u64,
+    /// Maximum nesting depth observed.
+    pub max_depth: usize,
+    /// Sum of depths (for the average).
+    depth_sum: u64,
+    /// Sum of value-tree node counts.
+    node_sum: u64,
+}
+
+impl DatasetStats {
+    /// Measure a stream of values.
+    pub fn measure<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut s = DatasetStats::default();
+        for v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Fold one record into the statistics.
+    pub fn add(&mut self, value: &Value) {
+        self.records += 1;
+        self.bytes += typefuse_json::to_string(value).len() as u64 + 1;
+        let d = value.depth();
+        self.max_depth = self.max_depth.max(d);
+        self.depth_sum += d as u64;
+        self.node_sum += value.tree_size() as u64;
+    }
+
+    /// Combine with stats from another partition.
+    pub fn merge(&mut self, other: &DatasetStats) {
+        self.records += other.records;
+        self.bytes += other.bytes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.depth_sum += other.depth_sum;
+        self.node_sum += other.node_sum;
+    }
+
+    /// Mean nesting depth.
+    pub fn avg_depth(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.records as f64
+        }
+    }
+
+    /// Mean nodes per record.
+    pub fn avg_nodes(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.node_sum as f64 / self.records as f64
+        }
+    }
+
+    /// Human-readable size (`14.0 MB` style, powers of 1000 like the
+    /// paper's tables).
+    pub fn human_bytes(&self) -> String {
+        human_bytes(self.bytes)
+    }
+}
+
+/// Format a byte count the way the paper's Table 1 does.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: &[&str] = &["B", "KB", "MB", "GB", "TB"];
+    let mut size = bytes as f64;
+    let mut unit = 0;
+    while size >= 1000.0 && unit + 1 < UNITS.len() {
+        size /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{size:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typefuse_json::json;
+
+    #[test]
+    fn measures_counts_and_bytes() {
+        let values = [json!({"a": 1}), json!({"a": 22})];
+        let s = DatasetStats::measure(&values);
+        assert_eq!(s.records, 2);
+        // {"a":1}\n = 8, {"a":22}\n = 9
+        assert_eq!(s.bytes, 17);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.avg_depth(), 2.0);
+        assert!(s.avg_nodes() > 0.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let a = DatasetStats::measure(&[json!({"a": 1})]);
+        let b = DatasetStats::measure(&[json!([1, [2]])]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let direct = DatasetStats::measure(&[json!({"a": 1}), json!([1, [2]])]);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = DatasetStats::default();
+        assert_eq!(s.avg_depth(), 0.0);
+        assert_eq!(s.avg_nodes(), 0.0);
+        assert_eq!(s.records, 0);
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(14), "14 B");
+        assert_eq!(human_bytes(14_000), "14.0 KB");
+        assert_eq!(human_bytes(14_200_000), "14.2 MB");
+        assert_eq!(human_bytes(2_100_000_000), "2.1 GB");
+    }
+}

@@ -1,0 +1,149 @@
+//! Small deterministic text generators shared by the dataset profiles:
+//! words, sentences, identifiers, hashes, URLs, ISO dates.
+
+use rand::Rng;
+
+/// A compact word list; realistic enough for byte-size measurements and
+/// guaranteed ASCII so serialized sizes are predictable.
+pub const WORDS: &[&str] = &[
+    "data", "schema", "record", "query", "index", "merge", "stream", "node", "array", "field",
+    "value", "type", "union", "parse", "store", "batch", "shard", "block", "plan", "scan", "fuse",
+    "map", "reduce", "spark", "table", "graph", "cache", "page", "lake", "json", "tree", "path",
+    "city", "river", "house", "light", "paper", "world", "music", "green",
+];
+
+/// First names for user-ish fields.
+pub const NAMES: &[&str] = &[
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi", "ivan", "judy", "mallory",
+    "oscar", "peggy", "trent", "victor", "wendy",
+];
+
+/// A random word.
+pub fn word<R: Rng>(rng: &mut R) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// `n` random words joined by spaces.
+pub fn words<R: Rng>(rng: &mut R, n: usize) -> String {
+    let mut s = String::with_capacity(n * 6);
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(word(rng));
+    }
+    s
+}
+
+/// A sentence of `min..=max` words with a capital letter and period.
+pub fn sentence<R: Rng>(rng: &mut R, min: usize, max: usize) -> String {
+    let n = rng.gen_range(min..=max.max(min));
+    let mut s = words(rng, n);
+    if let Some(first) = s.get_mut(0..1) {
+        first.make_ascii_uppercase();
+    }
+    s.push('.');
+    s
+}
+
+/// A user name like `grace_42`.
+pub fn username<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "{}_{}",
+        NAMES[rng.gen_range(0..NAMES.len())],
+        rng.gen_range(0..1000)
+    )
+}
+
+/// A 40-hex-character SHA-like string.
+pub fn sha<R: Rng>(rng: &mut R) -> String {
+    const HEX: &[u8] = b"0123456789abcdef";
+    (0..40).map(|_| HEX[rng.gen_range(0..16)] as char).collect()
+}
+
+/// An `https://…` URL with `segments` path segments.
+pub fn url<R: Rng>(rng: &mut R, host: &str, segments: usize) -> String {
+    let mut s = format!("https://{host}");
+    for _ in 0..segments {
+        s.push('/');
+        s.push_str(word(rng));
+    }
+    s
+}
+
+/// An ISO-8601 timestamp in 2016 (the paper's datasets are 2016 crawls).
+pub fn iso_date<R: Rng>(rng: &mut R) -> String {
+    format!(
+        "2016-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60),
+    )
+}
+
+/// A numeric id as a decimal string (Twitter's `id_str` convention).
+pub fn id_str<R: Rng>(rng: &mut R) -> (i64, String) {
+    let id: i64 = rng.gen_range(1_000_000_000..=999_999_999_999);
+    (id, id.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record_rng;
+
+    #[test]
+    fn words_are_space_joined() {
+        let mut rng = record_rng(1, 1);
+        let s = words(&mut rng, 4);
+        assert_eq!(s.split(' ').count(), 4);
+    }
+
+    #[test]
+    fn sentence_is_capitalised_and_terminated() {
+        let mut rng = record_rng(1, 2);
+        let s = sentence(&mut rng, 3, 8);
+        assert!(s.chars().next().unwrap().is_ascii_uppercase());
+        assert!(s.ends_with('.'));
+    }
+
+    #[test]
+    fn sha_is_40_hex() {
+        let mut rng = record_rng(1, 3);
+        let s = sha(&mut rng);
+        assert_eq!(s.len(), 40);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn url_shape() {
+        let mut rng = record_rng(1, 4);
+        let u = url(&mut rng, "api.example.com", 2);
+        assert!(u.starts_with("https://api.example.com/"));
+        assert_eq!(u.matches('/').count(), 4);
+    }
+
+    #[test]
+    fn iso_date_shape() {
+        let mut rng = record_rng(1, 5);
+        let d = iso_date(&mut rng);
+        assert_eq!(d.len(), 20);
+        assert!(d.starts_with("2016-"));
+        assert!(d.ends_with('Z'));
+    }
+
+    #[test]
+    fn id_str_matches_id() {
+        let mut rng = record_rng(1, 6);
+        let (id, s) = id_str(&mut rng);
+        assert_eq!(s.parse::<i64>().unwrap(), id);
+    }
+
+    #[test]
+    fn empty_words() {
+        let mut rng = record_rng(1, 7);
+        assert_eq!(words(&mut rng, 0), "");
+    }
+}

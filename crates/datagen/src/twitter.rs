@@ -1,0 +1,350 @@
+//! The Twitter profile: statuses and deletes.
+//!
+//! Paper signature (§6.1): "nearly 10 million records corresponding, in
+//! majority, to tweet entities. A tiny fraction … corresponds to a
+//! specific API call meant to delete tweets … it uses both records and
+//! arrays of records, although the maximum level of nesting is 3 …
+//! it contains five different top-level schemas sharing common parts …
+//! it mixes two kinds of JSON records (tweets and deletes)."
+//!
+//! The five top-level kinds here: plain tweet, reply, retweet, quote and
+//! delete. Deletes are tiny (their inferred type has size ≈ 7 — the
+//! `min` column of Table 3). Entity arrays (`hashtags`, `urls`,
+//! `user_mentions`) are arrays of records with varying length, including
+//! empty — the array-fusion stress the paper uses this dataset for.
+
+use crate::{record_rng, text, DatasetProfile};
+use rand::Rng;
+use typefuse_json::{Map, Value};
+
+/// Tunable generator for Twitter-like status records.
+#[derive(Debug, Clone)]
+pub struct TwitterProfile {
+    /// Fraction of records that are `delete` envelopes.
+    pub delete_frac: f64,
+    /// Fraction of statuses that are replies.
+    pub reply_frac: f64,
+    /// Fraction of statuses that are retweets.
+    pub retweet_frac: f64,
+    /// Fraction of statuses that are quotes.
+    pub quote_frac: f64,
+    /// Maximum entities per entity array.
+    pub max_entities: usize,
+}
+
+impl Default for TwitterProfile {
+    fn default() -> Self {
+        TwitterProfile {
+            delete_frac: 0.03,
+            reply_frac: 0.25,
+            retweet_frac: 0.20,
+            quote_frac: 0.07,
+            max_entities: 3,
+        }
+    }
+}
+
+impl DatasetProfile for TwitterProfile {
+    fn name(&self) -> &'static str {
+        "twitter"
+    }
+
+    fn record(&self, seed: u64, index: u64) -> Value {
+        let mut rng = record_rng(seed ^ 0x7477_6974_7465_7221, index);
+        let r = &mut rng;
+        let roll: f64 = r.gen();
+        if roll < self.delete_frac {
+            return self.delete(r);
+        }
+        let style = {
+            let s: f64 = r.gen();
+            if s < self.reply_frac {
+                Kind::Reply
+            } else if s < self.reply_frac + self.retweet_frac {
+                Kind::Retweet
+            } else if s < self.reply_frac + self.retweet_frac + self.quote_frac {
+                Kind::Quote
+            } else {
+                Kind::Plain
+            }
+        };
+        self.status(r, style, true)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Plain,
+    Reply,
+    Retweet,
+    Quote,
+}
+
+impl TwitterProfile {
+    /// The tiny delete envelope — inferred type size 7 once the
+    /// single-field records are counted:
+    /// `{delete: {status: {id: Num, user_id: Num}, timestamp_ms: Str}}`.
+    fn delete<R: Rng>(&self, r: &mut R) -> Value {
+        let (id, _) = text::id_str(r);
+        let mut status = Map::with_capacity(2);
+        status.insert_unchecked("id", id);
+        status.insert_unchecked("user_id", r.gen_range(1..100_000_000i64));
+        let mut delete = Map::with_capacity(2);
+        delete.insert_unchecked("status", Value::Object(status));
+        delete.insert_unchecked(
+            "timestamp_ms",
+            r.gen_range(1_000_000_000_000i64..1_500_000_000_000)
+                .to_string(),
+        );
+        let mut top = Map::with_capacity(1);
+        top.insert_unchecked("delete", Value::Object(delete));
+        Value::Object(top)
+    }
+
+    /// A status record. `top_level` controls whether the embedded
+    /// retweeted/quoted status is included (embedded statuses are plain).
+    fn status<R: Rng>(&self, r: &mut R, kind: Kind, top_level: bool) -> Value {
+        let (id, id_str) = text::id_str(r);
+        let mut t = Map::with_capacity(20);
+        t.insert_unchecked("created_at", text::iso_date(r));
+        t.insert_unchecked("id", id);
+        t.insert_unchecked("id_str", id_str);
+        t.insert_unchecked("text", text::sentence(r, 3, 16));
+        t.insert_unchecked("source", text::url(r, "twitter.com", 1));
+        t.insert_unchecked("truncated", r.gen_bool(0.05));
+        match kind {
+            Kind::Reply => {
+                let (rid, rid_str) = text::id_str(r);
+                t.insert_unchecked("in_reply_to_status_id", rid);
+                t.insert_unchecked("in_reply_to_status_id_str", rid_str);
+                t.insert_unchecked("in_reply_to_screen_name", text::username(r));
+            }
+            _ => {
+                t.insert_unchecked("in_reply_to_status_id", Value::Null);
+                t.insert_unchecked("in_reply_to_status_id_str", Value::Null);
+                t.insert_unchecked("in_reply_to_screen_name", Value::Null);
+            }
+        }
+        t.insert_unchecked("user", self.user(r));
+        // geo is almost always null; occasionally a coordinates record —
+        // a Null + {…} union in the fused schema.
+        t.insert_unchecked(
+            "geo",
+            if r.gen_bool(0.02) {
+                self.geo(r)
+            } else {
+                Value::Null
+            },
+        );
+        if top_level {
+            match kind {
+                Kind::Retweet => {
+                    t.insert_unchecked("retweeted_status", self.status(r, Kind::Plain, false));
+                }
+                Kind::Quote => {
+                    let (qid, qid_str) = text::id_str(r);
+                    t.insert_unchecked("quoted_status_id", qid);
+                    t.insert_unchecked("quoted_status_id_str", qid_str);
+                    t.insert_unchecked("quoted_status", self.status(r, Kind::Plain, false));
+                }
+                _ => {}
+            }
+        }
+        t.insert_unchecked("retweet_count", r.gen_range(0..10_000i64));
+        t.insert_unchecked("favorite_count", r.gen_range(0..10_000i64));
+        t.insert_unchecked("entities", self.entities(r));
+        t.insert_unchecked("favorited", false);
+        t.insert_unchecked("retweeted", false);
+        t.insert_unchecked("filter_level", "low");
+        t.insert_unchecked("lang", ["en", "fr", "es", "de", "ja"][r.gen_range(0..5)]);
+        Value::Object(t)
+    }
+
+    fn user<R: Rng>(&self, r: &mut R) -> Value {
+        let (id, id_str) = text::id_str(r);
+        let mut u = Map::with_capacity(12);
+        u.insert_unchecked("id", id);
+        u.insert_unchecked("id_str", id_str);
+        u.insert_unchecked("name", text::username(r));
+        u.insert_unchecked("screen_name", text::username(r));
+        u.insert_unchecked(
+            "description",
+            if r.gen_bool(0.3) {
+                Value::Null
+            } else {
+                Value::String(text::sentence(r, 2, 8))
+            },
+        );
+        u.insert_unchecked("verified", r.gen_bool(0.02));
+        u.insert_unchecked("followers_count", r.gen_range(0..1_000_000i64));
+        u.insert_unchecked("friends_count", r.gen_range(0..10_000i64));
+        u.insert_unchecked("statuses_count", r.gen_range(0..100_000i64));
+        u.insert_unchecked("created_at", text::iso_date(r));
+        u.insert_unchecked(
+            "lang",
+            if r.gen_bool(0.5) {
+                Value::Null
+            } else {
+                Value::from("en")
+            },
+        );
+        Value::Object(u)
+    }
+
+    fn geo<R: Rng>(&self, r: &mut R) -> Value {
+        let mut g = Map::with_capacity(2);
+        g.insert_unchecked("type", "Point");
+        g.insert_unchecked(
+            "coordinates",
+            Value::Array(vec![
+                Value::from(r.gen_range(-90.0..90.0)),
+                Value::from(r.gen_range(-180.0..180.0)),
+            ]),
+        );
+        Value::Object(g)
+    }
+
+    fn entities<R: Rng>(&self, r: &mut R) -> Value {
+        let mut e = Map::with_capacity(3);
+        e.insert_unchecked(
+            "hashtags",
+            self.entity_array(r, |r| {
+                let mut h = Map::with_capacity(2);
+                h.insert_unchecked("text", text::word(r).to_string());
+                h.insert_unchecked("indices", index_pair(r));
+                Value::Object(h)
+            }),
+        );
+        e.insert_unchecked(
+            "urls",
+            self.entity_array(r, |r| {
+                let mut u = Map::with_capacity(3);
+                u.insert_unchecked("url", text::url(r, "t.co", 1));
+                u.insert_unchecked("expanded_url", text::url(r, "example.com", 2));
+                u.insert_unchecked("indices", index_pair(r));
+                Value::Object(u)
+            }),
+        );
+        e.insert_unchecked(
+            "user_mentions",
+            self.entity_array(r, |r| {
+                let (id, id_str) = text::id_str(r);
+                let mut m = Map::with_capacity(4);
+                m.insert_unchecked("screen_name", text::username(r));
+                m.insert_unchecked("id", id);
+                m.insert_unchecked("id_str", id_str);
+                m.insert_unchecked("indices", index_pair(r));
+                Value::Object(m)
+            }),
+        );
+        Value::Object(e)
+    }
+
+    fn entity_array<R: Rng>(&self, r: &mut R, mut item: impl FnMut(&mut R) -> Value) -> Value {
+        let n = r.gen_range(0..=self.max_entities);
+        Value::Array((0..n).map(|_| item(r)).collect())
+    }
+}
+
+fn index_pair<R: Rng>(r: &mut R) -> Value {
+    let start = r.gen_range(0..100i64);
+    Value::Array(vec![
+        Value::from(start),
+        Value::from(start + r.gen_range(1..20i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Value> {
+        TwitterProfile::default().generate(7, n).collect()
+    }
+
+    fn is_delete(v: &Value) -> bool {
+        v.get("delete").is_some()
+    }
+
+    #[test]
+    fn mixes_deletes_and_tweets() {
+        let records = sample(2000);
+        let deletes = records.iter().filter(|v| is_delete(v)).count();
+        assert!(deletes > 10, "deletes present ({deletes})");
+        assert!(deletes < 200, "deletes are a tiny fraction ({deletes})");
+    }
+
+    #[test]
+    fn deletes_are_tiny() {
+        let profile = TwitterProfile {
+            delete_frac: 1.0,
+            ..Default::default()
+        };
+        let v = profile.generate(1, 1).next().unwrap();
+        assert!(is_delete(&v));
+        // {delete: {status: {id, user_id}, timestamp_ms}}: 3 record nodes,
+        // 4 field nodes, 3 leaves = 10-11 nodes — orders of magnitude
+        // smaller than a tweet.
+        assert!(v.tree_size() <= 12, "delete tree size {}", v.tree_size());
+    }
+
+    #[test]
+    fn five_top_level_kinds_appear() {
+        let records = sample(3000);
+        let mut kinds = [0usize; 5];
+        for v in &records {
+            if is_delete(v) {
+                kinds[0] += 1;
+            } else if v.get("retweeted_status").is_some() {
+                kinds[1] += 1;
+            } else if v.get("quoted_status").is_some() {
+                kinds[2] += 1;
+            } else if !v.get("in_reply_to_status_id").unwrap().is_null() {
+                kinds[3] += 1;
+            } else {
+                kinds[4] += 1;
+            }
+        }
+        for (i, count) in kinds.iter().enumerate() {
+            assert!(*count > 0, "kind {i} never generated");
+        }
+    }
+
+    #[test]
+    fn entity_arrays_hold_records() {
+        let records = sample(300);
+        let with_hashtags = records.iter().find_map(|v| {
+            let tags = v.get("entities")?.get("hashtags")?.as_array()?;
+            if tags.is_empty() {
+                None
+            } else {
+                Some(tags[0].clone())
+            }
+        });
+        let tag = with_hashtags.expect("some tweet has hashtags");
+        assert!(tag.get("text").is_some());
+        assert_eq!(tag.get("indices").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_entity_arrays_occur() {
+        let records = sample(300);
+        let empty = records.iter().any(|v| {
+            v.get("entities")
+                .and_then(|e| e.get("hashtags"))
+                .and_then(Value::as_array)
+                .is_some_and(|a| a.is_empty())
+        });
+        assert!(empty, "empty entity arrays must occur (fusion ε case)");
+    }
+
+    #[test]
+    fn statuses_share_common_top_level_parts() {
+        let records = sample(100);
+        for v in records.iter().filter(|v| !is_delete(v)) {
+            for key in ["created_at", "id", "text", "user", "entities", "lang"] {
+                assert!(v.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+}

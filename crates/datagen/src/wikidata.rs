@@ -1,0 +1,382 @@
+//! The Wikidata profile: entity records with identifiers used as keys.
+//!
+//! Paper signature (§6.1): facts "structured following a fixed schema,
+//! but suffering from a poor design … user identifiers are directly
+//! encoded as keys, whereas a clean design would suggest encoding this
+//! information as a value … several records reach a nesting level of 6."
+//!
+//! Here the poor design is reproduced through three key spaces:
+//!
+//! * `labels` / `descriptions` are keyed by **language codes** (dozens),
+//! * `claims` are keyed by **property ids** (`P12`, zipf-like heavy tail),
+//! * `sitelinks` are keyed by **site names** (`enwiki`, `frwiki`, …).
+//!
+//! Because each record draws a random subset of each space, almost every
+//! record has a distinct type, and the fused type keeps absorbing new
+//! optional keys as the dataset grows — the Table 4 shape, where the
+//! fused size grows with N instead of stabilising.
+
+use crate::{record_rng, text, DatasetProfile};
+use rand::Rng;
+use typefuse_json::{Map, Value};
+
+/// Language codes used as `labels`/`descriptions` keys.
+const LANGS: &[&str] = &[
+    "en", "fr", "de", "es", "it", "pt", "nl", "ru", "ja", "zh", "ar", "sv", "pl", "tr", "ko", "he",
+    "cs", "fi", "da", "no", "hu", "el", "th", "uk", "vi", "id", "fa", "ro", "bg", "ca", "sr", "hr",
+    "sk", "lt", "lv", "et",
+];
+
+/// Wikipedia site names used as `sitelinks` keys.
+const SITES: &[&str] = &[
+    "enwiki",
+    "frwiki",
+    "dewiki",
+    "eswiki",
+    "itwiki",
+    "ptwiki",
+    "ruwiki",
+    "jawiki",
+    "zhwiki",
+    "arwiki",
+    "svwiki",
+    "plwiki",
+    "commonswiki",
+];
+
+/// Tunable generator for Wikidata-like entity records.
+#[derive(Debug, Clone)]
+pub struct WikidataProfile {
+    /// Size of the property-id space (`P1..=P<n>`).
+    pub property_space: u64,
+    /// Expected number of languages per record.
+    pub langs_per_record: usize,
+    /// Expected number of claims per record.
+    pub claims_per_record: usize,
+    /// Expected number of sitelinks per record.
+    pub sitelinks_per_record: usize,
+}
+
+impl Default for WikidataProfile {
+    fn default() -> Self {
+        WikidataProfile {
+            property_space: 800,
+            langs_per_record: 4,
+            claims_per_record: 6,
+            sitelinks_per_record: 3,
+        }
+    }
+}
+
+impl DatasetProfile for WikidataProfile {
+    fn name(&self) -> &'static str {
+        "wikidata"
+    }
+
+    fn record(&self, seed: u64, index: u64) -> Value {
+        let mut rng = record_rng(seed ^ 0x7769_6b69_6461_7461, index);
+        let r = &mut rng;
+        let qid = format!("Q{}", 1 + index);
+
+        let mut e = Map::with_capacity(8);
+        e.insert_unchecked("type", "item");
+        e.insert_unchecked("id", qid.clone());
+        e.insert_unchecked(
+            "labels",
+            self.lang_map(r, |r| Value::String(text::words(r, 2))),
+        );
+        e.insert_unchecked(
+            "descriptions",
+            self.lang_map(r, |r| Value::String(text::sentence(r, 3, 8))),
+        );
+        e.insert_unchecked("aliases", self.aliases(r));
+        e.insert_unchecked("claims", self.claims(r, &qid));
+        e.insert_unchecked("sitelinks", self.sitelinks(r));
+        e.insert_unchecked("lastrevid", r.gen_range(1..400_000_000i64));
+        Value::Object(e)
+    }
+}
+
+impl WikidataProfile {
+    /// A record keyed by a random subset of language codes:
+    /// `{en: {language: "en", value: …}, fr: …}`.
+    fn lang_map<R: Rng>(&self, r: &mut R, mut value: impl FnMut(&mut R) -> Value) -> Value {
+        let n = sample_count(r, self.langs_per_record, LANGS.len());
+        let langs = sample_subset(r, LANGS, n);
+        let mut m = Map::with_capacity(n);
+        for lang in langs {
+            let mut entry = Map::with_capacity(2);
+            entry.insert_unchecked("language", lang);
+            entry.insert_unchecked("value", value(r));
+            m.insert_unchecked(lang, Value::Object(entry));
+        }
+        Value::Object(m)
+    }
+
+    fn aliases<R: Rng>(&self, r: &mut R) -> Value {
+        let n = sample_count(r, self.langs_per_record / 2, LANGS.len());
+        let langs = sample_subset(r, LANGS, n);
+        let mut m = Map::with_capacity(n);
+        for lang in langs {
+            let count = r.gen_range(1..=3);
+            let list: Vec<Value> = (0..count)
+                .map(|_| {
+                    let mut a = Map::with_capacity(2);
+                    a.insert_unchecked("language", lang);
+                    a.insert_unchecked("value", text::words(r, 2));
+                    Value::Object(a)
+                })
+                .collect();
+            m.insert_unchecked(lang, Value::Array(list));
+        }
+        Value::Object(m)
+    }
+
+    /// `claims` keyed by property id; values are arrays of statement
+    /// records nested 4 deep (total entity nesting reaches 6–7).
+    fn claims<R: Rng>(&self, r: &mut R, qid: &str) -> Value {
+        let n = sample_count(r, self.claims_per_record, 32);
+        let mut m = Map::with_capacity(n);
+        for _ in 0..n {
+            let pid = format!("P{}", zipf_property(r, self.property_space));
+            if m.contains_key(&pid) {
+                continue;
+            }
+            let statements = r.gen_range(1..=2);
+            let list: Vec<Value> = (0..statements)
+                .map(|k| self.statement(r, qid, &pid, k))
+                .collect();
+            m.insert_unchecked(pid, Value::Array(list));
+        }
+        Value::Object(m)
+    }
+
+    fn statement<R: Rng>(&self, r: &mut R, qid: &str, pid: &str, k: usize) -> Value {
+        let kind = snak_datavalue_kind(r);
+        let mut snak = Map::with_capacity(4);
+        snak.insert_unchecked("snaktype", "value");
+        snak.insert_unchecked("property", pid.to_string());
+        snak.insert_unchecked("datatype", kind.datatype_name());
+        snak.insert_unchecked("datavalue", self.datavalue(r, kind));
+        let mut s = Map::with_capacity(4);
+        s.insert_unchecked("mainsnak", Value::Object(snak));
+        s.insert_unchecked("type", "statement");
+        s.insert_unchecked("id", format!("{qid}${pid}-{k}"));
+        s.insert_unchecked(
+            "rank",
+            ["normal", "preferred", "deprecated"][r.gen_range(0..3)],
+        );
+        Value::Object(s)
+    }
+
+    /// The polymorphic `datavalue`: kind decides both the `datatype`
+    /// string and the shape of the nested value — another source of
+    /// per-record type variation.
+    fn datavalue<R: Rng>(&self, r: &mut R, kind: DatavalueKind) -> Value {
+        match kind {
+            DatavalueKind::Item => {
+                let mut dv = Map::with_capacity(2);
+                let mut inner = Map::with_capacity(2);
+                inner.insert_unchecked("entity-type", "item");
+                inner.insert_unchecked("numeric-id", r.gen_range(1..1_000_000i64));
+                dv.insert_unchecked("value", Value::Object(inner));
+                dv.insert_unchecked("type", "wikibase-entityid");
+                Value::Object(dv)
+            }
+            DatavalueKind::Time => {
+                let mut dv = Map::with_capacity(2);
+                let mut inner = Map::with_capacity(3);
+                inner.insert_unchecked("time", format!("+{}", text::iso_date(r)));
+                inner.insert_unchecked("precision", r.gen_range(9..=11i64));
+                inner.insert_unchecked("calendarmodel", "Q1985727");
+                dv.insert_unchecked("value", Value::Object(inner));
+                dv.insert_unchecked("type", "time");
+                Value::Object(dv)
+            }
+            DatavalueKind::Text => {
+                let mut dv = Map::with_capacity(2);
+                dv.insert_unchecked("value", text::words(r, 2));
+                dv.insert_unchecked("type", "string");
+                Value::Object(dv)
+            }
+            DatavalueKind::Quantity => {
+                let mut dv = Map::with_capacity(2);
+                let mut inner = Map::with_capacity(3);
+                inner.insert_unchecked("amount", format!("+{}", r.gen_range(1..10_000)));
+                inner.insert_unchecked("unit", "1");
+                inner.insert_unchecked("upperBound", Value::Null);
+                dv.insert_unchecked("value", Value::Object(inner));
+                dv.insert_unchecked("type", "quantity");
+                Value::Object(dv)
+            }
+        }
+    }
+
+    fn sitelinks<R: Rng>(&self, r: &mut R) -> Value {
+        let n = sample_count(r, self.sitelinks_per_record, SITES.len());
+        let sites = sample_subset(r, SITES, n);
+        let mut m = Map::with_capacity(n);
+        for site in sites {
+            let mut link = Map::with_capacity(3);
+            link.insert_unchecked("site", site);
+            link.insert_unchecked("title", text::words(r, 2));
+            link.insert_unchecked(
+                "badges",
+                Value::Array(
+                    (0..r.gen_range(0..2))
+                        .map(|_| Value::from(format!("Q{}", r.gen_range(1..100))))
+                        .collect(),
+                ),
+            );
+            m.insert_unchecked(site, Value::Object(link));
+        }
+        Value::Object(m)
+    }
+}
+
+enum DatavalueKind {
+    Item,
+    Time,
+    Text,
+    Quantity,
+}
+
+impl DatavalueKind {
+    fn datatype_name(&self) -> &'static str {
+        match self {
+            DatavalueKind::Item => "wikibase-item",
+            DatavalueKind::Time => "time",
+            DatavalueKind::Text => "string",
+            DatavalueKind::Quantity => "quantity",
+        }
+    }
+}
+
+fn snak_datavalue_kind<R: Rng>(r: &mut R) -> DatavalueKind {
+    match r.gen_range(0..4) {
+        0 => DatavalueKind::Item,
+        1 => DatavalueKind::Time,
+        2 => DatavalueKind::Text,
+        _ => DatavalueKind::Quantity,
+    }
+}
+
+/// Poisson-ish count around `mean`, clamped to `[1, max]`.
+fn sample_count<R: Rng>(r: &mut R, mean: usize, max: usize) -> usize {
+    let spread = (mean / 2).max(1);
+    let lo = mean.saturating_sub(spread).max(1);
+    let hi = (mean + spread).min(max.max(1));
+    r.gen_range(lo..=hi)
+}
+
+/// Random subset of `pool` of size `n`, preserving pool order.
+fn sample_subset<'a, R: Rng>(r: &mut R, pool: &[&'a str], n: usize) -> Vec<&'a str> {
+    let mut picked: Vec<usize> = Vec::with_capacity(n);
+    while picked.len() < n.min(pool.len()) {
+        let i = r.gen_range(0..pool.len());
+        if !picked.contains(&i) {
+            picked.push(i);
+        }
+    }
+    picked.sort_unstable();
+    picked.into_iter().map(|i| pool[i]).collect()
+}
+
+/// Zipf-like property id in `1..=space`: low ids are much more common,
+/// matching how P31/P17/P18 dominate real Wikidata.
+fn zipf_property<R: Rng>(r: &mut R, space: u64) -> u64 {
+    let u: f64 = r.gen_range(0.0f64..1.0);
+    // Inverse-CDF of a power law with exponent ≈ 1.3.
+    let x = (space as f64).powf(u.powf(1.6));
+    (x as u64).clamp(1, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn sample(n: usize) -> Vec<Value> {
+        WikidataProfile::default().generate(11, n).collect()
+    }
+
+    #[test]
+    fn ids_as_keys_vary_per_record() {
+        let records = sample(50);
+        let mut claim_key_sets = HashSet::new();
+        for v in &records {
+            let keys: Vec<String> = v
+                .get("claims")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .keys()
+                .map(str::to_owned)
+                .collect();
+            claim_key_sets.insert(keys);
+        }
+        assert!(
+            claim_key_sets.len() > 40,
+            "claim key sets should be nearly all distinct ({})",
+            claim_key_sets.len()
+        );
+    }
+
+    #[test]
+    fn property_distribution_is_heavy_tailed() {
+        let records = sample(300);
+        let mut counts: std::collections::HashMap<String, usize> = Default::default();
+        for v in &records {
+            for (k, _) in v.get("claims").unwrap().as_object().unwrap().iter() {
+                *counts.entry(k.to_string()).or_default() += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let distinct = counts.len();
+        assert!(max > 20, "a head property should dominate (max {max})");
+        assert!(
+            distinct > 100,
+            "the tail should be wide (distinct {distinct})"
+        );
+    }
+
+    #[test]
+    fn nesting_reaches_six() {
+        let deepest = sample(100).iter().map(Value::depth).max().unwrap();
+        assert!(deepest >= 6, "deepest {deepest} < 6");
+        assert!(deepest <= 8, "deepest {deepest} > 8");
+    }
+
+    #[test]
+    fn fixed_skeleton_keys() {
+        for v in sample(20) {
+            for key in [
+                "type",
+                "id",
+                "labels",
+                "descriptions",
+                "claims",
+                "sitelinks",
+            ] {
+                assert!(v.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_entries_carry_language() {
+        let v = &sample(1)[0];
+        let labels = v.get("labels").unwrap().as_object().unwrap();
+        assert!(!labels.is_empty());
+        for (lang, entry) in labels.iter() {
+            assert_eq!(entry.get("language").unwrap().as_str(), Some(lang));
+        }
+    }
+
+    #[test]
+    fn qids_are_sequential() {
+        let records = sample(3);
+        assert_eq!(records[0].get("id").unwrap().as_str(), Some("Q1"));
+        assert_eq!(records[2].get("id").unwrap().as_str(), Some("Q3"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-task and per-stage execution metrics.
+//!
+//! The paper reports per-partition object counts, distinct-type counts and
+//! processing times (Table 8); these structures carry the raw measurements
+//! out of the engine so the bench harness can print such rows.
+
+use std::time::Duration;
+
+/// Timing for one task (one partition of one stage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskMetrics {
+    /// Index of the partition the task processed.
+    pub partition: usize,
+    /// Wall-clock time the task spent executing.
+    pub duration: Duration,
+}
+
+/// Aggregated metrics for one parallel stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageMetrics {
+    /// One entry per task, in partition order.
+    pub tasks: Vec<TaskMetrics>,
+    /// Wall-clock time of the whole stage (queueing + execution).
+    pub wall: Duration,
+}
+
+impl StageMetrics {
+    /// Build from task entries and the stage wall time.
+    pub fn new(mut tasks: Vec<TaskMetrics>, wall: Duration) -> Self {
+        tasks.sort_by_key(|t| t.partition);
+        StageMetrics { tasks, wall }
+    }
+
+    /// Sum of per-task durations (total CPU-side work).
+    pub fn total_task_time(&self) -> Duration {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// The longest task — the straggler that bounds the stage.
+    pub fn max_task_time(&self) -> Duration {
+        self.tasks
+            .iter()
+            .map(|t| t.duration)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Parallel speedup actually achieved: total task time / wall time.
+    /// 1.0 means fully sequential; `workers` means perfect scaling.
+    pub fn effective_parallelism(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            return 1.0;
+        }
+        self.total_task_time().as_secs_f64() / wall
+    }
+
+    /// Merge another stage's metrics into this one (multi-stage
+    /// pipelines). Partition indices are kept as-is.
+    pub fn merge(&mut self, other: &StageMetrics) {
+        self.tasks.extend(other.tasks.iter().cloned());
+        self.wall += other.wall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(partition: usize, millis: u64) -> TaskMetrics {
+        TaskMetrics {
+            partition,
+            duration: Duration::from_millis(millis),
+        }
+    }
+
+    #[test]
+    fn totals_and_max() {
+        let m = StageMetrics::new(
+            vec![task(1, 30), task(0, 10), task(2, 20)],
+            Duration::from_millis(35),
+        );
+        assert_eq!(m.tasks[0].partition, 0, "sorted by partition");
+        assert_eq!(m.total_task_time(), Duration::from_millis(60));
+        assert_eq!(m.max_task_time(), Duration::from_millis(30));
+        let p = m.effective_parallelism();
+        assert!((p - 60.0 / 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stage() {
+        let m = StageMetrics::default();
+        assert_eq!(m.total_task_time(), Duration::ZERO);
+        assert_eq!(m.max_task_time(), Duration::ZERO);
+        assert_eq!(m.effective_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = StageMetrics::new(vec![task(0, 5)], Duration::from_millis(5));
+        let b = StageMetrics::new(vec![task(1, 7)], Duration::from_millis(7));
+        a.merge(&b);
+        assert_eq!(a.tasks.len(), 2);
+        assert_eq!(a.wall, Duration::from_millis(12));
+    }
+}

@@ -1,0 +1,209 @@
+//! Combine topologies for the Reduce phase.
+//!
+//! With an associative operator every topology yields the same result
+//! (Theorem 5.5 is exactly what licenses this); they differ only in
+//! wall-clock behaviour:
+//!
+//! * [`ReducePlan::Sequential`] — fold the partials left to right on the
+//!   driver, like Spark's `reduce` action collecting to the driver.
+//! * [`ReducePlan::Tree`] — combine in parallel rounds of arity `k`, like
+//!   Spark's `treeReduce`. With many per-partition partials this keeps
+//!   the driver from becoming the bottleneck.
+//!
+//! The `reduce_topology` ablation bench measures the difference on real
+//! fused types.
+
+use crate::runtime::Runtime;
+
+/// How partial results are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReducePlan {
+    /// Left fold on the calling thread.
+    Sequential,
+    /// Parallel rounds; each round combines groups of `arity` partials.
+    Tree {
+        /// Group size per round (values < 2 are clamped to 2).
+        arity: usize,
+    },
+}
+
+impl Default for ReducePlan {
+    fn default() -> Self {
+        ReducePlan::Tree { arity: 2 }
+    }
+}
+
+impl ReducePlan {
+    /// Combine the partials with the associative `op` according to this
+    /// plan. Partials keep their left-to-right order within every group,
+    /// so the plan is order-correct even for non-commutative associative
+    /// operators. Returns `None` on empty input.
+    pub fn combine<A, F>(self, rt: &Runtime, partials: Vec<A>, op: F) -> Option<A>
+    where
+        A: Send + Sync + Clone,
+        F: Fn(&A, &A) -> A + Sync,
+    {
+        match self {
+            ReducePlan::Sequential => {
+                let mut iter = partials.into_iter();
+                let first = iter.next()?;
+                Some(iter.fold(first, |acc, x| op(&acc, &x)))
+            }
+            ReducePlan::Tree { arity } => {
+                let arity = arity.max(2);
+                let mut partials = partials;
+                if partials.is_empty() {
+                    return None;
+                }
+                while partials.len() > 1 {
+                    let groups: Vec<Vec<A>> = {
+                        let mut gs = Vec::new();
+                        let mut it = partials.into_iter().peekable();
+                        while it.peek().is_some() {
+                            gs.push(it.by_ref().take(arity).collect());
+                        }
+                        gs
+                    };
+                    let (combined, _) = rt.run_indexed(&groups, |_, group: &Vec<A>| {
+                        let mut acc = group[0].clone();
+                        for item in &group[1..] {
+                            acc = op(&acc, item);
+                        }
+                        acc
+                    });
+                    partials = combined;
+                }
+                partials.pop()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fold() {
+        let rt = Runtime::sequential();
+        let r = ReducePlan::Sequential.combine(&rt, vec![1, 2, 3, 4], |a, b| a + b);
+        assert_eq!(r, Some(10));
+    }
+
+    #[test]
+    fn tree_matches_sequential_for_associative_ops() {
+        let rt = Runtime::new(4);
+        let partials: Vec<u64> = (1..=100).collect();
+        let seq = ReducePlan::Sequential.combine(&rt, partials.clone(), |a, b| a + b);
+        for arity in [2, 3, 4, 8, 100] {
+            let tree = ReducePlan::Tree { arity }.combine(&rt, partials.clone(), |a, b| a + b);
+            assert_eq!(tree, seq, "arity {arity}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let rt = Runtime::new(2);
+        assert_eq!(
+            ReducePlan::default().combine(&rt, Vec::<u32>::new(), |a, b| a + b),
+            None
+        );
+        assert_eq!(
+            ReducePlan::default().combine(&rt, vec![7u32], |a, b| a + b),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn arity_is_clamped() {
+        let rt = Runtime::new(2);
+        let r = ReducePlan::Tree { arity: 0 }.combine(&rt, vec![1, 2, 3], |a, b| a + b);
+        assert_eq!(r, Some(6));
+    }
+
+    #[test]
+    fn string_concat_respects_group_order() {
+        // Concatenation is associative but not commutative: tree reduce
+        // must preserve the left-to-right order of partials.
+        let rt = Runtime::new(4);
+        let parts: Vec<String> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = ReducePlan::Tree { arity: 2 }.combine(&rt, parts, |a, b| format!("{a}{b}"));
+        assert_eq!(out.as_deref(), Some("abcde"));
+    }
+
+    #[test]
+    fn deep_tree_with_many_partials() {
+        let rt = Runtime::new(8);
+        let partials: Vec<u64> = vec![1; 10_000];
+        let r = ReducePlan::Tree { arity: 2 }.combine(&rt, partials, |a, b| a + b);
+        assert_eq!(r, Some(10_000));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Every topology computes the same result for an associative,
+        // non-commutative operator (string concat), over any partials.
+        #[test]
+        fn all_plans_agree(
+            partials in prop::collection::vec("[a-c]{0,3}", 0..40),
+            arity in 0usize..10,
+        ) {
+            let rt = Runtime::new(3);
+            let seq = ReducePlan::Sequential.combine(
+                &rt,
+                partials.clone(),
+                |a: &String, b: &String| format!("{a}{b}"),
+            );
+            let tree = ReducePlan::Tree { arity }.combine(
+                &rt,
+                partials.clone(),
+                |a: &String, b: &String| format!("{a}{b}"),
+            );
+            prop_assert_eq!(&tree, &seq);
+            prop_assert_eq!(seq, (!partials.is_empty()).then(|| partials.concat()));
+        }
+
+        // Dataset::reduce is invariant under the partition count.
+        #[test]
+        fn dataset_reduce_is_partition_invariant(
+            items in prop::collection::vec(0u64..1000, 0..60),
+            parts in 1usize..12,
+        ) {
+            let rt = Runtime::new(4);
+            let expected = items.iter().copied().reduce(u64::wrapping_add);
+            let d = crate::Dataset::from_vec(items, parts);
+            let got = d.reduce(&rt, ReducePlan::default(), |a, b| a.wrapping_add(*b));
+            prop_assert_eq!(got, expected);
+        }
+
+        // aggregate == map-then-reduce for a homomorphic accumulator.
+        #[test]
+        fn aggregate_matches_map_reduce(
+            items in prop::collection::vec("[a-z]{0,5}", 1..40),
+            parts in 1usize..6,
+        ) {
+            let rt = Runtime::new(2);
+            let d = crate::Dataset::from_vec(items, parts);
+            let via_aggregate = d.aggregate(
+                &rt,
+                ReducePlan::default(),
+                || 0usize,
+                |acc, s| acc + s.len(),
+                |a, b| a + b,
+            );
+            let via_map = d
+                .map(&rt, |s| s.len())
+                .reduce(&rt, ReducePlan::default(), |a, b| a + b)
+                .unwrap_or(0);
+            prop_assert_eq!(via_aggregate, via_map);
+        }
+    }
+}

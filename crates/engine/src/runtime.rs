@@ -1,0 +1,216 @@
+//! The thread-pool runtime: a fixed set of workers fed from a shared
+//! index queue.
+//!
+//! Each parallel operation runs inside [`std::thread::scope`], so task
+//! closures may borrow the caller's data — no `Arc` plumbing, no
+//! `'static` bounds, no unsafe. The queue is a `crossbeam_channel`
+//! multi-consumer channel: workers pull partition indices until it
+//! drains, which gives natural load balancing when partitions are
+//! skewed (the NYTimes profile produces very uneven record sizes).
+
+use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+use crate::metrics::{StageMetrics, TaskMetrics};
+
+/// A parallel execution context with a fixed worker count.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    workers: usize,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new(available_workers())
+    }
+}
+
+/// Number of workers used by [`Runtime::default`]: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl Runtime {
+    /// A runtime with exactly `workers` worker threads (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        Runtime {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-threaded runtime, for baselines and deterministic tests.
+    pub fn sequential() -> Self {
+        Runtime { workers: 1 }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `task(i, &items[i])` for every index in parallel and collect
+    /// the results in input order, together with per-task metrics.
+    ///
+    /// `task` is shared by all workers, hence `Fn + Sync`.
+    pub fn run_indexed<T, R, F>(&self, items: &[T], task: F) -> (Vec<R>, StageMetrics)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let stage_start = Instant::now();
+        let n = items.len();
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let mut task_metrics: Vec<TaskMetrics> = Vec::new();
+
+        if n == 0 {
+            return (
+                Vec::new(),
+                StageMetrics::new(Vec::new(), stage_start.elapsed()),
+            );
+        }
+
+        if self.workers == 1 || n == 1 {
+            // Fast path: no threads, no channels.
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.iter().enumerate() {
+                let t0 = Instant::now();
+                out.push(task(i, item));
+                task_metrics.push(TaskMetrics {
+                    partition: i,
+                    duration: t0.elapsed(),
+                });
+            }
+            return (out, StageMetrics::new(task_metrics, stage_start.elapsed()));
+        }
+
+        let (tx, rx) = unbounded::<usize>();
+        for i in 0..n {
+            tx.send(i).expect("queue is open");
+        }
+        drop(tx);
+
+        let slots: Vec<Mutex<(Option<R>, Duration)>> =
+            (0..n).map(|_| Mutex::new((None, Duration::ZERO))).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                let rx = rx.clone();
+                let slots = &slots;
+                let task = &task;
+                scope.spawn(move || {
+                    while let Ok(i) = rx.recv() {
+                        let t0 = Instant::now();
+                        let r = task(i, &items[i]);
+                        *slots[i].lock() = (Some(r), t0.elapsed());
+                    }
+                });
+            }
+        });
+
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (r, duration) = slot.into_inner();
+            results[i] = r;
+            task_metrics.push(TaskMetrics {
+                partition: i,
+                duration,
+            });
+        }
+        let out: Vec<R> = results
+            .into_iter()
+            .map(|r| r.expect("every task ran to completion"))
+            .collect();
+        (out, StageMetrics::new(task_metrics, stage_start.elapsed()))
+    }
+
+    /// Run a plain parallel map over the items, discarding metrics.
+    pub fn map_slice<T, R, F>(&self, items: &[T], task: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.run_indexed(items, |_, item| task(item)).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order() {
+        let rt = Runtime::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let (out, _) = rt.run_indexed(&items, |_, &x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let rt = Runtime::new(8);
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..1000).collect();
+        let (out, metrics) = rt.run_indexed(&items, |i, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+        assert_eq!(metrics.tasks.len(), 1000);
+    }
+
+    #[test]
+    fn sequential_runtime_has_one_worker() {
+        assert_eq!(Runtime::sequential().workers(), 1);
+        assert_eq!(Runtime::new(0).workers(), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn empty_input() {
+        let rt = Runtime::new(4);
+        let (out, metrics) = rt.run_indexed(&Vec::<u8>::new(), |_, &x| x);
+        assert!(out.is_empty());
+        assert!(metrics.tasks.is_empty());
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let rt = Runtime::new(3);
+        let shared = [10, 20, 30];
+        let items = vec![0usize, 1, 2];
+        let (out, _) = rt.run_indexed(&items, |_, &i| shared[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let items: Vec<u64> = (0..500).collect();
+        let seq = Runtime::sequential().map_slice(&items, |&x| x * x);
+        let par = Runtime::new(7).map_slice(&items, |&x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn metrics_cover_all_partitions() {
+        let rt = Runtime::new(4);
+        let items = vec![1u32; 16];
+        let (_, metrics) = rt.run_indexed(&items, |_, &x| x);
+        let mut parts: Vec<usize> = metrics.tasks.iter().map(|t| t.partition).collect();
+        parts.sort_unstable();
+        assert_eq!(parts, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        assert_eq!(Runtime::default().workers(), available_workers());
+        assert!(available_workers() >= 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! The locality-aware list scheduler and cost model.
+//!
+//! Time is simulated. Two resources matter:
+//!
+//! * **cores** — each node has `cores_per_node` of them; a task occupies
+//!   one from claim to completion;
+//! * **disks** — each node has one serialized read channel. Every task
+//!   must stream its block from the disk of the replica node it reads
+//!   from, so many tasks reading from the *same* node's disk queue up
+//!   behind each other. This is the mechanism behind the paper's Table 7
+//!   observation: with all HDFS blocks on one node, that node's disk
+//!   feeds the whole cluster and most of the cluster idles.
+//!
+//! The scheduler repeatedly takes the earliest-free core (ties broken by
+//! core index then node, which spreads the first wave across nodes the
+//! way Spark's round-robin task assignment does) and hands it a pending
+//! task, preferring local blocks. Under [`LocalityPolicy::Strict`] a core
+//! never takes a non-local task. Everything is deterministic.
+
+use super::cluster::{Block, ClusterSpec, LocalityPolicy};
+use super::report::{SimReport, SimTask};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulated job: blocks to process and the CPU cost per record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The input blocks (one task each).
+    pub blocks: Vec<Block>,
+    /// CPU seconds to infer-and-fuse one record. Calibrate from a real
+    /// local measurement (the bench harness does) or use a nominal value.
+    pub cpu_secs_per_record: f64,
+}
+
+/// Total-ordering key for the core heap: `(next_free_time, core, node)` —
+/// the `core`-before-`node` tie-break makes simultaneous waves fan out
+/// across nodes instead of piling onto node 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CoreSlot {
+    free_at: f64,
+    core: usize,
+    node: usize,
+}
+
+impl Eq for CoreSlot {}
+
+impl PartialOrd for CoreSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CoreSlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.free_at
+            .total_cmp(&other.free_at)
+            .then(self.core.cmp(&other.core))
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+/// Run the simulation, returning the full schedule.
+pub fn simulate(spec: &ClusterSpec, workload: &Workload) -> SimReport {
+    let mut pending: Vec<bool> = vec![true; workload.blocks.len()];
+    let mut remaining = workload.blocks.len();
+    let mut node_busy = vec![0.0f64; spec.nodes];
+    let mut disk_free = vec![0.0f64; spec.nodes];
+    let mut tasks: Vec<SimTask> = Vec::with_capacity(workload.blocks.len());
+
+    let mut heap: BinaryHeap<Reverse<CoreSlot>> = (0..spec.nodes)
+        .flat_map(|node| {
+            (0..spec.cores_per_node).map(move |core| {
+                Reverse(CoreSlot {
+                    free_at: 0.0,
+                    core,
+                    node,
+                })
+            })
+        })
+        .collect();
+
+    while remaining > 0 {
+        let slot = match heap.pop() {
+            Some(Reverse(slot)) => slot,
+            // All cores parked: under Strict locality some blocks have no
+            // replica on any live node; they stay unscheduled.
+            None => break,
+        };
+
+        // Choose a task: first pending block local to this node; under
+        // the relaxed policy fall back to the first pending block.
+        let local_choice = workload
+            .blocks
+            .iter()
+            .find(|b| pending[b.id] && b.replicas.contains(&slot.node))
+            .map(|b| b.id);
+        let choice = match (local_choice, spec.locality) {
+            (Some(id), _) => Some(id),
+            (None, LocalityPolicy::Relaxed) => {
+                workload.blocks.iter().find(|b| pending[b.id]).map(|b| b.id)
+            }
+            (None, LocalityPolicy::Strict) => None,
+        };
+
+        let Some(id) = choice else {
+            // This core can never run anything again under Strict
+            // locality: park it by dropping it from the heap.
+            continue;
+        };
+
+        let block = &workload.blocks[id];
+        let local = block.replicas.contains(&slot.node);
+        // Local reads come from this node's own disk; remote reads stream
+        // from the first replica's disk over the network.
+        let source = if local { slot.node } else { block.replicas[0] };
+        let rate = if local {
+            spec.disk_bytes_per_sec
+        } else {
+            spec.network_bytes_per_sec.min(spec.disk_bytes_per_sec)
+        };
+        let read_secs = block.size_bytes as f64 / rate.max(1.0);
+        let cpu_secs = block.records as f64 * workload.cpu_secs_per_record;
+
+        let claim = slot.free_at;
+        let read_start = if source < disk_free.len() {
+            claim.max(disk_free[source])
+        } else {
+            claim
+        };
+        let read_end = read_start + read_secs;
+        if source < disk_free.len() {
+            disk_free[source] = read_end;
+        }
+        let end = read_end + cpu_secs;
+
+        pending[id] = false;
+        remaining -= 1;
+        node_busy[slot.node] += end - claim;
+        tasks.push(SimTask {
+            block: id,
+            node: slot.node,
+            start: claim,
+            end,
+            local,
+        });
+        heap.push(Reverse(CoreSlot {
+            free_at: end,
+            ..slot
+        }));
+    }
+
+    let makespan = tasks.iter().map(|t| t.end).fold(0.0, f64::max);
+    tasks.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.block.cmp(&b.block)));
+    SimReport {
+        makespan,
+        node_busy,
+        cores_per_node: spec.cores_per_node,
+        tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::cluster::Placement;
+
+    const BLOCK: u64 = 128 * 1024 * 1024;
+    const RECORDS: u64 = 100_000;
+
+    fn uniform_blocks(n: usize, placement: Placement, nodes: usize) -> Vec<Block> {
+        placement.place(&vec![(BLOCK, RECORDS); n], nodes)
+    }
+
+    fn spec(locality: LocalityPolicy) -> ClusterSpec {
+        ClusterSpec {
+            locality,
+            ..ClusterSpec::default()
+        }
+    }
+
+    fn one_task_secs() -> f64 {
+        BLOCK as f64 / 150.0e6 + RECORDS as f64 * 10e-6
+    }
+
+    #[test]
+    fn single_node_placement_idles_the_rest_of_the_cluster() {
+        // The Table 7 phenomenon: all blocks on node 0 (replication 2 →
+        // nodes 0 and 1), strict locality ⇒ 4 of 6 nodes idle.
+        let blocks = uniform_blocks(
+            24,
+            Placement::SingleNode {
+                node: 0,
+                replication: 2,
+            },
+            6,
+        );
+        let report = simulate(
+            &spec(LocalityPolicy::Strict),
+            &Workload {
+                blocks,
+                cpu_secs_per_record: 10e-6,
+            },
+        );
+        assert_eq!(report.busy_nodes(), 2);
+        assert_eq!(report.idle_nodes(), 4);
+        assert_eq!(report.local_tasks(), 24);
+    }
+
+    #[test]
+    fn round_robin_placement_uses_every_node() {
+        let blocks = uniform_blocks(24, Placement::RoundRobin { replication: 2 }, 6);
+        let report = simulate(
+            &spec(LocalityPolicy::Strict),
+            &Workload {
+                blocks,
+                cpu_secs_per_record: 10e-6,
+            },
+        );
+        assert_eq!(report.busy_nodes(), 6);
+        assert_eq!(report.idle_nodes(), 0);
+    }
+
+    #[test]
+    fn balanced_placement_is_faster() {
+        let single = uniform_blocks(
+            24,
+            Placement::SingleNode {
+                node: 0,
+                replication: 2,
+            },
+            6,
+        );
+        let spread = uniform_blocks(24, Placement::RoundRobin { replication: 2 }, 6);
+        let w = |blocks| Workload {
+            blocks,
+            cpu_secs_per_record: 10e-6,
+        };
+        let t_single = simulate(&spec(LocalityPolicy::Strict), &w(single)).makespan;
+        let t_spread = simulate(&spec(LocalityPolicy::Strict), &w(spread)).makespan;
+        assert!(
+            t_spread < t_single / 2.0,
+            "spread {t_spread} should be well under half of {t_single}"
+        );
+    }
+
+    #[test]
+    fn disk_serialization_bounds_single_node_makespan() {
+        // 24 blocks readable only from node 0's disk: the disk streams
+        // them one at a time, so makespan ≥ 24 · read_time.
+        let blocks = uniform_blocks(
+            24,
+            Placement::SingleNode {
+                node: 0,
+                replication: 1,
+            },
+            6,
+        );
+        let report = simulate(
+            &spec(LocalityPolicy::Strict),
+            &Workload {
+                blocks,
+                cpu_secs_per_record: 10e-6,
+            },
+        );
+        let read = BLOCK as f64 / 150.0e6;
+        assert!(report.makespan >= 24.0 * read);
+        assert_eq!(report.busy_nodes(), 1);
+    }
+
+    #[test]
+    fn relaxed_policy_uses_idle_nodes_via_network() {
+        let blocks = uniform_blocks(
+            120,
+            Placement::SingleNode {
+                node: 0,
+                replication: 1,
+            },
+            6,
+        );
+        let report = simulate(
+            &spec(LocalityPolicy::Relaxed),
+            &Workload {
+                blocks,
+                cpu_secs_per_record: 10e-6,
+            },
+        );
+        assert_eq!(report.busy_nodes(), 6);
+        assert!(report.remote_tasks() > 0);
+        // Queueing behind node 0's disk makes some tasks much slower than
+        // an uncontended local run.
+        assert!(report
+            .tasks
+            .iter()
+            .any(|t| (t.end - t.start) > one_task_secs() * 1.05));
+    }
+
+    #[test]
+    fn makespan_bounds_uncontended() {
+        // One block per node, perfectly placed: makespan ≈ one task time.
+        let blocks = uniform_blocks(6, Placement::RoundRobin { replication: 1 }, 6);
+        let report = simulate(
+            &spec(LocalityPolicy::Strict),
+            &Workload {
+                blocks,
+                cpu_secs_per_record: 10e-6,
+            },
+        );
+        assert!((report.makespan - one_task_secs()).abs() < 1e-6);
+        assert!(report.utilization() > 0.0);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let report = simulate(
+            &ClusterSpec::default(),
+            &Workload {
+                blocks: vec![],
+                cpu_secs_per_record: 1e-6,
+            },
+        );
+        assert_eq!(report.makespan, 0.0);
+        assert!(report.tasks.is_empty());
+    }
+
+    #[test]
+    fn determinism() {
+        let blocks = uniform_blocks(17, Placement::RoundRobin { replication: 2 }, 6);
+        let w = Workload {
+            blocks,
+            cpu_secs_per_record: 7e-6,
+        };
+        let a = simulate(&ClusterSpec::default(), &w);
+        let b = simulate(&ClusterSpec::default(), &w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_block_sizes_straggle() {
+        // One huge block dominates the makespan.
+        let mut payloads = vec![(1_000_000u64, 1_000u64); 11];
+        payloads.push((3_000_000_000, 3_000_000));
+        let blocks = Placement::RoundRobin { replication: 1 }.place(&payloads, 6);
+        let report = simulate(
+            &spec(LocalityPolicy::Strict),
+            &Workload {
+                blocks,
+                cpu_secs_per_record: 1e-6,
+            },
+        );
+        let huge = 3.0e9 / 150.0e6 + 3.0e6 * 1e-6;
+        assert!(
+            (report.makespan - huge).abs() < 0.5,
+            "makespan {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn unplaceable_blocks_are_skipped_under_strict() {
+        // A replica list pointing at a nonexistent node: strict locality
+        // cannot schedule it; the simulation terminates with the block
+        // unprocessed rather than hanging.
+        let blocks = vec![Block {
+            id: 0,
+            size_bytes: 1,
+            records: 1,
+            replicas: vec![99],
+        }];
+        let report = simulate(
+            &spec(LocalityPolicy::Strict),
+            &Workload {
+                blocks,
+                cpu_secs_per_record: 1e-6,
+            },
+        );
+        assert!(report.tasks.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Statistics-enriched schemas (the Section 7 future-work item: "we plan
+//! to enrich schemas with statistical … information about the input
+//! data").
+//!
+//! A [`CountingFuser`] maintains, next to the fused schema, a presence
+//! count for every *record path* seen in the data. A path is written
+//! `$.headline.main` for nested fields and `$.keywords[].rank` for fields
+//! inside arrays. The resulting [`CountedSchema`] tells the user not just
+//! that a field is optional, but *how* optional — e.g. that
+//! `$.delete` appears in 0.1% of tweets, immediately exposing the
+//! tweet/delete split of the Twitter dataset.
+
+use crate::incremental::Incremental;
+use std::collections::HashMap;
+use typefuse_json::Value;
+use typefuse_types::Type;
+
+/// A fused schema together with per-path presence statistics.
+#[derive(Debug, Clone)]
+pub struct CountedSchema {
+    /// The fused type.
+    pub schema: Type,
+    /// Total number of top-level values absorbed.
+    pub total: u64,
+    /// For each record path, in how many absorbed values it occurred at
+    /// least once.
+    pub path_counts: HashMap<String, u64>,
+}
+
+/// One row of [`CountedSchema::rows`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountedField {
+    /// The path, e.g. `$.headline.main`.
+    pub path: String,
+    /// In how many values the path occurred.
+    pub count: u64,
+    /// `count / total`.
+    pub ratio: f64,
+}
+
+impl CountedSchema {
+    /// The statistics as sorted rows (by descending count, then path).
+    pub fn rows(&self) -> Vec<CountedField> {
+        let mut rows: Vec<CountedField> = self
+            .path_counts
+            .iter()
+            .map(|(path, &count)| CountedField {
+                path: path.clone(),
+                count,
+                ratio: if self.total == 0 {
+                    0.0
+                } else {
+                    count as f64 / self.total as f64
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.path.cmp(&b.path)));
+        rows
+    }
+
+    /// Paths that occurred in every value — the "always selectable" fields
+    /// the paper's property (iii) highlights.
+    pub fn mandatory_paths(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .path_counts
+            .iter()
+            .filter(|&(_, &c)| c == self.total && self.total > 0)
+            .map(|(p, _)| p.as_str())
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Accumulates a fused schema plus path statistics over a value stream.
+#[derive(Debug, Clone, Default)]
+pub struct CountingFuser {
+    inner: Incremental,
+    path_counts: HashMap<String, u64>,
+}
+
+impl CountingFuser {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one value: fuse its type and count its paths.
+    pub fn absorb(&mut self, value: &Value) {
+        self.inner.absorb(value);
+        let mut seen = Vec::new();
+        collect_paths(value, "$", &mut seen);
+        seen.sort_unstable();
+        seen.dedup();
+        for path in seen {
+            *self.path_counts.entry(path).or_insert(0) += 1;
+        }
+    }
+
+    /// Merge another accumulator (partition-wise processing).
+    pub fn merge(&mut self, other: &CountingFuser) {
+        self.inner.merge(&other.inner);
+        for (path, count) in &other.path_counts {
+            *self.path_counts.entry(path.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// Number of values absorbed.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Finish, producing the schema + statistics.
+    pub fn finish(self) -> CountedSchema {
+        CountedSchema {
+            total: self.inner.count(),
+            schema: self.inner.into_schema(),
+            path_counts: self.path_counts,
+        }
+    }
+}
+
+/// Collect every record path present in the value. Each path is recorded
+/// once per value (deduplicated by the caller) so counts read as
+/// "fraction of records containing this path".
+fn collect_paths(value: &Value, prefix: &str, out: &mut Vec<String>) {
+    match value {
+        Value::Object(map) => {
+            for (key, child) in map.iter() {
+                let path = format!("{prefix}.{key}");
+                collect_paths(child, &path, out);
+                out.push(path);
+            }
+        }
+        Value::Array(elems) => {
+            let path = format!("{prefix}[]");
+            for child in elems {
+                collect_paths(child, &path, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typefuse_json::json;
+
+    #[test]
+    fn counts_top_level_fields() {
+        let mut cf = CountingFuser::new();
+        cf.absorb(&json!({"a": 1, "b": "x"}));
+        cf.absorb(&json!({"a": 2}));
+        cf.absorb(&json!({"a": 3}));
+        let cs = cf.finish();
+        assert_eq!(cs.total, 3);
+        assert_eq!(cs.path_counts["$.a"], 3);
+        assert_eq!(cs.path_counts["$.b"], 1);
+        assert_eq!(cs.mandatory_paths(), vec!["$.a"]);
+        assert_eq!(cs.schema.to_string(), "{a: Num, b: Str?}");
+    }
+
+    #[test]
+    fn nested_and_array_paths() {
+        let mut cf = CountingFuser::new();
+        cf.absorb(&json!({"h": {"main": "x"}, "kw": [{"rank": 1}, {"rank": 2}]}));
+        let cs = cf.finish();
+        assert_eq!(cs.path_counts["$.h.main"], 1);
+        assert_eq!(
+            cs.path_counts["$.kw[].rank"], 1,
+            "array paths dedup per record"
+        );
+        assert_eq!(cs.path_counts["$.kw"], 1);
+    }
+
+    #[test]
+    fn rows_are_sorted_by_count_then_path() {
+        let mut cf = CountingFuser::new();
+        cf.absorb(&json!({"a": 1, "z": 1}));
+        cf.absorb(&json!({"a": 1}));
+        let rows = cf.finish().rows();
+        assert_eq!(rows[0].path, "$.a");
+        assert_eq!(rows[0].count, 2);
+        assert!((rows[0].ratio - 1.0).abs() < 1e-12);
+        assert_eq!(rows[1].path, "$.z");
+        assert!((rows[1].ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_fuses_schema() {
+        let mut p1 = CountingFuser::new();
+        p1.absorb(&json!({"a": 1}));
+        let mut p2 = CountingFuser::new();
+        p2.absorb(&json!({"a": "x", "b": null}));
+
+        let mut merged = p1.clone();
+        merged.merge(&p2);
+        let cs = merged.finish();
+        assert_eq!(cs.total, 2);
+        assert_eq!(cs.path_counts["$.a"], 2);
+        assert_eq!(cs.path_counts["$.b"], 1);
+        assert_eq!(cs.schema.to_string(), "{a: Num + Str, b: Null?}");
+    }
+
+    #[test]
+    fn scalar_stream_has_no_paths() {
+        let mut cf = CountingFuser::new();
+        cf.absorb(&json!(1));
+        cf.absorb(&json!("x"));
+        let cs = cf.finish();
+        assert!(cs.path_counts.is_empty());
+        assert_eq!(cs.schema.to_string(), "Num + Str");
+        assert!(cs.mandatory_paths().is_empty());
+        assert!(cs.rows().is_empty());
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let cs = CountingFuser::new().finish();
+        assert_eq!(cs.total, 0);
+        assert!(cs.mandatory_paths().is_empty());
+    }
+}

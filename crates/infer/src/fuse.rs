@@ -1,0 +1,409 @@
+//! The Reduce phase: type fusion (Figure 6).
+//!
+//! `Fuse(T₁, T₂)` partitions the addends of both (possibly-union) inputs
+//! by kind. Addends whose kind appears on both sides (`KMatch`) are merged
+//! with `LFuse`; the rest (`KUnmatch`) pass through unchanged; the results
+//! are re-assembled into a union with `⊕`. Because the inputs are normal
+//! (each kind at most once per union), the partition is a six-slot table.
+//!
+//! `LFuse` on two same-kind non-union types:
+//!
+//! * **basic** — they are identical (equal kind ⟹ equal basic type);
+//!   return either (line 2);
+//! * **record** — merge-join the two sorted field lists: matched keys are
+//!   fused recursively, with the `min(m, n)` cardinality rule (`? < 1`, so
+//!   a field is mandatory only if mandatory on both sides); unmatched keys
+//!   become optional (line 3);
+//! * **array** — both sides are first brought to starred form with
+//!   [`collapse`], then the bodies are fused and re-starred (lines 4–7).
+//!
+//! **Documented deviation from Figure 6.** Line 3 writes
+//! `l : LFuse(T₁, T₂)` for matched fields, but a matched field's type can
+//! be a *union* after an earlier fusion (e.g. `{A: Str + Null}`), for
+//! which `LFuse` is undefined. We call [`fuse`] on matched field types;
+//! on the non-union same-kind case `fuse` reduces to a single `LFuse`
+//! call, so the behaviour on all of the paper's examples is unchanged.
+
+use typefuse_types::{ArrayType, Field, RecordType, Type, TypeKind};
+
+/// How array types are fused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrayFusion {
+    /// The paper's strategy (Section 2): always simplify `[T₁,…,Tₙ]` to
+    /// the starred form `[(T₁+…+Tₙ)*]` before fusing. Trades positional
+    /// precision for succinctness and order-insensitivity.
+    #[default]
+    Collapse,
+    /// Ablation variant: keep positional array types when both sides have
+    /// the same length, fusing element-wise; fall back to collapsing
+    /// otherwise. More precise, potentially much larger output — the
+    /// `ablation` bench quantifies the trade-off the paper discusses
+    /// ("we trade some precision for succinctness").
+    PositionalWhenAligned,
+}
+
+/// Configuration for [`fuse_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FuseConfig {
+    /// Array strategy; defaults to the paper's [`ArrayFusion::Collapse`].
+    pub array_fusion: ArrayFusion,
+}
+
+/// `Fuse(T₁, T₂)` with the paper's configuration.
+///
+/// ```
+/// use typefuse_infer::fuse;
+/// use typefuse_types::parse_type;
+///
+/// let t1 = parse_type("{A: Str, B: Num}").unwrap();
+/// let t2 = parse_type("{B: Bool, C: Str}").unwrap();
+/// assert_eq!(fuse(&t1, &t2).to_string(), "{A: Str?, B: Bool + Num, C: Str?}");
+/// ```
+pub fn fuse(t1: &Type, t2: &Type) -> Type {
+    fuse_with(FuseConfig::default(), t1, t2)
+}
+
+/// `Fuse(T₁, T₂)` with an explicit [`FuseConfig`].
+pub fn fuse_with(cfg: FuseConfig, t1: &Type, t2: &Type) -> Type {
+    // KMatch / KUnmatch via a kind-indexed table: normality guarantees at
+    // most one addend per kind on each side.
+    let mut slots: [Option<Type>; 6] = Default::default();
+    for addend in t1.addends().iter().chain(t2.addends()) {
+        let k = addend.kind().expect("union addends are kinded") as usize;
+        slots[k] = Some(match slots[k].take() {
+            None => addend.clone(),
+            Some(prev) => lfuse(cfg, &prev, addend),
+        });
+    }
+    Type::union(slots.into_iter().flatten()).expect("one addend per kind by construction")
+}
+
+/// Fold [`fuse`] over a collection of types: the whole Reduce phase on one
+/// thread. Returns `ε` for an empty input (the identity of `Fuse`).
+pub fn fuse_all<'a>(types: impl IntoIterator<Item = &'a Type>) -> Type {
+    types.into_iter().fold(Type::Bottom, |acc, t| fuse(&acc, t))
+}
+
+/// `LFuse` — both arguments are non-union types of the same kind.
+fn lfuse(cfg: FuseConfig, t1: &Type, t2: &Type) -> Type {
+    debug_assert_eq!(t1.kind(), t2.kind(), "LFuse requires matching kinds");
+    match (t1, t2) {
+        // Line 2: identical basic types.
+        (Type::Null, Type::Null)
+        | (Type::Bool, Type::Bool)
+        | (Type::Num, Type::Num)
+        | (Type::Str, Type::Str) => t1.clone(),
+
+        // Line 3: record fusion.
+        (Type::Record(r1), Type::Record(r2)) => lfuse_records(cfg, r1, r2),
+
+        // Lines 4–7: array fusion through collapse.
+        (Type::Array(a1), Type::Array(a2)) => match cfg.array_fusion {
+            ArrayFusion::Collapse => Type::star(fuse_with(
+                cfg,
+                &collapse_with(cfg, a1),
+                &collapse_with(cfg, a2),
+            )),
+            ArrayFusion::PositionalWhenAligned if a1.len() == a2.len() => {
+                let elems = a1
+                    .elems()
+                    .iter()
+                    .zip(a2.elems())
+                    .map(|(x, y)| fuse_with(cfg, x, y))
+                    .collect();
+                Type::Array(ArrayType::new(elems))
+            }
+            ArrayFusion::PositionalWhenAligned => Type::star(fuse_with(
+                cfg,
+                &collapse_with(cfg, a1),
+                &collapse_with(cfg, a2),
+            )),
+        },
+        (Type::Star(body), Type::Array(a)) => {
+            Type::star(fuse_with(cfg, body, &collapse_with(cfg, a)))
+        }
+        (Type::Array(a), Type::Star(body)) => {
+            Type::star(fuse_with(cfg, &collapse_with(cfg, a), body))
+        }
+        (Type::Star(b1), Type::Star(b2)) => Type::star(fuse_with(cfg, b1, b2)),
+
+        _ => unreachable!("lfuse on mismatched kinds: {t1} vs {t2}"),
+    }
+}
+
+/// Record fusion: a merge-join over the two sorted field lists.
+fn lfuse_records(cfg: FuseConfig, r1: &RecordType, r2: &RecordType) -> Type {
+    let (f1s, f2s) = (r1.fields(), r2.fields());
+    let mut out: Vec<Field> = Vec::with_capacity(f1s.len().max(f2s.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < f1s.len() && j < f2s.len() {
+        let (f1, f2) = (&f1s[i], &f2s[j]);
+        match f1.name.cmp(&f2.name) {
+            std::cmp::Ordering::Equal => {
+                // FMatch: fuse the types; min(m, n) cardinality with ? < 1
+                // means optional wins.
+                out.push(Field {
+                    name: f1.name.clone(),
+                    ty: fuse_with(cfg, &f1.ty, &f2.ty),
+                    optional: f1.optional || f2.optional,
+                });
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                out.push(as_optional(f1));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(as_optional(f2));
+                j += 1;
+            }
+        }
+    }
+    // FUnmatch tails: keys present on one side only become optional.
+    out.extend(f1s[i..].iter().map(as_optional));
+    out.extend(f2s[j..].iter().map(as_optional));
+    Type::Record(RecordType::from_sorted(out).expect("merge-join keeps order"))
+}
+
+fn as_optional(f: &Field) -> Field {
+    Field {
+        name: f.name.clone(),
+        ty: f.ty.clone(),
+        optional: true,
+    }
+}
+
+/// The array simplification of Figure 6 lines 8–9: fold `Fuse` over the
+/// element types of a positional array type.
+///
+/// Returns the *body* of the starred form: `collapse([T₁,…,Tₙ]) =
+/// T₁ ⊔ … ⊔ Tₙ`, so the simplified array type is `[collapse(AT)*]`. For
+/// the empty array type the body is `ε` (footnote 1: `[ε*]` has the same
+/// semantics as `EArrT`).
+pub fn collapse(at: &ArrayType) -> Type {
+    collapse_with(FuseConfig::default(), at)
+}
+
+fn collapse_with(cfg: FuseConfig, at: &ArrayType) -> Type {
+    at.elems()
+        .iter()
+        .fold(Type::Bottom, |acc, t| fuse_with(cfg, &acc, t))
+}
+
+/// The kind-indexed view used by `fuse_with`, exposed for tests and for
+/// the engine's metrics: which kinds appear in a normal type.
+pub fn kinds_present(t: &Type) -> impl Iterator<Item = TypeKind> + '_ {
+    t.addends().iter().map(|a| a.kind().expect("kinded addend"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_type;
+    use typefuse_json::json;
+    use typefuse_types::parse_type;
+
+    fn f(a: &str, b: &str) -> String {
+        fuse(&parse_type(a).unwrap(), &parse_type(b).unwrap()).to_string()
+    }
+
+    #[test]
+    fn section_2_record_example() {
+        // T₁ = {A: Str, B: Num}, T₂ = {B: Bool, C: Str}
+        // ⟹ T₁₂ = {A: Str?, B: Num + Bool, C: Str?}
+        assert_eq!(
+            f("{A: Str, B: Num}", "{B: Bool, C: Str}"),
+            "{A: Str?, B: Bool + Num, C: Str?}"
+        );
+    }
+
+    #[test]
+    fn section_2_optionality_prevails() {
+        // T₁₂ fused with T₃ = {A: Null, B: Num}
+        // ⟹ {A: Str + Null?, B: Num + Bool, C: Str?}
+        assert_eq!(
+            f("{A: Str?, B: Bool + Num, C: Str?}", "{A: Null, B: Num}"),
+            "{A: Null + Str?, B: Bool + Num, C: Str?}"
+        );
+    }
+
+    #[test]
+    fn section_2_nested_record_example() {
+        // fuse {l: Bool + Str + {A: Num}} with {l: {A: Str, B: Num}}
+        // ⟹ {l: Bool + Str + {A: Num + Str, B: Num?}}
+        assert_eq!(
+            f("{l: Bool + Str + {A: Num}}", "{l: {A: Str, B: Num}}"),
+            "{l: Bool + Str + {A: Num + Str, B: Num?}}"
+        );
+    }
+
+    #[test]
+    fn section_2_mixed_content_simplification() {
+        // [Str, Str, {E: Str, F: Num}] and the swapped order both simplify
+        // and fuse to [(Str + {E: Str, F: Num})*].
+        let t1 = infer_type(&json!(["abc", "cde", {"E": "fr", "F": 12}]));
+        let t2 = infer_type(&json!([{"E": "fr", "F": 12}, "abc", "cde"]));
+        let expected = "[(Str + {E: Str, F: Num})*]";
+        assert_eq!(fuse(&t1, &t1).to_string(), expected);
+        assert_eq!(fuse(&t1, &t2).to_string(), expected);
+        assert_eq!(fuse(&t2, &t1).to_string(), expected);
+    }
+
+    #[test]
+    fn section_5_collapse_example() {
+        // T = [Num, Bool, Num, {l1: Num, l2: Str}, {l1: Num, l2: Bool, l3: Str}]
+        // collapse(T) = Num + Bool + {l1: Num, l2: Str + Bool, l3: Str?}
+        let t = parse_type("[Num, Bool, Num, {l1: Num, l2: Str}, {l1: Num, l2: Bool, l3: Str}]")
+            .unwrap();
+        let at = match t {
+            Type::Array(at) => at,
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            collapse(&at).to_string(),
+            "Bool + Num + {l1: Num, l2: Bool + Str, l3: Str?}"
+        );
+    }
+
+    #[test]
+    fn bottom_is_the_identity() {
+        for text in ["Null", "{a: Num}", "[Str*]", "Num + Str"] {
+            let t = parse_type(text).unwrap();
+            assert_eq!(fuse(&Type::Bottom, &t), t);
+            assert_eq!(fuse(&t, &Type::Bottom), t);
+        }
+        assert_eq!(fuse(&Type::Bottom, &Type::Bottom), Type::Bottom);
+    }
+
+    #[test]
+    fn idempotence_on_samples() {
+        for text in [
+            "Null",
+            "{a: Str?, b: Bool + Num}",
+            "[(Str + {})*]",
+            "{a: {b: [Num*]}}",
+        ] {
+            let t = parse_type(text).unwrap();
+            assert_eq!(fuse(&t, &t), t, "fuse({text}, {text})");
+        }
+    }
+
+    #[test]
+    fn different_kinds_union() {
+        assert_eq!(f("Num", "Str"), "Num + Str");
+        assert_eq!(f("Null", "{}"), "Null + {}");
+        assert_eq!(f("Num + Str", "Bool"), "Bool + Num + Str");
+        // Same-kind members fuse inside the union.
+        assert_eq!(
+            f("{a: Num} + Str", "{b: Bool}"),
+            "Str + {a: Num?, b: Bool?}"
+        );
+    }
+
+    #[test]
+    fn empty_arrays() {
+        // [] ⊔ [] = [ε*] which prints as [].
+        assert_eq!(f("[]", "[]"), "[]");
+        // [] ⊔ [Num, Num] = [Num*].
+        assert_eq!(f("[]", "[Num, Num]"), "[Num*]");
+        // Star of bottom against a star.
+        assert_eq!(f("[]", "[Str*]"), "[Str*]");
+    }
+
+    #[test]
+    fn star_absorbs_positional() {
+        assert_eq!(f("[Num*]", "[Str, Num]"), "[(Num + Str)*]");
+        assert_eq!(f("[Str, Num]", "[Num*]"), "[(Num + Str)*]");
+        assert_eq!(f("[Num*]", "[Str*]"), "[(Num + Str)*]");
+    }
+
+    #[test]
+    fn nested_arrays_of_records() {
+        assert_eq!(
+            f("[{a: Num}, {b: Str}]", "[{a: Bool}]"),
+            "[{a: Bool + Num?, b: Str?}*]"
+        );
+    }
+
+    #[test]
+    fn fuse_all_over_inferred_types() {
+        let values = [
+            json!({"a": 1, "b": "x"}),
+            json!({"a": null}),
+            json!({"a": 2, "c": [1, 2]}),
+        ];
+        let types: Vec<Type> = values.iter().map(infer_type).collect();
+        let fused = fuse_all(&types);
+        // `c` occurs in a single record, so its array type never passes
+        // through LFuse and stays positional (collapse happens only when
+        // two array types meet — Figure 6 lines 4–7).
+        assert_eq!(
+            fused.to_string(),
+            "{a: Null + Num, b: Str?, c: [Num, Num]?}"
+        );
+        // Correctness: every input value is admitted by the fused type.
+        for v in &values {
+            assert!(fused.admits(v), "{fused} should admit {v}");
+        }
+    }
+
+    #[test]
+    fn fuse_all_empty_is_bottom() {
+        assert_eq!(fuse_all([]), Type::Bottom);
+    }
+
+    #[test]
+    fn positional_when_aligned_keeps_precision() {
+        let cfg = FuseConfig {
+            array_fusion: ArrayFusion::PositionalWhenAligned,
+        };
+        let t1 = parse_type("[Num, Str]").unwrap();
+        let t2 = parse_type("[Bool, Str]").unwrap();
+        assert_eq!(fuse_with(cfg, &t1, &t2).to_string(), "[Bool + Num, Str]");
+        // Misaligned lengths fall back to collapse.
+        let t3 = parse_type("[Num]").unwrap();
+        assert_eq!(fuse_with(cfg, &t1, &t3).to_string(), "[(Num + Str)*]");
+        // The paper's default collapses even when aligned.
+        assert_eq!(fuse(&t1, &t2).to_string(), "[(Bool + Num + Str)*]");
+    }
+
+    #[test]
+    fn output_is_always_normal() {
+        let pairs = [
+            ("{a: Num}", "{a: Str}"),
+            ("[{x: Num}]", "[Str, {x: Bool, y: Null}]"),
+            ("Num + {a: [Num*]}", "{a: []} + Str"),
+        ];
+        for (a, b) in pairs {
+            let fused = fuse(&parse_type(a).unwrap(), &parse_type(b).unwrap());
+            fused.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn kinds_present_reports_union_members() {
+        let t = parse_type("Num + Str + {}").unwrap();
+        let kinds: Vec<_> = kinds_present(&t).collect();
+        assert_eq!(kinds, vec![TypeKind::Num, TypeKind::Str, TypeKind::Record]);
+    }
+
+    #[test]
+    fn fusion_grows_size_at_most_additively() {
+        // |Fuse(T,U)| ≤ |T| + |U| + 1 on a few structured samples (the
+        // succinctness rationale: fusion never duplicates shared parts).
+        let samples = [
+            ("{a: Num, b: Str}", "{a: Num, b: Str}"),
+            ("{a: Num}", "{b: {c: [Num*]}}"),
+            ("[Num, Num, Num]", "[Str]"),
+        ];
+        for (a, b) in samples {
+            let (t, u) = (parse_type(a).unwrap(), parse_type(b).unwrap());
+            let fused = fuse(&t, &u);
+            assert!(
+                fused.size() <= t.size() + u.size() + 1,
+                "|{fused}| > |{t}| + |{u}| + 1"
+            );
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The Map phase: type inference for single values (Figure 4).
+//!
+//! The inference rules are deterministic and produce a type isomorphic to
+//! the value: records map to record types with all fields mandatory,
+//! arrays map to positional array types element by element, atoms map to
+//! their basic types. Union types, optional fields and starred arrays are
+//! *never* produced here — they only appear through fusion (Section 5.1:
+//! "schema inference done in this phase does not exploit the full
+//! expressivity of the schema language").
+
+use typefuse_json::Value;
+use typefuse_types::{ArrayType, Field, RecordType, Type};
+
+/// Infer the type of a single JSON value (the judgement `⊢ V ∼ T` of
+/// Figure 4).
+///
+/// Soundness (Lemma 5.1): `infer_type(v).admits(v)` for every value `v` —
+/// property-tested in this crate's suite.
+///
+/// ```
+/// use typefuse_infer::infer_type;
+/// use typefuse_json::parse_value;
+///
+/// let v = parse_value(r#"{"a": 1, "b": ["x", {"c": null}]}"#).unwrap();
+/// assert_eq!(infer_type(&v).to_string(), "{a: Num, b: [Str, {c: Null}]}");
+/// ```
+pub fn infer_type(value: &Value) -> Type {
+    match value {
+        Value::Null => Type::Null,
+        Value::Bool(_) => Type::Bool,
+        Value::Number(_) => Type::Num,
+        Value::String(_) => Type::Str,
+        Value::Array(elems) => Type::Array(ArrayType::new(elems.iter().map(infer_type).collect())),
+        Value::Object(map) => {
+            // Key uniqueness is the side-condition `l ∉ Keys(RT)` of the
+            // record rule; it is guaranteed by the `Map` invariant.
+            let fields = map
+                .iter()
+                .map(|(k, v)| Field::required(k, infer_type(v)))
+                .collect();
+            Type::Record(RecordType::new(fields).expect("Map keys are unique"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typefuse_json::json;
+
+    #[test]
+    fn atoms() {
+        assert_eq!(infer_type(&json!(null)), Type::Null);
+        assert_eq!(infer_type(&json!(true)), Type::Bool);
+        assert_eq!(infer_type(&json!(3.25)), Type::Num);
+        assert_eq!(infer_type(&json!(7)), Type::Num);
+        assert_eq!(infer_type(&json!("s")), Type::Str);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(infer_type(&json!({})), Type::empty_record());
+        assert_eq!(infer_type(&json!([])), Type::empty_array());
+    }
+
+    #[test]
+    fn record_fields_all_mandatory() {
+        let t = infer_type(&json!({"b": 1, "a": "x"}));
+        match &t {
+            Type::Record(rt) => {
+                assert_eq!(rt.len(), 2);
+                assert!(rt.fields().iter().all(|f| !f.optional));
+            }
+            other => panic!("expected record, got {other}"),
+        }
+        // Canonical (sorted) printing.
+        assert_eq!(t.to_string(), "{a: Str, b: Num}");
+    }
+
+    #[test]
+    fn arrays_are_positional() {
+        let t = infer_type(&json!([1, "a", null]));
+        assert_eq!(t.to_string(), "[Num, Str, Null]");
+    }
+
+    #[test]
+    fn mixed_content_array_from_section_2() {
+        // ["abc", "cde", {"E": "fr", "F": 12}] ⟼ [Str, Str, {E: Str, F: Num}]
+        let v = json!(["abc", "cde", {"E": "fr", "F": 12}]);
+        assert_eq!(infer_type(&v).to_string(), "[Str, Str, {E: Str, F: Num}]");
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let v = json!({"a": {"b": {"c": {"d": [[{"e": 0}]]}}}});
+        let t = infer_type(&v);
+        assert_eq!(t.to_string(), "{a: {b: {c: {d: [[{e: Num}]]}}}}");
+        assert_eq!(t.depth(), v.depth());
+    }
+
+    #[test]
+    fn inferred_type_is_isomorphic_in_size() {
+        // For values, tree_size counts the same nodes the type AST has
+        // (scalars, containers, fields).
+        for v in [
+            json!({"a": 1, "b": [true, null]}),
+            json!([]),
+            json!([[["x"]]]),
+            json!({"k": {}}),
+        ] {
+            assert_eq!(infer_type(&v).size(), v.tree_size(), "value {v}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Schema-based projection — the main-memory loading optimisation the
+//! paper motivates (Section 1):
+//!
+//! "by identifying the data requirements of a query … it is possible to
+//! match these requirements with the schema in order to load in main
+//! memory only those fragments of the input dataset that are actually
+//! needed."
+//!
+//! [`project`] prunes a value down to the fragments described by a
+//! *requirement* type (typically a hand-written or query-derived
+//! sub-schema of the inferred one): record fields not mentioned in the
+//! requirement are dropped, arrays are filtered element-wise. The
+//! function is **lossless where the requirement speaks** and total — a
+//! structural mismatch (e.g. the requirement expects a record, the data
+//! has a string) keeps the value unchanged rather than failing, so
+//! projection is always safe to apply before validation.
+
+use typefuse_json::{Map, Value};
+use typefuse_types::{Type, TypeKind};
+
+/// Prune `value` to the fragments described by `requirement`.
+pub fn project(value: &Value, requirement: &Type) -> Value {
+    match requirement {
+        // ε and basic requirements carry no structure to prune by.
+        Type::Bottom | Type::Null | Type::Bool | Type::Num | Type::Str => value.clone(),
+        Type::Record(rt) => match value {
+            Value::Object(map) => {
+                let mut out = Map::with_capacity(rt.len().min(map.len()));
+                for (key, child) in map.iter() {
+                    if let Some(field) = rt.field(key) {
+                        out.insert_unchecked(key, project(child, &field.ty));
+                    }
+                }
+                Value::Object(out)
+            }
+            other => other.clone(),
+        },
+        Type::Star(body) => match value {
+            Value::Array(elems) => Value::Array(elems.iter().map(|e| project(e, body)).collect()),
+            other => other.clone(),
+        },
+        Type::Array(at) => match value {
+            Value::Array(elems) if elems.len() == at.len() => Value::Array(
+                elems
+                    .iter()
+                    .zip(at.elems())
+                    .map(|(e, t)| project(e, t))
+                    .collect(),
+            ),
+            other => other.clone(),
+        },
+        Type::Union(u) => {
+            // Project by the addend matching the value's kind; keep the
+            // value whole when no addend matches.
+            let kind = value_kind(value);
+            match u.addend_of_kind(kind) {
+                Some(addend) => project(value, addend),
+                None => value.clone(),
+            }
+        }
+    }
+}
+
+fn value_kind(v: &Value) -> TypeKind {
+    match v {
+        Value::Null => TypeKind::Null,
+        Value::Bool(_) => TypeKind::Bool,
+        Value::Number(_) => TypeKind::Num,
+        Value::String(_) => TypeKind::Str,
+        Value::Object(_) => TypeKind::Record,
+        Value::Array(_) => TypeKind::Array,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_type;
+    use typefuse_json::json;
+    use typefuse_types::parse_type;
+
+    fn p(value: &Value, req: &str) -> Value {
+        project(value, &parse_type(req).unwrap())
+    }
+
+    #[test]
+    fn drops_unrequested_fields() {
+        let v = json!({"a": 1, "b": "x", "c": [1, 2]});
+        assert_eq!(p(&v, "{a: Num}"), json!({"a": 1}));
+    }
+
+    #[test]
+    fn recursive_pruning() {
+        let v = json!({"user": {"id": 1, "bio": "long text", "avatar": "url"}, "junk": 0});
+        assert_eq!(p(&v, "{user: {id: Num}}"), json!({"user": {"id": 1}}));
+    }
+
+    #[test]
+    fn arrays_are_projected_elementwise() {
+        let v = json!({"ks": [{"name": "a", "rank": 1}, {"name": "b", "rank": 2}]});
+        assert_eq!(
+            p(&v, "{ks: [{name: Str}*]}"),
+            json!({"ks": [{"name": "a"}, {"name": "b"}]})
+        );
+    }
+
+    #[test]
+    fn positional_array_length_mismatch_keeps_value() {
+        let v = json!([1, 2, 3]);
+        assert_eq!(p(&v, "[Num, Num]"), v);
+        assert_eq!(
+            p(&json!([{"a": 1, "b": 2}]), "[{a: Num}]"),
+            json!([{"a": 1}])
+        );
+    }
+
+    #[test]
+    fn structural_mismatch_is_lossless() {
+        let v = json!("not a record");
+        assert_eq!(p(&v, "{a: Num}"), v);
+        assert_eq!(p(&json!({"a": 1}), "[Num*]"), json!({"a": 1}));
+    }
+
+    #[test]
+    fn union_projects_by_kind() {
+        let req = "Str + {a: Num}";
+        assert_eq!(p(&json!({"a": 1, "b": 2}), req), json!({"a": 1}));
+        assert_eq!(p(&json!("s"), req), json!("s"));
+        // No union addend of kind Bool: kept whole.
+        assert_eq!(p(&json!(true), req), json!(true));
+    }
+
+    #[test]
+    fn projecting_by_own_type_is_identity() {
+        for v in [
+            json!({"a": 1, "b": [{"c": null}, "x"]}),
+            json!([[], [1], [{"k": true}]]),
+            json!(null),
+        ] {
+            assert_eq!(project(&v, &infer_type(&v)), v);
+        }
+    }
+
+    #[test]
+    fn projecting_by_fused_schema_is_identity() {
+        let values = [json!({"a": 1, "b": "x"}), json!({"a": null, "c": [1, "s"]})];
+        let schema = crate::fuse_all(&values.iter().map(infer_type).collect::<Vec<_>>());
+        for v in &values {
+            assert_eq!(&project(v, &schema), v, "schema covers everything");
+        }
+    }
+
+    #[test]
+    fn projection_never_grows_the_value() {
+        let v = json!({"a": {"b": [1, 2, {"c": "x", "d": "y"}]}, "e": 5});
+        for req in ["{a: {b: [(Num + {c: Str})*]}}", "{e: Num}", "{}", "Num"] {
+            let projected = p(&v, req);
+            assert!(
+                projected.tree_size() <= v.tree_size(),
+                "{req} grew the value"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_record_requirement_keeps_nothing() {
+        assert_eq!(p(&json!({"a": 1}), "{}"), json!({}));
+    }
+}

@@ -1,0 +1,172 @@
+//! Direct text-to-type inference over the event parser.
+//!
+//! The Map phase conceptually needs the value tree only to immediately
+//! fold it into a type. This module fuses the two steps: types are built
+//! straight from the JSON token stream, so the intermediate
+//! [`Value`](typefuse_json::Value) tree is never allocated. On the
+//! text-heavy NYTimes profile this removes the dominant allocation cost
+//! of the Map phase (see the `parsing` bench, group `infer_only`).
+
+use typefuse_json::events::{Event, EventParser};
+use typefuse_json::{ErrorKind, ParserOptions, Result};
+use typefuse_types::{ArrayType, Field, RecordType, Type};
+
+/// Infer the type of one complete JSON text without materialising the
+/// value.
+///
+/// Equivalent to `infer_type(&parse_value(text)?)` — property-tested —
+/// but allocation-free for scalars and string *contents* (keys still
+/// allocate, they become part of the type).
+///
+/// ```
+/// use typefuse_infer::streaming::infer_type_from_str;
+/// let t = infer_type_from_str(r#"{"a": 1, "b": ["x"]}"#).unwrap();
+/// assert_eq!(t.to_string(), "{a: Num, b: [Str]}");
+/// ```
+pub fn infer_type_from_str(text: &str) -> Result<Type> {
+    infer_type_from_slice(text.as_bytes())
+}
+
+/// Byte-slice variant of [`infer_type_from_str`].
+pub fn infer_type_from_slice(input: &[u8]) -> Result<Type> {
+    infer_with_options(input, ParserOptions::default())
+}
+
+/// Variant with explicit parser options.
+pub fn infer_with_options(input: &[u8], options: ParserOptions) -> Result<Type> {
+    let mut parser = EventParser::with_options(input, options);
+    let ty = infer_from_events(&mut parser)?;
+    parser.finish()?;
+    Ok(ty)
+}
+
+enum Frame {
+    Record {
+        fields: Vec<Field>,
+        key: Option<String>,
+    },
+    Array {
+        elems: Vec<Type>,
+    },
+}
+
+/// Fold one value's worth of events into its inferred type.
+pub fn infer_from_events(events: &mut EventParser<'_>) -> Result<Type> {
+    let mut stack: Vec<Frame> = Vec::new();
+    loop {
+        let event = match events.next() {
+            Some(e) => e?,
+            None => {
+                return Err(typefuse_json::Error::at(
+                    ErrorKind::UnexpectedEof,
+                    events.source_position(),
+                ))
+            }
+        };
+        let completed: Option<Type> = match event {
+            Event::Null => Some(Type::Null),
+            Event::Bool(_) => Some(Type::Bool),
+            Event::Number(_) => Some(Type::Num),
+            Event::String(_) => Some(Type::Str),
+            Event::ObjectStart => {
+                stack.push(Frame::Record {
+                    fields: Vec::new(),
+                    key: None,
+                });
+                None
+            }
+            Event::ArrayStart => {
+                stack.push(Frame::Array { elems: Vec::new() });
+                None
+            }
+            Event::Key(k) => {
+                match stack.last_mut() {
+                    Some(Frame::Record { key, .. }) => *key = Some(k),
+                    _ => unreachable!("Key outside object"),
+                }
+                None
+            }
+            Event::ObjectEnd => match stack.pop() {
+                Some(Frame::Record { fields, .. }) => Some(Type::Record(
+                    RecordType::new(fields).expect("parser enforces key uniqueness"),
+                )),
+                _ => unreachable!("unbalanced ObjectEnd"),
+            },
+            Event::ArrayEnd => match stack.pop() {
+                Some(Frame::Array { elems }) => Some(Type::Array(ArrayType::new(elems))),
+                _ => unreachable!("unbalanced ArrayEnd"),
+            },
+        };
+        if let Some(ty) = completed {
+            match stack.last_mut() {
+                None => return Ok(ty),
+                Some(Frame::Array { elems }) => elems.push(ty),
+                Some(Frame::Record { fields, key }) => {
+                    let name = key.take().expect("value follows a key");
+                    // Under lenient options the parser admits duplicate
+                    // keys; keep last-wins semantics like the tree parser.
+                    match fields.iter_mut().find(|f| f.name == name) {
+                        Some(existing) => existing.ty = ty,
+                        None => fields.push(Field::required(name, ty)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_type;
+    use typefuse_json::parse_value;
+
+    #[test]
+    fn agrees_with_tree_inference() {
+        for text in [
+            "null",
+            "0",
+            r#""s""#,
+            "{}",
+            "[]",
+            r#"{"a": 1, "b": ["x", {"c": null}], "d": {"e": [[true]]}}"#,
+            r#"[1, "a", {"k": []}]"#,
+        ] {
+            let direct = infer_type_from_str(text).unwrap();
+            let via_tree = infer_type(&parse_value(text).unwrap());
+            assert_eq!(direct, via_tree, "for {text}");
+        }
+    }
+
+    #[test]
+    fn reports_parse_errors() {
+        assert!(infer_type_from_str("{oops").is_err());
+        assert!(infer_type_from_str("[1,]").is_err());
+        assert!(infer_type_from_str("{} trailing").is_err());
+        assert!(infer_type_from_str(r#"{"a":1,"a":2}"#).is_err());
+        assert!(infer_type_from_str("").is_err());
+    }
+
+    #[test]
+    fn lenient_options_pass_through() {
+        let opts = typefuse_json::ParserOptions {
+            allow_duplicate_keys: true,
+            ..Default::default()
+        };
+        let t = infer_with_options(br#"{"a":1,"a":"x"}"#, opts).unwrap();
+        // Last binding wins in lenient mode, but the *type* records the
+        // surviving field once.
+        assert_eq!(t.to_string(), "{a: Str}");
+    }
+
+    #[test]
+    fn deep_nesting_respects_limit() {
+        let deep: String = std::iter::repeat_n('[', 600)
+            .chain(std::iter::repeat_n(']', 600))
+            .collect();
+        assert!(matches!(
+            infer_type_from_str(&deep).unwrap_err().kind(),
+            ErrorKind::RecursionLimitExceeded
+        ));
+    }
+}

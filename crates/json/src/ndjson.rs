@@ -1,0 +1,196 @@
+//! Newline-delimited JSON (NDJSON) streaming.
+//!
+//! All four datasets in the paper's evaluation (GitHub, Twitter, Wikidata,
+//! NYTimes) are stored as one JSON object per line. This module reads such
+//! streams without materialising the whole file, using a reusable line
+//! buffer (one allocation per *record tree*, not per line read).
+
+use crate::error::{Error, ErrorKind, Position, Result};
+use crate::parse::{Parser, ParserOptions};
+use crate::value::Value;
+use std::io::BufRead;
+
+/// A streaming reader that yields one [`Value`] per non-empty input line.
+///
+/// Blank lines are skipped. Errors carry the 1-based line number of the
+/// offending record in their position so bad records can be located in
+/// multi-gigabyte dumps.
+///
+/// ```
+/// use typefuse_json::NdjsonReader;
+///
+/// let data = "{\"a\":1}\n\n{\"a\":2}\n";
+/// let values: Vec<_> = NdjsonReader::new(data.as_bytes())
+///     .collect::<Result<Vec<_>, _>>()
+///     .unwrap();
+/// assert_eq!(values.len(), 2);
+/// ```
+pub struct NdjsonReader<R> {
+    reader: R,
+    line: String,
+    line_no: u32,
+    options: ParserOptions,
+    /// Stop permanently after an I/O error.
+    poisoned: bool,
+}
+
+impl<R: BufRead> NdjsonReader<R> {
+    /// Wrap a buffered reader with default parser options.
+    pub fn new(reader: R) -> Self {
+        Self::with_options(reader, ParserOptions::default())
+    }
+
+    /// Wrap a buffered reader with explicit parser options.
+    pub fn with_options(reader: R, options: ParserOptions) -> Self {
+        NdjsonReader {
+            reader,
+            line: String::new(),
+            line_no: 0,
+            options,
+            poisoned: false,
+        }
+    }
+
+    /// The number of input lines consumed so far (including blank ones).
+    pub fn lines_read(&self) -> u32 {
+        self.line_no
+    }
+
+    fn read_record(&mut self) -> Option<Result<Value>> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.poisoned = true;
+                    return Some(Err(Error::at(
+                        ErrorKind::Io(e.to_string()),
+                        Position {
+                            offset: 0,
+                            line: self.line_no + 1,
+                            column: 1,
+                        },
+                    )));
+                }
+            }
+            self.line_no += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let parser = Parser::with_options(trimmed.as_bytes(), self.options.clone());
+            return Some(parser.parse_complete().map_err(|e| {
+                // Re-anchor the error at the file-level line number; the
+                // column within the line is preserved.
+                let mut pos = e.span().start;
+                pos.line = self.line_no;
+                Error::at(e.kind().clone(), pos)
+            }));
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for NdjsonReader<R> {
+    type Item = Result<Value>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned {
+            return None;
+        }
+        self.read_record()
+    }
+}
+
+/// Serialize an iterator of values as NDJSON into a writer.
+pub fn write_ndjson<'a, W, I>(mut writer: W, values: I) -> std::io::Result<u64>
+where
+    W: std::io::Write,
+    I: IntoIterator<Item = &'a Value>,
+{
+    let mut bytes = 0u64;
+    for v in values {
+        let line = crate::ser::to_string(v);
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        bytes += line.len() as u64 + 1;
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::io::{self, Read};
+
+    #[test]
+    fn reads_records_skipping_blanks() {
+        let data = "{\"a\":1}\n\n   \n{\"a\":2}";
+        let values: Vec<Value> = NdjsonReader::new(data.as_bytes())
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(values, vec![json!({"a": 1}), json!({"a": 2})]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(NdjsonReader::new("".as_bytes()).count(), 0);
+        assert_eq!(NdjsonReader::new("\n\n".as_bytes()).count(), 0);
+    }
+
+    #[test]
+    fn error_carries_file_line_number() {
+        let data = "{\"a\":1}\n{\"bad\n{\"a\":2}\n";
+        let mut it = NdjsonReader::new(data.as_bytes());
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.span().start.line, 2);
+        // Reading continues after a parse error.
+        assert_eq!(it.next().unwrap().unwrap(), json!({"a": 2}));
+    }
+
+    #[test]
+    fn trailing_garbage_on_a_line_is_an_error() {
+        let mut it = NdjsonReader::new("{} {}\n".as_bytes());
+        assert!(matches!(
+            it.next().unwrap().unwrap_err().kind(),
+            ErrorKind::TrailingCharacters
+        ));
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let values = vec![json!({"k": [1, 2.5, "s"]}), json!(null), json!([{}])];
+        let mut buf = Vec::new();
+        let bytes = write_ndjson(&mut buf, &values).unwrap();
+        assert_eq!(bytes, buf.len() as u64);
+        let back: Vec<Value> = NdjsonReader::new(&buf[..])
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(back, values);
+    }
+
+    struct FailingReader;
+
+    impl Read for FailingReader {
+        fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn io_error_poisons_the_iterator() {
+        let mut it = NdjsonReader::new(io::BufReader::new(FailingReader));
+        let err = it.next().unwrap().unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::Io(_)));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn lines_read_counts_blanks() {
+        let mut it = NdjsonReader::new("\n{}\n".as_bytes());
+        it.next();
+        assert_eq!(it.lines_read(), 2);
+    }
+}

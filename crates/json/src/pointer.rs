@@ -1,0 +1,118 @@
+//! RFC 6901 JSON Pointer resolution.
+//!
+//! Inferred schemas get exported as JSON Schema documents
+//! (`typefuse_types::export`); tooling that consumes them (and the CLI
+//! tests) needs standard pointer navigation — `/properties/user/type` —
+//! including the `~0`/`~1` escapes.
+
+use crate::value::Value;
+
+impl Value {
+    /// Resolve an RFC 6901 JSON Pointer against this value.
+    ///
+    /// The empty string points at the value itself; each `/`-separated
+    /// token names an object key or an array index; `~1` unescapes to `/`
+    /// and `~0` to `~`.
+    ///
+    /// ```
+    /// use typefuse_json::{json, Value};
+    /// let v = json!({"a": {"b/c": [10, 20]}});
+    /// assert_eq!(v.pointer("/a/b~1c/1"), Some(&Value::from(20)));
+    /// assert_eq!(v.pointer(""), Some(&v));
+    /// assert_eq!(v.pointer("/missing"), None);
+    /// ```
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        let mut current = self;
+        for token in pointer[1..].split('/') {
+            let token = unescape(token);
+            current = match current {
+                Value::Object(map) => map.get(&token)?,
+                Value::Array(elems) => {
+                    // RFC 6901: indices are digits without leading zeros.
+                    if token.len() > 1 && token.starts_with('0') {
+                        return None;
+                    }
+                    let idx: usize = token.parse().ok()?;
+                    elems.get(idx)?
+                }
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+}
+
+fn unescape(token: &str) -> String {
+    // Order matters: `~1` before `~0`, per the RFC.
+    token.replace("~1", "/").replace("~0", "~")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// The RFC 6901 §5 example document.
+    fn rfc_doc() -> Value {
+        json!({
+            "foo": ["bar", "baz"],
+            "": 0,
+            "a/b": 1,
+            "c%d": 2,
+            "e^f": 3,
+            "g|h": 4,
+            "i\\j": 5,
+            "k\"l": 6,
+            " ": 7,
+            "m~n": 8
+        })
+    }
+
+    #[test]
+    fn rfc_6901_examples() {
+        let doc = rfc_doc();
+        assert_eq!(doc.pointer(""), Some(&doc));
+        assert_eq!(doc.pointer("/foo"), Some(&json!(["bar", "baz"])));
+        assert_eq!(doc.pointer("/foo/0"), Some(&json!("bar")));
+        assert_eq!(doc.pointer("/"), Some(&json!(0)));
+        assert_eq!(doc.pointer("/a~1b"), Some(&json!(1)));
+        assert_eq!(doc.pointer("/c%d"), Some(&json!(2)));
+        assert_eq!(doc.pointer("/e^f"), Some(&json!(3)));
+        assert_eq!(doc.pointer("/ "), Some(&json!(7)));
+        assert_eq!(doc.pointer("/m~0n"), Some(&json!(8)));
+    }
+
+    #[test]
+    fn misses() {
+        let doc = rfc_doc();
+        assert_eq!(doc.pointer("/nope"), None);
+        assert_eq!(doc.pointer("/foo/2"), None);
+        assert_eq!(
+            doc.pointer("/foo/-"),
+            None,
+            "append marker unsupported for reads"
+        );
+        assert_eq!(doc.pointer("/foo/00"), None, "leading zeros rejected");
+        assert_eq!(doc.pointer("/foo/0/deeper"), None, "scalar has no children");
+        assert_eq!(doc.pointer("foo"), None, "must start with /");
+    }
+
+    #[test]
+    fn deep_navigation() {
+        let v = json!({"a": [{"b": {"c": [null, {"d": 42}]}}]});
+        assert_eq!(v.pointer("/a/0/b/c/1/d"), Some(&json!(42)));
+    }
+
+    #[test]
+    fn escape_order() {
+        // `~01` must unescape to `~1`, not to `/`.
+        let v = json!({"~1": "tilde-one"});
+        assert_eq!(v.pointer("/~01"), Some(&json!("tilde-one")));
+    }
+}

@@ -1,0 +1,129 @@
+//! Proptest strategies for random JSON values (feature `testkit`).
+//!
+//! Shared by the property-test suites of the downstream crates: the
+//! fusion laws (commutativity, associativity, correctness) are tested
+//! against values drawn from these strategies.
+
+use crate::number::Number;
+use crate::value::{Map, Value};
+use proptest::prelude::*;
+
+/// Strategy for field keys: short, biased towards collisions so that
+/// record fusion actually exercises the matched-key path.
+pub fn arb_key() -> impl Strategy<Value = String> {
+    prop_oneof![
+        4 => prop::sample::select(vec![
+            "a", "b", "c", "id", "name", "tags", "meta", "value", "items",
+        ])
+        .prop_map(str::to_string),
+        1 => "[a-z]{1,6}",
+    ]
+}
+
+/// Strategy for scalar JSON values.
+pub fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|i| Value::Number(Number::Int(i))),
+        (-1.0e9f64..1.0e9).prop_map(|f| Value::Number(Number::Float(f))),
+        "[ -~]{0,12}".prop_map(Value::String),
+    ]
+}
+
+/// Strategy for arbitrary JSON values with bounded depth and width.
+pub fn arb_value() -> impl Strategy<Value = Value> {
+    arb_value_sized(4, 6)
+}
+
+/// Strategy with explicit recursion `depth` and container `width` bounds.
+pub fn arb_value_sized(depth: u32, width: usize) -> impl Strategy<Value = Value> {
+    arb_scalar().prop_recursive(depth, 64, width as u32, move |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..=width).prop_map(Value::Array),
+            prop::collection::vec((arb_key(), inner), 0..=width).prop_map(|pairs| {
+                let mut m = Map::new();
+                for (k, v) in pairs {
+                    m.insert(k, v); // deduplicates colliding keys
+                }
+                Value::Object(m)
+            }),
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_value, to_string};
+
+    proptest! {
+        #[test]
+        fn generated_values_round_trip_through_text(v in arb_value()) {
+            let text = to_string(&v);
+            let back = parse_value(&text).unwrap();
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn pretty_form_parses_to_same_value(v in arb_value()) {
+            let text = crate::to_string_pretty(&v);
+            prop_assert_eq!(parse_value(&text).unwrap(), v);
+        }
+
+        #[test]
+        fn tree_size_positive_and_depth_bounded(v in arb_value_sized(3, 4)) {
+            prop_assert!(v.tree_size() >= 1);
+            prop_assert!(v.depth() >= 1);
+            prop_assert!(v.depth() <= 4 + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod robustness {
+    use crate::parse::{Parser, ParserOptions};
+    use proptest::prelude::*;
+
+    proptest! {
+        // The parser must never panic, whatever bytes arrive (the paper's
+        // pipelines ingest uncontrolled remote data).
+        #[test]
+        fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Parser::new(&bytes).parse_complete();
+        }
+
+        #[test]
+        fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,64}") {
+            let _ = crate::parse_value(&text);
+        }
+
+        #[test]
+        fn event_parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            let mut p = crate::events::EventParser::with_options(
+                &bytes,
+                ParserOptions::default(),
+            );
+            for event in &mut p {
+                if event.is_err() {
+                    break;
+                }
+            }
+        }
+
+        // Mutating valid JSON by one byte must never panic either.
+        #[test]
+        fn parser_survives_single_byte_corruption(
+            v in super::arb_value(),
+            pos in any::<prop::sample::Index>(),
+            byte in any::<u8>(),
+        ) {
+            let mut bytes = crate::to_string(&v).into_bytes();
+            if !bytes.is_empty() {
+                let i = pos.index(bytes.len());
+                bytes[i] = byte;
+            }
+            let _ = Parser::new(&bytes).parse_complete();
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! The JSON value tree — the data model of Figure 2 in the paper.
+//!
+//! A value is a basic value (null, boolean, number, string), a *record*
+//! (called "object" in RFC 8259: a set of key/value pairs with unique keys)
+//! or an *array* (an ordered list of values). Records are identified up to
+//! field order, exactly as Section 4 of the paper prescribes ("we identify
+//! two records that only differ in the order of their fields"); this is
+//! implemented by [`Map`]'s order-insensitive `Eq`/`Hash`.
+
+use crate::number::Number;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A JSON record: key/value pairs with unique keys.
+///
+/// Insertion order is preserved for serialization (so generated datasets
+/// look natural), but equality and hashing are order-insensitive, matching
+/// the paper's set semantics for records.
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty record (`ERec` in the paper's abstract syntax).
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty record with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Map {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a field. Returns the previous value if the key was present
+    /// (the key-uniqueness invariant is maintained by replacement).
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(std::mem::replace(&mut slot.1, value))
+        } else {
+            self.entries.push((key, value));
+            None
+        }
+    }
+
+    /// Insert a field that is known not to be present yet.
+    ///
+    /// This is the fast path used by the parser (which has already checked
+    /// uniqueness) and by generators that construct keys in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the key is already present.
+    pub fn insert_unchecked(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        debug_assert!(
+            !self.contains_key(&key),
+            "insert_unchecked with duplicate key {key:?}"
+        );
+        self.entries.push((key, value.into()));
+    }
+
+    /// Look up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove a field by key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterate over values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    fn sorted_entries(&self) -> Vec<(&str, &Value)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+impl Eq for Map {}
+
+impl Hash for Map {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Order-insensitive: hash fields in sorted-key order.
+        for (k, v) in self.sorted_entries() {
+            k.hash(state);
+            v.hash(state);
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A JSON value (Figure 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list of values.
+    Array(Vec<Value>),
+    /// A record with unique keys.
+    Object(Map),
+}
+
+impl Value {
+    /// Whether this is a basic (atomic) value in the paper's sense.
+    pub fn is_basic(&self) -> bool {
+        !matches!(self, Value::Array(_) | Value::Object(_))
+    }
+
+    /// Convenience record-field lookup; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Convenience array indexing; `None` for non-arrays.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Number of nodes in the value tree (each scalar, each array, each
+    /// object and each field counts one). The analogue of the paper's type
+    /// size metric, applied to values; used by dataset statistics.
+    pub fn tree_size(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) | Value::Number(_) | Value::String(_) => 1,
+            Value::Array(a) => 1 + a.iter().map(Value::tree_size).sum::<usize>(),
+            Value::Object(m) => 1 + m.values().map(|v| 1 + v.tree_size()).sum::<usize>(),
+        }
+    }
+
+    /// Maximum nesting depth: scalars have depth 1, `[]`/`{}` have depth 1,
+    /// a record of scalars depth 2, etc. The paper reports nesting depths
+    /// per dataset (GitHub ≤4, Twitter ≤3, Wikidata ≤6, NYTimes ≤7).
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::Null | Value::Bool(_) | Value::Number(_) | Value::String(_) => 1,
+            Value::Array(a) => 1 + a.iter().map(Value::depth).max().unwrap_or(0),
+            Value::Object(m) => 1 + m.values().map(Value::depth).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact serialization (same output as [`crate::ser::to_string`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::ser::write_compact(self, f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Number(Number::Int(i))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Number(Number::Int(i64::from(i)))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Number(Number::Int(i64::from(i)))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::Float(f))
+    }
+}
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build a [`Value`] with a JSON-like literal syntax.
+///
+/// ```
+/// use typefuse_json::{json, Value};
+/// let v = json!({"a": 1, "b": [true, null, "x"]});
+/// assert_eq!(v.get("a"), Some(&Value::from(1)));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $( $key:tt : $val:tt ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key, $crate::json!($val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn map_insert_get_remove() {
+        let mut m = Map::new();
+        assert!(m.insert("a", 1).is_none());
+        assert_eq!(m.insert("a", 2), Some(Value::from(1)));
+        assert_eq!(m.get("a"), Some(&Value::from(2)));
+        assert_eq!(m.remove("a"), Some(Value::from(2)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_equality_is_order_insensitive() {
+        let a = json!({"x": 1, "y": 2});
+        let b = json!({"y": 2, "x": 1});
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn map_inequality_on_value() {
+        assert_ne!(json!({"x": 1}), json!({"x": 2}));
+        assert_ne!(json!({"x": 1}), json!({"x": 1, "y": 2}));
+    }
+
+    #[test]
+    fn array_equality_is_order_sensitive() {
+        assert_ne!(json!([1, 2]), json!([2, 1]));
+        assert_eq!(json!([1, 2]), json!([1, 2]));
+    }
+
+    #[test]
+    fn tree_size_counts_fields() {
+        // object (1) + 2 fields (2) + 2 scalars (2) = 5
+        assert_eq!(json!({"a": 1, "b": 2}).tree_size(), 5);
+        // array (1) + 3 scalars = 4
+        assert_eq!(json!([1, 2, 3]).tree_size(), 4);
+        assert_eq!(json!(null).tree_size(), 1);
+    }
+
+    #[test]
+    fn depth_matches_paper_convention() {
+        assert_eq!(json!(1).depth(), 1);
+        assert_eq!(json!({}).depth(), 1);
+        assert_eq!(json!({"a": 1}).depth(), 2);
+        assert_eq!(json!({"a": {"b": [1]}}).depth(), 4);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = json!({"s": "hi", "n": 3, "f": 2.5, "b": true, "a": [1], "z": null});
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().get_index(0), Some(&Value::from(1)));
+        assert!(v.get("z").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn insert_unchecked_appends() {
+        let mut m = Map::new();
+        m.insert_unchecked("k1", 1);
+        m.insert_unchecked("k2", 2);
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec!["k1", "k2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    #[cfg(debug_assertions)]
+    fn insert_unchecked_panics_on_duplicate_in_debug() {
+        let mut m = Map::new();
+        m.insert_unchecked("k", 1);
+        m.insert_unchecked("k", 2);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(vec![1i64, 2]), json!([1, 2]));
+        assert!(matches!(Value::from("s"), Value::String(_)));
+        assert!(Value::default().is_null());
+    }
+
+    #[test]
+    fn map_from_iterator_deduplicates() {
+        let m: Map = vec![
+            ("a".to_string(), Value::from(1)),
+            ("a".to_string(), Value::from(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a"), Some(&Value::from(2)));
+    }
+}

@@ -1,0 +1,374 @@
+//! The pipeline evaluator over concrete JSON rows.
+//!
+//! Evaluation is total on *any* input (structural mismatches drop rows or
+//! evaluate predicates to false), but the interesting guarantee is the
+//! checked one: on data admitted by the schema a pipeline was checked
+//! against, evaluation follows exactly the routes the checker predicted —
+//! see `tests/soundness.rs`.
+
+use crate::ast::{Comparison, Literal, Op, Path, Pipeline, Predicate, Step};
+use std::fmt;
+use typefuse_json::{Map, Number, Value};
+
+/// A runtime evaluation failure.
+///
+/// The current operator set is total, so this is reserved for future
+/// operators (e.g. arithmetic); it also keeps the public API stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, _f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {}
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Pipeline {
+    /// Run the pipeline over `rows`, producing the output rows.
+    pub fn eval(&self, rows: &[Value]) -> Result<Vec<Value>, EvalError> {
+        let mut current: Vec<Value> = rows.to_vec();
+        for op in &self.ops {
+            current = eval_op(op, current)?;
+        }
+        Ok(current)
+    }
+}
+
+fn eval_op(op: &Op, rows: Vec<Value>) -> Result<Vec<Value>, EvalError> {
+    Ok(match op {
+        Op::Limit(n) => {
+            let mut rows = rows;
+            rows.truncate(*n);
+            rows
+        }
+        Op::Filter(pred) => rows.into_iter().filter(|v| eval_pred(pred, v)).collect(),
+        Op::Distinct => {
+            let mut seen = std::collections::HashSet::new();
+            rows.into_iter()
+                .filter(|row| seen.insert(row.clone()))
+                .collect()
+        }
+        Op::Count => {
+            let mut m = Map::new();
+            m.insert_unchecked("count", Value::Number(Number::Int(rows.len() as i64)));
+            vec![Value::Object(m)]
+        }
+        Op::Project(paths) => rows
+            .iter()
+            .map(|v| project_value(v, &paths.iter().map(Path::steps).collect::<Vec<_>>()))
+            .collect(),
+        Op::Flatten(path) => {
+            let mut out = Vec::new();
+            for row in rows {
+                flatten_row(&row, path.steps(), &mut out);
+            }
+            out
+        }
+    })
+}
+
+/// Resolve every value reachable along `path` (array steps fan out).
+pub(crate) fn resolve_values<'v>(v: &'v Value, steps: &[Step]) -> Vec<&'v Value> {
+    let mut current = vec![v];
+    for step in steps {
+        let mut next = Vec::new();
+        for value in current {
+            match step {
+                Step::Field(name) => {
+                    if let Some(child) = value.get(name) {
+                        next.push(child);
+                    }
+                }
+                Step::Item => {
+                    if let Some(elems) = value.as_array() {
+                        next.extend(elems.iter());
+                    }
+                }
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+fn eval_pred(pred: &Predicate, row: &Value) -> bool {
+    match pred {
+        Predicate::Exists(path) => !resolve_values(row, path.steps()).is_empty(),
+        Predicate::Compare(path, cmp, literal) => resolve_values(row, path.steps())
+            .iter()
+            .any(|v| compare(v, *cmp, literal)),
+        Predicate::Not(inner) => !eval_pred(inner, row),
+        Predicate::And(a, b) => eval_pred(a, row) && eval_pred(b, row),
+        Predicate::Or(a, b) => eval_pred(a, row) || eval_pred(b, row),
+    }
+}
+
+fn compare(v: &Value, cmp: Comparison, literal: &Literal) -> bool {
+    use std::cmp::Ordering;
+    let ordering: Option<Ordering> = match (v, literal) {
+        (Value::Number(a), Literal::Number(b)) => Some(a.cmp(b)),
+        (Value::String(a), Literal::String(b)) => Some(a.as_str().cmp(b.as_str())),
+        (Value::Bool(a), Literal::Bool(b)) => Some(a.cmp(b)),
+        (Value::Null, Literal::Null) => Some(Ordering::Equal),
+        _ => None, // kind mismatch
+    };
+    match (cmp, ordering) {
+        (Comparison::Eq, Some(Ordering::Equal)) => true,
+        (Comparison::Eq, _) => false,
+        // `!=` is true on kind mismatch too: the value is not that literal.
+        (Comparison::Ne, Some(Ordering::Equal)) => false,
+        (Comparison::Ne, _) => true,
+        (Comparison::Lt, Some(Ordering::Less)) => true,
+        (Comparison::Gt, Some(Ordering::Greater)) => true,
+        _ => false,
+    }
+}
+
+/// Keep only the parts of the row on one of the requested routes.
+fn project_value(v: &Value, routes: &[&[Step]]) -> Value {
+    if routes.iter().any(|r| r.is_empty()) {
+        return v.clone();
+    }
+    match v {
+        Value::Object(map) => {
+            let mut out = Map::new();
+            for (key, child) in map.iter() {
+                let sub: Vec<&[Step]> = routes
+                    .iter()
+                    .filter_map(|r| match r.first() {
+                        Some(Step::Field(name)) if name == key => Some(&r[1..]),
+                        _ => None,
+                    })
+                    .collect();
+                if !sub.is_empty() {
+                    out.insert_unchecked(key, project_value(child, &sub));
+                }
+            }
+            Value::Object(out)
+        }
+        Value::Array(elems) => {
+            let sub: Vec<&[Step]> = routes
+                .iter()
+                .filter_map(|r| match r.first() {
+                    Some(Step::Item) => Some(&r[1..]),
+                    _ => None,
+                })
+                .collect();
+            if sub.is_empty() {
+                v.clone()
+            } else {
+                Value::Array(elems.iter().map(|e| project_value(e, &sub)).collect())
+            }
+        }
+        scalar => scalar.clone(),
+    }
+}
+
+/// Emit one row per element of the array at `steps` (all-Field path).
+/// Rows missing the path, or holding a non-array there, are dropped.
+fn flatten_row(row: &Value, steps: &[Step], out: &mut Vec<Value>) {
+    // Navigate to the parent of the final field.
+    let Some((Step::Field(last), parents)) = steps.split_last() else {
+        // flatten $ — the row itself must be an array.
+        if let Some(elems) = row.as_array() {
+            out.extend(elems.iter().cloned());
+        }
+        return;
+    };
+    let mut current = row;
+    for step in parents {
+        let Step::Field(name) = step else { return };
+        match current.get(name) {
+            Some(child) => current = child,
+            None => return,
+        }
+    }
+    let Some(Value::Array(elems)) = current.get(last) else {
+        return;
+    };
+    for elem in elems {
+        out.push(replace_at(row, steps, elem.clone()));
+    }
+}
+
+/// Clone `row` with the value at the all-Field path replaced.
+fn replace_at(row: &Value, steps: &[Step], replacement: Value) -> Value {
+    match steps.split_first() {
+        None => replacement,
+        Some((Step::Field(name), rest)) => match row {
+            Value::Object(map) => {
+                let mut out = Map::with_capacity(map.len());
+                for (key, child) in map.iter() {
+                    if key == name.as_str() {
+                        out.insert_unchecked(key, replace_at(child, rest, replacement.clone()));
+                    } else {
+                        out.insert_unchecked(key, child.clone());
+                    }
+                }
+                Value::Object(out)
+            }
+            other => other.clone(),
+        },
+        Some((Step::Item, _)) => unreachable!("flatten paths contain no [] steps"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typefuse_json::json;
+
+    fn rows() -> Vec<Value> {
+        vec![
+            json!({"id": 1, "name": "a", "tags": ["x", "y"], "n": 5}),
+            json!({"id": 2, "tags": [], "n": 10}),
+            json!({"id": 3, "name": "c", "n": 7}),
+        ]
+    }
+
+    fn run(text: &str) -> Vec<Value> {
+        Pipeline::parse(text).unwrap().eval(&rows()).unwrap()
+    }
+
+    #[test]
+    fn filter_exists() {
+        let out = run("filter exists $.name");
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|v| v.get("name").is_some()));
+    }
+
+    #[test]
+    fn filter_comparisons() {
+        assert_eq!(run("filter $.n > 5").len(), 2);
+        assert_eq!(run("filter $.n < 6").len(), 1);
+        assert_eq!(run("filter $.id == 2").len(), 1);
+        assert_eq!(run("filter $.name == \"a\"").len(), 1);
+        // Comparisons are existential: a missing path satisfies nothing,
+        // not even `!=` (use `not $.name == "a"` for the complement).
+        assert_eq!(run("filter $.name != \"a\"").len(), 1);
+        assert_eq!(run("filter not $.name == \"a\"").len(), 2);
+        assert_eq!(
+            run("filter $.n == \"5\"").len(),
+            0,
+            "kind mismatch is false"
+        );
+    }
+
+    #[test]
+    fn filter_boolean_combinators() {
+        assert_eq!(run("filter exists $.name and $.n > 5").len(), 1);
+        assert_eq!(run("filter $.n < 6 or $.n > 9").len(), 2);
+        assert_eq!(run("filter not exists $.name").len(), 1);
+    }
+
+    #[test]
+    fn filter_through_arrays() {
+        let out = run("filter $.tags[] == \"y\"");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("id"), Some(&json!(1)));
+    }
+
+    #[test]
+    fn project_keeps_routes_only() {
+        let out = run("project $.id, $.name");
+        assert_eq!(out[0], json!({"id": 1, "name": "a"}));
+        assert_eq!(
+            out[1],
+            json!({"id": 2}),
+            "missing optional field stays missing"
+        );
+    }
+
+    #[test]
+    fn project_whole_row() {
+        let p = Pipeline::parse("project $").unwrap();
+        assert_eq!(p.eval(&rows()).unwrap(), rows());
+    }
+
+    #[test]
+    fn flatten_multiplies_and_drops() {
+        let out = run("flatten $.tags");
+        // Row 1 → two rows; row 2 (empty array) and row 3 (missing) drop.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("tags"), Some(&json!("x")));
+        assert_eq!(out[1].get("tags"), Some(&json!("y")));
+        // Other fields are preserved.
+        assert_eq!(out[0].get("id"), Some(&json!(1)));
+    }
+
+    #[test]
+    fn flatten_root() {
+        let p = Pipeline::parse("flatten $").unwrap();
+        let out = p.eval(&[json!([1, 2]), json!([3])]).unwrap();
+        assert_eq!(out, vec![json!(1), json!(2), json!(3)]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        assert_eq!(run("limit 2").len(), 2);
+        assert_eq!(run("limit 0").len(), 0);
+        assert_eq!(run("limit 99").len(), 3);
+    }
+
+    #[test]
+    fn pipeline_composition() {
+        let out = run("flatten $.tags\nfilter $.tags == \"y\"\nproject $.id, $.tags");
+        assert_eq!(out, vec![json!({"id": 1, "tags": "y"})]);
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let p = Pipeline::new();
+        assert_eq!(p.eval(&rows()).unwrap(), rows());
+    }
+}
+
+#[cfg(test)]
+mod distinct_count_tests {
+    use super::*;
+    use typefuse_json::json;
+
+    fn run_on(text: &str, rows: &[Value]) -> Vec<Value> {
+        Pipeline::parse(text).unwrap().eval(rows).unwrap()
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrences() {
+        let rows = vec![
+            json!({"a": 1}),
+            json!({"a": 2}),
+            json!({"a": 1}),
+            json!({"a": 1}),
+        ];
+        let out = run_on("distinct", &rows);
+        assert_eq!(out, vec![json!({"a": 1}), json!({"a": 2})]);
+    }
+
+    #[test]
+    fn distinct_after_project_dedups_views() {
+        let rows = vec![
+            json!({"k": "x", "extra": 1}),
+            json!({"k": "x", "extra": 2}),
+            json!({"k": "y", "extra": 3}),
+        ];
+        let out = run_on("project $.k\ndistinct", &rows);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn count_replaces_rows() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        assert_eq!(run_on("count", &rows), vec![json!({"count": 2})]);
+        assert_eq!(
+            run_on("filter $.a > 99\ncount", &rows),
+            vec![json!({"count": 0})]
+        );
+        // Operators compose after count too.
+        assert_eq!(
+            run_on("count\nproject $.count", &rows),
+            vec![json!({"count": 2})]
+        );
+    }
+}

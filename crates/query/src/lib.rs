@@ -1,0 +1,59 @@
+//! # typefuse-query
+//!
+//! A small query language over JSON collections, **statically checked
+//! against an inferred schema**.
+//!
+//! The paper motivates complete inferred schemas with exactly this use
+//! case (Sections 1 and 3): "the correctness of complex queries and
+//! programs cannot be statically checked" without a schema, and "our
+//! inferred schemas can be used to make type checking of Pig Latin
+//! scripts much stronger". This crate is that consumer: a pipeline of
+//! `filter` / `project` / `flatten` / `limit` operators whose paths and
+//! kind expectations are verified against the schema *before* touching a
+//! single record.
+//!
+//! The payoff is the soundness property tested in `tests/soundness.rs`:
+//! **a pipeline that type-checks against the fused schema of a dataset
+//! never encounters a structural error when evaluated on that dataset**,
+//! and its output conforms to the predicted output schema.
+//!
+//! ```
+//! use typefuse_infer::{fuse_all, infer_type};
+//! use typefuse_json::parse_value;
+//! use typefuse_query::Pipeline;
+//!
+//! let records: Vec<_> = [
+//!     r#"{"user": {"name": "ada"}, "tags": ["x", "y"]}"#,
+//!     r#"{"user": {"name": "bob"}, "tags": []}"#,
+//! ]
+//! .iter()
+//! .map(|l| parse_value(l).unwrap())
+//! .collect();
+//! let schema = fuse_all(&records.iter().map(infer_type).collect::<Vec<_>>());
+//!
+//! // After `flatten $.tags`, the `tags` field holds one tag per row.
+//! let pipeline = Pipeline::parse(
+//!     "flatten $.tags\nproject $.user.name, $.tags",
+//! ).unwrap();
+//! let out_schema = pipeline.check(&schema).unwrap();
+//! let out = pipeline.eval(&records).unwrap();
+//! assert_eq!(out.len(), 2); // two tag rows from the first record
+//! assert!(out.iter().all(|v| out_schema.admits(v)));
+//!
+//! // A typo'd path is rejected before any data is touched:
+//! let typo = Pipeline::parse("project $.user.nmae").unwrap();
+//! assert!(typo.check(&schema).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod check;
+mod eval;
+mod parse;
+
+pub use ast::{Comparison, Op, Path, Pipeline, Predicate, Step};
+pub use check::CheckError;
+pub use eval::EvalError;
+pub use parse::ParseError;

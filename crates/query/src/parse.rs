@@ -1,0 +1,363 @@
+//! Text syntax for pipelines: one operator per line.
+//!
+//! ```text
+//! filter exists $.byline and not $.word_count == "0"
+//! flatten $.keywords
+//! project $.headline.main, $.keywords[].value
+//! limit 100
+//! ```
+//!
+//! Grammar:
+//!
+//! ```text
+//! pipeline := line*                       one op per non-empty line,
+//!                                         `#` starts a comment
+//! line     := "filter" pred
+//!           | "project" path ("," path)*
+//!           | "flatten" path
+//!           | "limit" integer
+//!           | "distinct" | "count"
+//! pred     := orterm ("or" orterm)*
+//! orterm   := term ("and" term)*
+//! term     := "not" term | "(" pred ")" | "exists" path
+//!           | path cmp literal
+//! cmp      := "==" | "!=" | "<" | ">"
+//! literal  := JSON scalar (number, string, true, false, null)
+//! path     := "$" ( "." ident | "[]" )*
+//! ```
+
+use crate::ast::{Comparison, Literal, Op, Path, Pipeline, Predicate, Step};
+use std::fmt;
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Pipeline {
+    /// Parse a pipeline from its text form.
+    pub fn parse(text: &str) -> Result<Pipeline, ParseError> {
+        let mut ops = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = match raw.find('#') {
+                Some(cut) => &raw[..cut],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut cursor = Cursor {
+                text: line,
+                pos: 0,
+                line: line_no,
+            };
+            let op = cursor.parse_op()?;
+            cursor.skip_ws();
+            if !cursor.at_end() {
+                return Err(cursor.err("trailing input after operator"));
+            }
+            ops.push(op);
+        }
+        Ok(Pipeline { ops })
+    }
+}
+
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest().is_empty()
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.text.len() - trimmed.len();
+    }
+
+    fn eat_symbol(&mut self, symbol: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(symbol) {
+            self.pos += symbol.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume `word` only if followed by a non-identifier character.
+    fn eat_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(word) {
+            let after = self.rest()[word.len()..].chars().next();
+            if !matches!(after, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                self.pos += word.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn parse_op(&mut self) -> Result<Op, ParseError> {
+        if self.eat_word("filter") {
+            return Ok(Op::Filter(self.parse_pred()?));
+        }
+        if self.eat_word("project") {
+            let mut paths = vec![self.parse_path()?];
+            while self.eat_symbol(",") {
+                paths.push(self.parse_path()?);
+            }
+            return Ok(Op::Project(paths));
+        }
+        if self.eat_word("flatten") {
+            return Ok(Op::Flatten(self.parse_path()?));
+        }
+        if self.eat_word("distinct") {
+            return Ok(Op::Distinct);
+        }
+        if self.eat_word("count") {
+            return Ok(Op::Count);
+        }
+        if self.eat_word("limit") {
+            self.skip_ws();
+            let digits: String = self
+                .rest()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            if digits.is_empty() {
+                return Err(self.err("limit needs a number"));
+            }
+            self.pos += digits.len();
+            let n: usize = digits.parse().map_err(|_| self.err("limit out of range"))?;
+            return Ok(Op::Limit(n));
+        }
+        Err(self.err("expected filter, project, flatten, distinct, count or limit"))
+    }
+
+    fn parse_pred(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_word("or") {
+            let right = self.parse_and()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.parse_term()?;
+        while self.eat_word("and") {
+            let right = self.parse_term()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<Predicate, ParseError> {
+        if self.eat_word("not") {
+            return Ok(Predicate::Not(Box::new(self.parse_term()?)));
+        }
+        if self.eat_symbol("(") {
+            let inner = self.parse_pred()?;
+            if !self.eat_symbol(")") {
+                return Err(self.err("expected `)`"));
+            }
+            return Ok(inner);
+        }
+        if self.eat_word("exists") {
+            return Ok(Predicate::Exists(self.parse_path()?));
+        }
+        let path = self.parse_path()?;
+        let cmp = if self.eat_symbol("==") {
+            Comparison::Eq
+        } else if self.eat_symbol("!=") {
+            Comparison::Ne
+        } else if self.eat_symbol("<") {
+            Comparison::Lt
+        } else if self.eat_symbol(">") {
+            Comparison::Gt
+        } else {
+            return Err(self.err("expected a comparison operator"));
+        };
+        let literal = self.parse_literal()?;
+        Ok(Predicate::Compare(path, cmp, literal))
+    }
+
+    fn parse_path(&mut self) -> Result<Path, ParseError> {
+        self.skip_ws();
+        if !self.eat_symbol("$") {
+            return Err(self.err("expected a path starting with `$`"));
+        }
+        let mut steps = Vec::new();
+        loop {
+            if self.rest().starts_with("[]") {
+                self.pos += 2;
+                steps.push(Step::Item);
+            } else if self.rest().starts_with('.') {
+                self.pos += 1;
+                let name: String = self
+                    .rest()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+                    .collect();
+                if name.is_empty() {
+                    return Err(self.err("expected a field name after `.`"));
+                }
+                self.pos += name.len();
+                steps.push(Step::Field(name));
+            } else {
+                break;
+            }
+        }
+        Ok(Path::new(steps))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        self.skip_ws();
+        // Delegate scalars to the JSON parser for full escape and number
+        // grammar support.
+        let rest = self.rest();
+        let mut jp = typefuse_json::Parser::new(rest.as_bytes());
+        match jp.parse_one() {
+            Ok(typefuse_json::Value::Number(n)) => {
+                self.pos += jp.position().offset;
+                Ok(Literal::Number(n))
+            }
+            Ok(typefuse_json::Value::String(s)) => {
+                self.pos += jp.position().offset;
+                Ok(Literal::String(s))
+            }
+            Ok(typefuse_json::Value::Bool(b)) => {
+                self.pos += jp.position().offset;
+                Ok(Literal::Bool(b))
+            }
+            Ok(typefuse_json::Value::Null) => {
+                self.pos += jp.position().offset;
+                Ok(Literal::Null)
+            }
+            _ => Err(self.err("expected a scalar literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Pipeline {
+        Pipeline::parse(text).unwrap()
+    }
+
+    fn parse_err(text: &str) -> ParseError {
+        Pipeline::parse(text).unwrap_err()
+    }
+
+    #[test]
+    fn empty_and_comments() {
+        assert_eq!(parse("").ops.len(), 0);
+        assert_eq!(parse("\n# a comment\n  \n").ops.len(), 0);
+        assert_eq!(parse("limit 5 # keep few").ops, vec![Op::Limit(5)]);
+    }
+
+    #[test]
+    fn project_and_flatten() {
+        let p = parse("project $.a, $.b[].c\nflatten $.b");
+        assert_eq!(
+            p.ops,
+            vec![
+                Op::Project(vec![
+                    Path::root().field("a"),
+                    Path::root().field("b").item().field("c"),
+                ]),
+                Op::Flatten(Path::root().field("b")),
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_predicates() {
+        let p = parse(r#"filter exists $.a and not ($.n > 3 or $.s == "x")"#);
+        match &p.ops[0] {
+            Op::Filter(Predicate::And(left, right)) => {
+                assert!(matches!(**left, Predicate::Exists(_)));
+                assert!(matches!(**right, Predicate::Not(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals() {
+        parse(r#"filter $.a == "quoted \"str\"""#);
+        parse("filter $.a == -1.5e3");
+        parse("filter $.a != null");
+        parse("filter $.a == true");
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let p = parse("filter exists $.a or exists $.b and exists $.c");
+        match &p.ops[0] {
+            Op::Filter(Predicate::Or(_, right)) => {
+                assert!(matches!(**right, Predicate::And(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_err("limit 5\nfrobnicate $.x");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected filter"));
+
+        assert!(parse_err("project a").message.contains("path"));
+        assert!(parse_err("filter $.a ==").message.contains("literal"));
+        assert!(parse_err("limit").message.contains("number"));
+        assert!(parse_err("limit 3 extra").message.contains("trailing"));
+        assert!(parse_err("filter ($.a == 1").message.contains(")"));
+        assert!(parse_err("project $.").message.contains("field name"));
+    }
+
+    #[test]
+    fn root_path_is_allowed() {
+        let p = parse("flatten $");
+        assert_eq!(p.ops, vec![Op::Flatten(Path::root())]);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let text = "filter (exists $.a) and ($.n > 3)\nproject $.a, $.n\nlimit 7";
+        let p = parse(text);
+        let reparsed = parse(&p.to_string());
+        assert_eq!(p, reparsed);
+    }
+}

@@ -1,0 +1,205 @@
+//! The soundness guarantee of schema-checked querying:
+//!
+//! > If `pipeline.check(schema)` succeeds with output schema `S`, then
+//! > for any rows admitted by `schema`, `pipeline.eval(rows)` succeeds
+//! > and every output row is admitted by `S`.
+//!
+//! This is the operational payoff of the paper's completeness property —
+//! a complete schema lets the checker promise, statically, that a query
+//! will not hit structural surprises at run time.
+
+use proptest::prelude::*;
+use typefuse_infer::{fuse_all, infer_type};
+use typefuse_json::Value;
+use typefuse_query::{Op, Path, Pipeline, Predicate};
+use typefuse_types::testkit::arb_value;
+use typefuse_types::Type;
+
+/// Build a random pipeline whose paths are drawn from the *actual* paths
+/// of the dataset, so that checking usually succeeds and the interesting
+/// branch is exercised.
+fn arb_pipeline_for(values: &[Value]) -> BoxedStrategy<Pipeline> {
+    // Collect candidate field paths (no [] steps for flatten safety).
+    let mut field_paths: Vec<Path> = Vec::new();
+    let mut all_paths: Vec<Path> = vec![Path::root()];
+    for v in values {
+        collect_paths(v, Path::root(), &mut field_paths, &mut all_paths);
+    }
+    field_paths.sort_by_key(|p| p.to_string());
+    field_paths.dedup();
+    all_paths.sort_by_key(|p| p.to_string());
+    all_paths.dedup();
+
+    let any_path = prop::sample::select(all_paths.clone());
+    let field_path = if field_paths.is_empty() {
+        Just(Path::root()).boxed()
+    } else {
+        prop::sample::select(field_paths).boxed()
+    };
+
+    let op = prop_oneof![
+        3 => any_path.clone().prop_map(|p| Op::Filter(Predicate::Exists(p))),
+        2 => prop::collection::vec(any_path, 1..3).prop_map(Op::Project),
+        2 => field_path.prop_map(Op::Flatten),
+        1 => (0usize..5).prop_map(Op::Limit),
+        1 => Just(Op::Distinct),
+        1 => Just(Op::Count),
+    ];
+    prop::collection::vec(op, 0..4)
+        .prop_map(|ops| Pipeline { ops })
+        .boxed()
+}
+
+fn collect_paths(v: &Value, prefix: Path, fields: &mut Vec<Path>, all: &mut Vec<Path>) {
+    match v {
+        Value::Object(map) => {
+            for (key, child) in map.iter() {
+                let p = prefix.clone().field(key);
+                fields.push(p.clone());
+                all.push(p.clone());
+                collect_paths(child, p, fields, all);
+            }
+        }
+        Value::Array(elems) => {
+            let p = prefix.item();
+            if !elems.is_empty() {
+                all.push(p.clone());
+            }
+            for child in elems {
+                // Paths through arrays are valid for filter/project but
+                // not for flatten: only `all` collects them.
+                collect_paths_items_only(child, p.clone(), all);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_paths_items_only(v: &Value, prefix: Path, all: &mut Vec<Path>) {
+    match v {
+        Value::Object(map) => {
+            for (key, child) in map.iter() {
+                let p = prefix.clone().field(key);
+                all.push(p.clone());
+                collect_paths_items_only(child, p, all);
+            }
+        }
+        Value::Array(elems) => {
+            let p = prefix.item();
+            if !elems.is_empty() {
+                all.push(p.clone());
+            }
+            for child in elems {
+                collect_paths_items_only(child, p.clone(), all);
+            }
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn checked_pipelines_are_sound(
+        (values, pipeline) in prop::collection::vec(arb_value(), 1..8)
+            .prop_flat_map(|values| {
+                let pipes = arb_pipeline_for(&values);
+                (Just(values), pipes)
+            })
+    ) {
+        let schema: Type =
+            fuse_all(&values.iter().map(infer_type).collect::<Vec<_>>());
+        // Checking may fail (e.g. flatten of a non-array path) — that is
+        // the checker doing its job. Soundness speaks about successes.
+        if let Ok(out_schema) = pipeline.check(&schema) {
+            let out = pipeline.eval(&values).expect("eval is total");
+            for row in &out {
+                prop_assert!(
+                    out_schema.admits(row),
+                    "output schema {} rejects row {} (pipeline:\n{})",
+                    out_schema, row, pipeline
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_paths_really_do_not_exist(
+        values in prop::collection::vec(arb_value(), 1..6)
+    ) {
+        // A path flagged UnknownPath never resolves in any admitted value.
+        let schema = fuse_all(&values.iter().map(infer_type).collect::<Vec<_>>());
+        let bogus = Path::root().field("surely_not_a_field_93");
+        let pipeline = Pipeline::new().then(Op::Filter(Predicate::Exists(bogus.clone())));
+        if pipeline.check(&schema).is_err() {
+            for v in &values {
+                let pipeline_on_value =
+                    Pipeline::new().then(Op::Filter(Predicate::Exists(bogus.clone())));
+                let out = pipeline_on_value.eval(std::slice::from_ref(v)).unwrap();
+                prop_assert!(out.is_empty(), "checker said unknown but value matched");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_output_matches_prediction_exactly(
+        values in prop::collection::vec(arb_value(), 1..6)
+    ) {
+        // For project-only pipelines the predicted schema must admit all
+        // outputs AND the outputs must witness only predicted paths.
+        let schema = fuse_all(&values.iter().map(infer_type).collect::<Vec<_>>());
+        let mut fields: Vec<Path> = Vec::new();
+        let mut all: Vec<Path> = Vec::new();
+        for v in &values {
+            collect_paths(v, Path::root(), &mut fields, &mut all);
+        }
+        if fields.is_empty() {
+            return Ok(());
+        }
+        let request = vec![fields[0].clone()];
+        let pipeline = Pipeline::new().then(Op::Project(request));
+        let out_schema = pipeline.check(&schema).expect("existing path checks");
+        let out = pipeline.eval(&values).unwrap();
+        let predicted = typefuse_types::paths::type_paths(&out_schema);
+        for row in &out {
+            prop_assert!(out_schema.admits(row));
+            for p in typefuse_types::paths::value_paths(row) {
+                prop_assert!(predicted.contains(&p), "unpredicted path {}", p);
+            }
+        }
+    }
+}
+
+#[test]
+fn end_to_end_on_a_realistic_profile() {
+    use typefuse_datagen::{DatasetProfile, Profile};
+
+    let rows: Vec<Value> = Profile::NYTimes.generate(7, 300).collect();
+    let schema = fuse_all(&rows.iter().map(infer_type).collect::<Vec<_>>());
+
+    let pipeline = Pipeline::parse(
+        "filter exists $.byline and $.word_count > 100\n\
+         flatten $.keywords\n\
+         filter $.keywords.name == \"subject\"\n\
+         project $.headline.main, $.keywords.value, $.pub_date\n\
+         limit 50",
+    )
+    .unwrap();
+
+    let out_schema = pipeline.check(&schema).expect("pipeline type-checks");
+    let out = pipeline.eval(&rows).unwrap();
+    assert!(!out.is_empty(), "the profile produces matching rows");
+    assert!(out.len() <= 50);
+    for row in &out {
+        assert!(out_schema.admits(row));
+        assert!(row.get("headline").is_some());
+        assert!(row.get("snippet").is_none(), "projected away");
+    }
+
+    // And the checker catches realistic mistakes statically:
+    let typo = Pipeline::parse("project $.headlines.main").unwrap();
+    assert!(typo.check(&schema).is_err(), "typo'd path must not check");
+    let wrong_kind = Pipeline::parse("filter $.pub_date > 10").unwrap();
+    assert!(wrong_kind.check(&schema).is_err(), "date is a string here");
+}

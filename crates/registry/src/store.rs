@@ -1,0 +1,510 @@
+//! The append-only registry store.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use typefuse_json::{Map, Value};
+use typefuse_types::diff::{diff, SchemaChange};
+use typefuse_types::{is_subtype, parse_type, Type};
+
+/// Compatibility gate applied at publish time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompatMode {
+    /// New schema must admit all data of the previous one (`old <: new`).
+    #[default]
+    Backward,
+    /// Previous schema must admit all data of the new one (`new <: old`).
+    Forward,
+    /// Both directions (schemas equivalent up to syntax).
+    Full,
+    /// No gate.
+    None,
+}
+
+impl CompatMode {
+    /// Parse the CLI-facing name.
+    pub fn from_name(name: &str) -> Option<CompatMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "backward" => Some(CompatMode::Backward),
+            "forward" => Some(CompatMode::Forward),
+            "full" => Some(CompatMode::Full),
+            "none" => Some(CompatMode::None),
+            _ => None,
+        }
+    }
+
+    fn allows(self, old: &Type, new: &Type) -> bool {
+        match self {
+            CompatMode::Backward => is_subtype(old, new),
+            CompatMode::Forward => is_subtype(new, old),
+            CompatMode::Full => is_subtype(old, new) && is_subtype(new, old),
+            CompatMode::None => true,
+        }
+    }
+}
+
+impl fmt::Display for CompatMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompatMode::Backward => "backward",
+            CompatMode::Forward => "forward",
+            CompatMode::Full => "full",
+            CompatMode::None => "none",
+        })
+    }
+}
+
+/// One stored schema version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Subject name (e.g. a topic or dataset id).
+    pub name: String,
+    /// 1-based version within the subject.
+    pub version: u64,
+    /// The schema.
+    pub schema: Type,
+}
+
+/// Result of a publish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Version now associated with the schema.
+    pub version: u64,
+    /// `true` when the schema was already registered under this subject
+    /// (syntactically identical to the latest version); no entry was
+    /// appended.
+    pub unchanged: bool,
+}
+
+/// Registry failures.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The log contains a malformed entry (line number, description).
+    Corrupt {
+        /// 1-based log line.
+        line: usize,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The publish violates the requested compatibility mode.
+    Incompatible {
+        /// The gate that failed.
+        mode: CompatMode,
+        /// Version the schema was checked against.
+        against_version: u64,
+        /// The structural changes, for the error report.
+        changes: Vec<SchemaChange>,
+    },
+    /// Subject (or version) not present.
+    NotFound {
+        /// The requested subject.
+        name: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry I/O error: {e}"),
+            RegistryError::Corrupt { line, message } => {
+                write!(f, "corrupt registry log at line {line}: {message}")
+            }
+            RegistryError::Incompatible {
+                mode,
+                against_version,
+                changes,
+            } => {
+                write!(
+                    f,
+                    "schema is not {mode}-compatible with version {against_version} \
+                     ({} structural changes)",
+                    changes.len()
+                )
+            }
+            RegistryError::NotFound { name } => write!(f, "unknown subject {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// The registry: an in-memory index over an append-only NDJSON log.
+#[derive(Debug)]
+pub struct Registry {
+    path: PathBuf,
+    subjects: BTreeMap<String, Vec<Entry>>,
+}
+
+impl Registry {
+    /// Open (or create) a registry log at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Registry, RegistryError> {
+        let path = path.as_ref().to_path_buf();
+        let mut subjects: BTreeMap<String, Vec<Entry>> = BTreeMap::new();
+        match std::fs::File::open(&path) {
+            Ok(file) => {
+                for (idx, line) in BufReader::new(file).lines().enumerate() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let entry = parse_entry(&line).map_err(|message| RegistryError::Corrupt {
+                        line: idx + 1,
+                        message,
+                    })?;
+                    let versions = subjects.entry(entry.name.clone()).or_default();
+                    if entry.version != versions.len() as u64 + 1 {
+                        return Err(RegistryError::Corrupt {
+                            line: idx + 1,
+                            message: format!(
+                                "version {} out of sequence (expected {})",
+                                entry.version,
+                                versions.len() + 1
+                            ),
+                        });
+                    }
+                    versions.push(entry);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(Registry { path, subjects })
+    }
+
+    /// All subject names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.subjects.keys().map(String::as_str).collect()
+    }
+
+    /// The latest entry of a subject.
+    pub fn latest(&self, name: &str) -> Option<&Entry> {
+        self.subjects.get(name).and_then(|v| v.last())
+    }
+
+    /// A specific version of a subject.
+    pub fn get(&self, name: &str, version: u64) -> Option<&Entry> {
+        self.subjects
+            .get(name)
+            .and_then(|v| v.get(version.checked_sub(1)? as usize))
+    }
+
+    /// Every version of a subject, oldest first.
+    pub fn history(&self, name: &str) -> Result<&[Entry], RegistryError> {
+        self.subjects
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| RegistryError::NotFound {
+                name: name.to_string(),
+            })
+    }
+
+    /// Structural changes between two versions of a subject.
+    pub fn diff(&self, name: &str, from: u64, to: u64) -> Result<Vec<SchemaChange>, RegistryError> {
+        let a = self
+            .get(name, from)
+            .ok_or_else(|| RegistryError::NotFound {
+                name: format!("{name} v{from}"),
+            })?;
+        let b = self.get(name, to).ok_or_else(|| RegistryError::NotFound {
+            name: format!("{name} v{to}"),
+        })?;
+        Ok(diff(&a.schema, &b.schema))
+    }
+
+    /// Publish a schema under `name`, gated by `mode` against the latest
+    /// version. Publishing a schema *equivalent* to the latest one
+    /// (mutual subtype — e.g. `[ε*]` vs `[]` — or syntactically identical)
+    /// is a no-op returning the existing version, so re-publishing the
+    /// inferred schema of unchanged data never churns versions.
+    pub fn publish(
+        &mut self,
+        name: &str,
+        schema: &Type,
+        mode: CompatMode,
+    ) -> Result<PublishOutcome, RegistryError> {
+        if let Some(latest) = self.latest(name) {
+            let equivalent = latest.schema == *schema
+                || (is_subtype(&latest.schema, schema) && is_subtype(schema, &latest.schema));
+            if equivalent {
+                return Ok(PublishOutcome {
+                    version: latest.version,
+                    unchanged: true,
+                });
+            }
+            if !mode.allows(&latest.schema, schema) {
+                return Err(RegistryError::Incompatible {
+                    mode,
+                    against_version: latest.version,
+                    changes: diff(&latest.schema, schema),
+                });
+            }
+        }
+        let version = self.latest(name).map_or(1, |e| e.version + 1);
+        let entry = Entry {
+            name: name.to_string(),
+            version,
+            schema: schema.clone(),
+        };
+        self.append(&entry)?;
+        self.subjects
+            .entry(name.to_string())
+            .or_default()
+            .push(entry);
+        Ok(PublishOutcome {
+            version,
+            unchanged: false,
+        })
+    }
+
+    fn append(&self, entry: &Entry) -> Result<(), RegistryError> {
+        let mut m = Map::new();
+        m.insert("name", entry.name.clone());
+        m.insert("version", entry.version as i64);
+        m.insert("schema", entry.schema.to_string());
+        let line = typefuse_json::to_string(&Value::Object(m));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(())
+    }
+}
+
+fn parse_entry(line: &str) -> Result<Entry, String> {
+    let value = typefuse_json::parse_value(line).map_err(|e| e.to_string())?;
+    let name = value
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("missing name")?
+        .to_string();
+    let version = value
+        .get("version")
+        .and_then(Value::as_i64)
+        .filter(|v| *v >= 1)
+        .ok_or("missing or invalid version")? as u64;
+    let schema_text = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema")?;
+    let schema = parse_type(schema_text).map_err(|e| format!("bad schema: {e}"))?;
+    Ok(Entry {
+        name,
+        version,
+        schema,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fresh(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("typefuse-registry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn t(text: &str) -> Type {
+        parse_type(text).unwrap()
+    }
+
+    #[test]
+    fn publish_assigns_sequential_versions() {
+        let mut reg = Registry::open(fresh("seq.ndjson")).unwrap();
+        assert_eq!(
+            reg.publish("a", &t("{x: Num}"), CompatMode::None).unwrap(),
+            PublishOutcome {
+                version: 1,
+                unchanged: false
+            }
+        );
+        assert_eq!(
+            reg.publish("a", &t("{x: Num, y: Str?}"), CompatMode::None)
+                .unwrap()
+                .version,
+            2
+        );
+        assert_eq!(
+            reg.publish("b", &t("Num"), CompatMode::None)
+                .unwrap()
+                .version,
+            1
+        );
+        assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn identical_schema_is_a_noop() {
+        let mut reg = Registry::open(fresh("noop.ndjson")).unwrap();
+        reg.publish("a", &t("{x: Num}"), CompatMode::Backward)
+            .unwrap();
+        let again = reg
+            .publish("a", &t("{x: Num}"), CompatMode::Backward)
+            .unwrap();
+        assert_eq!(
+            again,
+            PublishOutcome {
+                version: 1,
+                unchanged: true
+            }
+        );
+        assert_eq!(reg.history("a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn backward_gate() {
+        let mut reg = Registry::open(fresh("backward.ndjson")).unwrap();
+        reg.publish("a", &t("{x: Num}"), CompatMode::Backward)
+            .unwrap();
+        // Widening is fine…
+        reg.publish("a", &t("{x: Null + Num, y: Str?}"), CompatMode::Backward)
+            .unwrap();
+        // …but narrowing is rejected, with the changes attached.
+        let err = reg
+            .publish("a", &t("{x: Num}"), CompatMode::Backward)
+            .unwrap_err();
+        match err {
+            RegistryError::Incompatible {
+                against_version: 2,
+                changes,
+                ..
+            } => {
+                assert!(!changes.is_empty());
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // The failed publish appended nothing.
+        assert_eq!(reg.latest("a").unwrap().version, 2);
+    }
+
+    #[test]
+    fn forward_and_full_gates() {
+        let mut reg = Registry::open(fresh("forward.ndjson")).unwrap();
+        reg.publish("a", &t("{x: Num, y: Str?}"), CompatMode::None)
+            .unwrap();
+        // Forward allows narrowing…
+        reg.publish("a", &t("{x: Num}"), CompatMode::Forward)
+            .unwrap();
+        // …but not widening.
+        assert!(reg
+            .publish("a", &t("{x: Num, z: Bool?}"), CompatMode::Forward)
+            .is_err());
+        // Full only allows equivalents (e.g. [ε*] vs []).
+        reg.publish("b", &t("{x: []}"), CompatMode::None).unwrap();
+        let starred = Type::Record(
+            typefuse_types::RecordType::new(vec![typefuse_types::Field::required(
+                "x",
+                Type::star(Type::Bottom),
+            )])
+            .unwrap(),
+        );
+        let outcome = reg.publish("b", &starred, CompatMode::Full).unwrap();
+        assert!(outcome.unchanged, "equivalent schemas dedup");
+        assert_eq!(outcome.version, 1);
+        assert!(reg
+            .publish("b", &t("{x: [], y: Num?}"), CompatMode::Full)
+            .is_err());
+    }
+
+    #[test]
+    fn reopening_restores_state() {
+        let path = fresh("reopen.ndjson");
+        {
+            let mut reg = Registry::open(&path).unwrap();
+            reg.publish("a", &t("{x: Num}"), CompatMode::None).unwrap();
+            reg.publish("a", &t("{x: Num, y: Str?}"), CompatMode::None)
+                .unwrap();
+        }
+        let reg = Registry::open(&path).unwrap();
+        assert_eq!(reg.latest("a").unwrap().version, 2);
+        assert_eq!(reg.get("a", 1).unwrap().schema, t("{x: Num}"));
+        assert_eq!(reg.history("a").unwrap().len(), 2);
+        // The gate still works across restarts.
+        let mut reg = reg;
+        assert!(reg.publish("a", &t("Num"), CompatMode::Backward).is_err());
+    }
+
+    #[test]
+    fn diff_between_versions() {
+        let path = fresh("diff.ndjson");
+        let mut reg = Registry::open(&path).unwrap();
+        reg.publish("a", &t("{x: Num}"), CompatMode::None).unwrap();
+        reg.publish("a", &t("{x: Str}"), CompatMode::None).unwrap();
+        let changes = reg.diff("a", 1, 2).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].to_string(), "~ $.x: Num → Str");
+        assert!(reg.diff("a", 1, 9).is_err());
+        assert!(reg.diff("zzz", 1, 1).is_err());
+    }
+
+    #[test]
+    fn corrupt_logs_are_rejected() {
+        let path = fresh("corrupt.ndjson");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(
+            Registry::open(&path),
+            Err(RegistryError::Corrupt { line: 1, .. })
+        ));
+
+        let path = fresh("skip.ndjson");
+        std::fs::write(&path, "{\"name\":\"a\",\"version\":2,\"schema\":\"Num\"}\n").unwrap();
+        assert!(
+            matches!(Registry::open(&path), Err(RegistryError::Corrupt { .. })),
+            "out-of-sequence version"
+        );
+    }
+
+    #[test]
+    fn missing_subject_errors() {
+        let reg = Registry::open(fresh("missing.ndjson")).unwrap();
+        assert!(reg.latest("nope").is_none());
+        assert!(matches!(
+            reg.history("nope"),
+            Err(RegistryError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn fused_profile_schemas_round_trip_through_the_log() {
+        use typefuse_datagen::{DatasetProfile, Profile};
+        use typefuse_infer::{fuse_all, infer_type};
+
+        let path = fresh("profiles.ndjson");
+        let mut reg = Registry::open(&path).unwrap();
+        for profile in Profile::ALL {
+            let values: Vec<_> = profile.generate(5, 100).collect();
+            let schema = fuse_all(&values.iter().map(infer_type).collect::<Vec<_>>());
+            reg.publish(profile.name(), &schema, CompatMode::None)
+                .unwrap();
+        }
+        let reopened = Registry::open(&path).unwrap();
+        for profile in Profile::ALL {
+            let values: Vec<_> = profile.generate(5, 100).collect();
+            let schema = fuse_all(&values.iter().map(infer_type).collect::<Vec<_>>());
+            // `[ε*]` prints as `[]` and reparses as the (semantically
+            // equal) empty positional array type, so compare the printed
+            // canonical forms.
+            assert_eq!(
+                reopened.latest(profile.name()).unwrap().schema.to_string(),
+                schema.to_string(),
+                "{profile} schema survives the notation round trip"
+            );
+        }
+    }
+}

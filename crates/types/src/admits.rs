@@ -1,0 +1,183 @@
+//! The semantics of types: value membership `V ∈ ⟦T⟧` (Section 4).
+//!
+//! The paper defines `⟦·⟧` denotationally; membership of a concrete value
+//! is decidable by structural recursion, implemented here as
+//! [`Type::admits`]. This is the ground truth against which the
+//! correctness theorems (5.1, 5.2) are property-tested: fusion may only
+//! ever *grow* the set of admitted values.
+
+use crate::ty::{RecordType, Type};
+use typefuse_json::Value;
+
+impl Type {
+    /// Decide whether `value ∈ ⟦self⟧`.
+    pub fn admits(&self, value: &Value) -> bool {
+        match self {
+            // ⟦ε⟧ = ∅.
+            Type::Bottom => false,
+            Type::Null => matches!(value, Value::Null),
+            Type::Bool => matches!(value, Value::Bool(_)),
+            Type::Num => matches!(value, Value::Number(_)),
+            Type::Str => matches!(value, Value::String(_)),
+            Type::Record(rt) => match value {
+                Value::Object(map) => record_admits(rt, map),
+                _ => false,
+            },
+            Type::Array(at) => match value {
+                Value::Array(elems) => {
+                    elems.len() == at.len()
+                        && at.elems().iter().zip(elems).all(|(t, v)| t.admits(v))
+                }
+                _ => false,
+            },
+            // ⟦[T*]⟧ = lists of values from ⟦T⟧ — including the empty
+            // list, which is why ⟦[ε*]⟧ = {[]}.
+            Type::Star(body) => match value {
+                Value::Array(elems) => elems.iter().all(|v| body.admits(v)),
+                _ => false,
+            },
+            Type::Union(u) => u.addends().iter().any(|t| t.admits(value)),
+        }
+    }
+}
+
+/// Record semantics: the value must have *exactly* the keys listed in the
+/// type (optional ones may be absent), each with an admitted value. Record
+/// types are "closed" — this is what makes the inferred schema a *complete*
+/// structural description (Section 1: every path in the data is a path in
+/// the schema, and vice versa nothing is hidden).
+fn record_admits(rt: &RecordType, map: &typefuse_json::Map) -> bool {
+    // Every field of the value must be declared and admitted.
+    for (key, value) in map.iter() {
+        match rt.field(key) {
+            Some(f) if f.ty.admits(value) => {}
+            _ => return false,
+        }
+    }
+    // Every mandatory field must be present.
+    rt.required_fields().all(|f| map.contains_key(&f.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::{ArrayType, RecordBuilder};
+    use typefuse_json::json;
+
+    #[test]
+    fn basic_membership() {
+        assert!(Type::Null.admits(&json!(null)));
+        assert!(Type::Bool.admits(&json!(true)));
+        assert!(Type::Num.admits(&json!(1.5)));
+        assert!(Type::Str.admits(&json!("s")));
+        assert!(!Type::Num.admits(&json!("1")));
+        assert!(!Type::Bottom.admits(&json!(null)));
+    }
+
+    #[test]
+    fn union_membership() {
+        let t = Type::Num.plus(Type::Str);
+        assert!(t.admits(&json!(1)));
+        assert!(t.admits(&json!("x")));
+        assert!(!t.admits(&json!(true)));
+    }
+
+    #[test]
+    fn record_mandatory_and_optional() {
+        let t = RecordBuilder::new()
+            .required("m", Type::Num)
+            .optional("o", Type::Str)
+            .into_type();
+        assert!(t.admits(&json!({"m": 1})));
+        assert!(t.admits(&json!({"m": 1, "o": "x"})));
+        assert!(!t.admits(&json!({"o": "x"})), "missing mandatory field");
+        assert!(
+            !t.admits(&json!({"m": 1, "extra": 2})),
+            "records are closed"
+        );
+        assert!(!t.admits(&json!({"m": "wrong"})));
+        assert!(!t.admits(&json!([1])), "not a record");
+    }
+
+    #[test]
+    fn empty_record_admits_only_empty_object() {
+        let t = Type::empty_record();
+        assert!(t.admits(&json!({})));
+        assert!(!t.admits(&json!({"a": 1})));
+    }
+
+    #[test]
+    fn positional_arrays_are_length_exact() {
+        let t = Type::Array(ArrayType::new(vec![Type::Str, Type::Num]));
+        assert!(t.admits(&json!(["a", 1])));
+        assert!(!t.admits(&json!(["a"])));
+        assert!(!t.admits(&json!(["a", 1, 2])));
+        assert!(!t.admits(&json!([1, "a"])), "order matters");
+    }
+
+    #[test]
+    fn star_arrays_admit_any_length() {
+        let t = Type::star(Type::Num);
+        assert!(t.admits(&json!([])));
+        assert!(t.admits(&json!([1])));
+        assert!(t.admits(&json!([1, 2, 3])));
+        assert!(!t.admits(&json!([1, "x"])));
+    }
+
+    #[test]
+    fn star_bottom_admits_exactly_the_empty_array() {
+        let t = Type::star(Type::Bottom);
+        assert!(t.admits(&json!([])));
+        assert!(!t.admits(&json!([1])));
+        assert!(!t.admits(&json!(null)));
+        // Semantically equal to the empty positional array type.
+        assert!(Type::empty_array().admits(&json!([])));
+        assert!(!Type::empty_array().admits(&json!([1])));
+    }
+
+    #[test]
+    fn nested_structures() {
+        // {l: Bool + Str + {A: Num + Str}, (B: Num)?} — the Section 2
+        // nested-record fusion example's result type.
+        let t = RecordBuilder::new()
+            .required(
+                "l",
+                Type::union([
+                    Type::Bool,
+                    Type::Str,
+                    RecordBuilder::new()
+                        .required("A", Type::Num.plus(Type::Str))
+                        .optional("B", Type::Num)
+                        .into_type(),
+                ])
+                .unwrap(),
+            )
+            .into_type();
+        assert!(t.admits(&json!({"l": true})));
+        assert!(t.admits(&json!({"l": "s"})));
+        assert!(t.admits(&json!({"l": {"A": 1}})));
+        assert!(t.admits(&json!({"l": {"A": "s", "B": 2}})));
+        assert!(!t.admits(&json!({"l": {"B": 2}})));
+        assert!(!t.admits(&json!({"l": null})));
+    }
+
+    #[test]
+    fn mixed_content_array_example() {
+        // (Str + {E: Str, F: Num})* from Section 2.
+        let body = Type::union([
+            Type::Str,
+            RecordBuilder::new()
+                .required("E", Type::Str)
+                .required("F", Type::Num)
+                .into_type(),
+        ])
+        .unwrap();
+        let t = Type::star(body);
+        assert!(t.admits(&json!(["abc", "cde", {"E": "fr", "F": 12}])));
+        assert!(
+            t.admits(&json!([{"E": "fr", "F": 12}, "abc", "cde"])),
+            "order-insensitive"
+        );
+        assert!(!t.admits(&json!([42])));
+    }
+}

@@ -1,0 +1,367 @@
+//! Structural schema diffing — drift detection between two schemas.
+//!
+//! Section 3 of the paper discusses Scherzinger et al. \[21\], whose
+//! NoSQL-mapping checker "is currently limited to only detect mismatches
+//! between base types … a wider knowledge of schema information is needed
+//! to enable the detection of other kinds of changes, like the removal or
+//! renaming of attributes". With complete fused schemas those changes
+//! *are* detectable: this module reports, path by path, what changed
+//! between an old and a new schema — the operational tool behind
+//! `typefuse diff`.
+
+use crate::kind::TypeKind;
+use crate::ty::Type;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One detected change at a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaChange {
+    /// A field/path exists in the new schema but not the old.
+    Added {
+        /// The path, e.g. `$.user.avatar`.
+        path: String,
+    },
+    /// A field/path existed in the old schema but not the new.
+    Removed {
+        /// The path.
+        path: String,
+    },
+    /// The set of scalar/container kinds possible at the path changed.
+    KindsChanged {
+        /// The path.
+        path: String,
+        /// Kinds admitted by the old schema at this path.
+        old: Vec<TypeKind>,
+        /// Kinds admitted by the new schema at this path.
+        new: Vec<TypeKind>,
+    },
+    /// A record field changed between mandatory and optional.
+    OptionalityChanged {
+        /// The path.
+        path: String,
+        /// Whether the field was optional in the old schema.
+        was_optional: bool,
+    },
+}
+
+impl SchemaChange {
+    /// The path the change is anchored at.
+    pub fn path(&self) -> &str {
+        match self {
+            SchemaChange::Added { path }
+            | SchemaChange::Removed { path }
+            | SchemaChange::KindsChanged { path, .. }
+            | SchemaChange::OptionalityChanged { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for SchemaChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaChange::Added { path } => write!(f, "+ {path} (new)"),
+            SchemaChange::Removed { path } => write!(f, "- {path} (removed)"),
+            SchemaChange::KindsChanged { path, old, new } => {
+                write!(f, "~ {path}: ")?;
+                write_kinds(f, old)?;
+                write!(f, " → ")?;
+                write_kinds(f, new)
+            }
+            SchemaChange::OptionalityChanged { path, was_optional } => {
+                if *was_optional {
+                    write!(f, "! {path}: optional → mandatory")
+                } else {
+                    write!(f, "! {path}: mandatory → optional")
+                }
+            }
+        }
+    }
+}
+
+fn write_kinds(f: &mut fmt::Formatter<'_>, kinds: &[TypeKind]) -> fmt::Result {
+    for (i, k) in kinds.iter().enumerate() {
+        if i > 0 {
+            write!(f, "+")?;
+        }
+        write!(f, "{k}")?;
+    }
+    Ok(())
+}
+
+/// Compare two schemas, reporting every added/removed path, every change
+/// in the kinds possible at a shared path, and every optionality flip.
+/// Changes are sorted by path.
+pub fn diff(old: &Type, new: &Type) -> Vec<SchemaChange> {
+    let mut changes = Vec::new();
+    diff_at(old, new, "$", &mut changes);
+    changes.sort_by(|a, b| {
+        a.path()
+            .cmp(b.path())
+            .then_with(|| order_key(a).cmp(&order_key(b)))
+    });
+    changes
+}
+
+fn order_key(c: &SchemaChange) -> u8 {
+    match c {
+        SchemaChange::Removed { .. } => 0,
+        SchemaChange::Added { .. } => 1,
+        SchemaChange::KindsChanged { .. } => 2,
+        SchemaChange::OptionalityChanged { .. } => 3,
+    }
+}
+
+fn kinds_of(t: &Type) -> Vec<TypeKind> {
+    t.addends().iter().filter_map(Type::kind).collect()
+}
+
+fn diff_at(old: &Type, new: &Type, path: &str, out: &mut Vec<SchemaChange>) {
+    let (old_kinds, new_kinds) = (kinds_of(old), kinds_of(new));
+    if old_kinds != new_kinds {
+        out.push(SchemaChange::KindsChanged {
+            path: path.to_string(),
+            old: old_kinds.clone(),
+            new: new_kinds.clone(),
+        });
+    }
+
+    // Records: compare field sets on the record addend of each side.
+    let old_rec = record_addend(old);
+    let new_rec = record_addend(new);
+    if let (Some(o), Some(n)) = (old_rec, new_rec) {
+        let old_keys: BTreeSet<&str> = o.fields().iter().map(|f| f.name.as_str()).collect();
+        let new_keys: BTreeSet<&str> = n.fields().iter().map(|f| f.name.as_str()).collect();
+        for key in old_keys.difference(&new_keys) {
+            let child = format!("{path}.{key}");
+            out.push(SchemaChange::Removed {
+                path: child.clone(),
+            });
+            collect_paths_as(&o.field(key).expect("present").ty, &child, false, out);
+        }
+        for key in new_keys.difference(&old_keys) {
+            let child = format!("{path}.{key}");
+            out.push(SchemaChange::Added {
+                path: child.clone(),
+            });
+            collect_paths_as(&n.field(key).expect("present").ty, &child, true, out);
+        }
+        for key in old_keys.intersection(&new_keys) {
+            let (fo, fn_) = (
+                o.field(key).expect("present"),
+                n.field(key).expect("present"),
+            );
+            let child_path = format!("{path}.{key}");
+            if fo.optional != fn_.optional {
+                out.push(SchemaChange::OptionalityChanged {
+                    path: child_path.clone(),
+                    was_optional: fo.optional,
+                });
+            }
+            diff_at(&fo.ty, &fn_.ty, &child_path, out);
+        }
+    } else if let (None, Some(n)) = (old_rec, new_rec) {
+        for f in n.fields() {
+            out.push(SchemaChange::Added {
+                path: format!("{path}.{}", f.name),
+            });
+        }
+    } else if let (Some(o), None) = (old_rec, new_rec) {
+        for f in o.fields() {
+            out.push(SchemaChange::Removed {
+                path: format!("{path}.{}", f.name),
+            });
+        }
+    }
+
+    // Arrays: recurse into the collapsed element views.
+    match (array_body(old), array_body(new)) {
+        (Some(o), Some(n)) => diff_at(&o, &n, &format!("{path}[]"), out),
+        (None, Some(n)) => {
+            // An array became possible here; its inner structure is new.
+            if !matches!(n, Type::Bottom) {
+                collect_paths_as(&n, &format!("{path}[]"), true, out);
+            }
+        }
+        (Some(o), None) => {
+            if !matches!(o, Type::Bottom) {
+                collect_paths_as(&o, &format!("{path}[]"), false, out);
+            }
+        }
+        (None, None) => {}
+    }
+}
+
+fn record_addend(t: &Type) -> Option<&crate::ty::RecordType> {
+    t.addends().iter().find_map(|a| match a {
+        Type::Record(rt) => Some(rt),
+        _ => None,
+    })
+}
+
+/// A uniform element view of the array addend, if any: positional arrays
+/// are viewed through the union of their element kinds' paths (without
+/// fusing, to stay allocation-light we approximate with a collapsed
+/// clone).
+fn array_body(t: &Type) -> Option<Type> {
+    t.addends().iter().find_map(|a| match a {
+        Type::Star(body) => Some((**body).clone()),
+        Type::Array(at) if !at.is_empty() => {
+            // Build a best-effort union view: first element per kind.
+            let mut by_kind: [Option<&Type>; 6] = Default::default();
+            for elem in at.elems() {
+                for addend in elem.addends() {
+                    let k = addend.kind().expect("kinded") as usize;
+                    by_kind[k].get_or_insert(addend);
+                }
+            }
+            Type::union(by_kind.into_iter().flatten().cloned()).ok()
+        }
+        Type::Array(_) => Some(Type::Bottom),
+        _ => None,
+    })
+}
+
+/// Record all record paths under `t` as Added or Removed.
+fn collect_paths_as(t: &Type, prefix: &str, added: bool, out: &mut Vec<SchemaChange>) {
+    if let Some(rt) = record_addend(t) {
+        for f in rt.fields() {
+            let path = format!("{prefix}.{}", f.name);
+            out.push(if added {
+                SchemaChange::Added { path: path.clone() }
+            } else {
+                SchemaChange::Removed { path: path.clone() }
+            });
+            collect_paths_as(&f.ty, &path, added, out);
+        }
+    }
+    if let Some(body) = array_body(t) {
+        collect_paths_as(&body, &format!("{prefix}[]"), added, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_type;
+
+    fn d(old: &str, new: &str) -> Vec<String> {
+        diff(&parse_type(old).unwrap(), &parse_type(new).unwrap())
+            .iter()
+            .map(|c| c.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn identical_schemas_have_no_diff() {
+        assert!(d("{a: Num, b: Str?}", "{a: Num, b: Str?}").is_empty());
+        assert!(d("Num + Str", "Num + Str").is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_fields() {
+        assert_eq!(d("{a: Num}", "{a: Num, b: Str}"), vec!["+ $.b (new)"]);
+        assert_eq!(d("{a: Num, b: Str}", "{a: Num}"), vec!["- $.b (removed)"]);
+    }
+
+    #[test]
+    fn kind_changes() {
+        assert_eq!(d("{a: Num}", "{a: Str}"), vec!["~ $.a: Num → Str"]);
+        assert_eq!(
+            d("{a: Num}", "{a: Null + Num}"),
+            vec!["~ $.a: Num → Null+Num"]
+        );
+    }
+
+    #[test]
+    fn optionality_changes() {
+        assert_eq!(
+            d("{a: Num}", "{a: Num?}"),
+            vec!["! $.a: mandatory → optional"]
+        );
+        assert_eq!(
+            d("{a: Num?}", "{a: Num}"),
+            vec!["! $.a: optional → mandatory"]
+        );
+    }
+
+    #[test]
+    fn nested_changes_carry_paths() {
+        assert_eq!(
+            d("{u: {id: Num, bio: Str}}", "{u: {id: Str, avatar: Str}}"),
+            vec![
+                "+ $.u.avatar (new)",
+                "- $.u.bio (removed)",
+                "~ $.u.id: Num → Str"
+            ]
+        );
+    }
+
+    #[test]
+    fn array_element_changes() {
+        assert_eq!(
+            d("{ks: [{name: Str}*]}", "{ks: [{name: Str, rank: Num}*]}"),
+            vec!["+ $.ks[].rank (new)"]
+        );
+        assert_eq!(d("[Num*]", "[Str*]"), vec!["~ $[]: Num → Str"]);
+    }
+
+    #[test]
+    fn top_level_kind_change() {
+        assert_eq!(d("Num", "Str"), vec!["~ $: Num → Str"]);
+    }
+
+    #[test]
+    fn record_appears_in_a_union() {
+        let changes = d("Str", "Str + {a: Num}");
+        assert!(changes.contains(&"~ $: Str → Str+Record".to_string()));
+        assert!(changes.contains(&"+ $.a (new)".to_string()));
+    }
+
+    #[test]
+    fn array_appears_where_there_was_none() {
+        let changes = d("{a: Num}", "{a: Num, b: [{c: Str}*]}");
+        assert!(changes.contains(&"+ $.b (new)".to_string()));
+        // Inner structure of the new array is reported too.
+        assert!(changes.contains(&"+ $.b[].c (new)".to_string()));
+    }
+
+    #[test]
+    fn diff_of_fused_schemas_detects_drift() {
+        use typefuse_json::json;
+        let old_batch = [json!({"id": 1, "name": "a"}), json!({"id": 2, "name": "b"})];
+        let new_batch = [json!({"id": "3", "name": "c", "tags": ["x"]})];
+        let fuse_all = |vals: &[typefuse_json::Value]| {
+            vals.iter()
+                .map(|v| {
+                    // local inference to avoid a circular dev-dependency
+                    fn infer(v: &typefuse_json::Value) -> Type {
+                        match v {
+                            typefuse_json::Value::Null => Type::Null,
+                            typefuse_json::Value::Bool(_) => Type::Bool,
+                            typefuse_json::Value::Number(_) => Type::Num,
+                            typefuse_json::Value::String(_) => Type::Str,
+                            typefuse_json::Value::Array(a) => Type::Array(
+                                crate::ty::ArrayType::new(a.iter().map(infer).collect()),
+                            ),
+                            typefuse_json::Value::Object(m) => Type::Record(
+                                crate::ty::RecordType::new(
+                                    m.iter()
+                                        .map(|(k, c)| crate::ty::Field::required(k, infer(c)))
+                                        .collect(),
+                                )
+                                .unwrap(),
+                            ),
+                        }
+                    }
+                    infer(v)
+                })
+                .reduce(|_a, b| b) // single shapes here; last is fine
+                .unwrap()
+        };
+        let changes = diff(&fuse_all(&old_batch), &fuse_all(&new_batch));
+        let rendered: Vec<String> = changes.iter().map(|c| c.to_string()).collect();
+        assert!(rendered.contains(&"+ $.tags (new)".to_string()));
+        assert!(rendered.contains(&"~ $.id: Num → Str".to_string()));
+    }
+}

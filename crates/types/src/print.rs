@@ -1,0 +1,262 @@
+//! Pretty-printing types in the paper's notation.
+//!
+//! ```text
+//! {a: Str?, b: Num + Bool, c: [(Str + {d: Num})*]}
+//! ```
+//!
+//! * optional fields get a trailing `?`;
+//! * unions are printed with ` + `;
+//! * positional arrays as `[T1, T2]`, starred arrays as `[T*]` with the
+//!   body parenthesised when it is a union;
+//! * `ε` prints as `ε`; `[ε*]` prints as `[]` (the paper's footnote:
+//!   the two have the same semantics as the empty array type).
+//!
+//! [`Display`](std::fmt::Display) gives the compact one-line form;
+//! [`pretty`] gives an indented multi-line form for large schemas (the CLI
+//! uses it so that the 800-node Wikidata-like fused types stay readable).
+
+use crate::ty::Type;
+use std::fmt;
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_type(f, self)
+    }
+}
+
+fn write_type<W: fmt::Write>(w: &mut W, t: &Type) -> fmt::Result {
+    match t {
+        Type::Bottom => w.write_str("ε"),
+        Type::Null => w.write_str("Null"),
+        Type::Bool => w.write_str("Bool"),
+        Type::Num => w.write_str("Num"),
+        Type::Str => w.write_str("Str"),
+        Type::Record(rt) => {
+            w.write_char('{')?;
+            for (i, field) in rt.fields().iter().enumerate() {
+                if i > 0 {
+                    w.write_str(", ")?;
+                }
+                write_key(w, &field.name)?;
+                w.write_str(": ")?;
+                write_type(w, &field.ty)?;
+                if field.optional {
+                    w.write_char('?')?;
+                }
+            }
+            w.write_char('}')
+        }
+        Type::Array(at) => {
+            w.write_char('[')?;
+            for (i, elem) in at.elems().iter().enumerate() {
+                if i > 0 {
+                    w.write_str(", ")?;
+                }
+                write_type(w, elem)?;
+            }
+            w.write_char(']')
+        }
+        Type::Star(body) => match body.as_ref() {
+            // [ε*] ≡ the empty array type; print the simpler form.
+            Type::Bottom => w.write_str("[]"),
+            Type::Union(_) => {
+                w.write_str("[(")?;
+                write_type(w, body)?;
+                w.write_str(")*]")
+            }
+            other => {
+                w.write_char('[')?;
+                write_type(w, other)?;
+                w.write_str("*]")
+            }
+        },
+        Type::Union(u) => {
+            for (i, addend) in u.addends().iter().enumerate() {
+                if i > 0 {
+                    w.write_str(" + ")?;
+                }
+                write_type(w, addend)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Keys that read as identifiers are printed bare (the paper's
+/// convention); anything else is quoted with JSON escaping.
+fn write_key<W: fmt::Write>(w: &mut W, key: &str) -> fmt::Result {
+    if is_identifier(key) {
+        w.write_str(key)
+    } else {
+        write!(w, "{:?}", key)
+    }
+}
+
+pub(crate) fn is_identifier(key: &str) -> bool {
+    let mut chars = key.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '$' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '-')
+}
+
+/// Indented, multi-line rendering of a type. Records and starred arrays
+/// with more than `inline_limit` AST nodes are broken over lines.
+pub fn pretty(t: &Type) -> String {
+    let mut out = String::new();
+    let _ = write_pretty(&mut out, t, 0, 24);
+    out
+}
+
+fn write_pretty<W: fmt::Write>(
+    w: &mut W,
+    t: &Type,
+    indent: usize,
+    inline_limit: usize,
+) -> fmt::Result {
+    const STEP: usize = 2;
+    if t.size() <= inline_limit {
+        return write_type(w, t);
+    }
+    match t {
+        Type::Record(rt) => {
+            w.write_str("{\n")?;
+            for (i, field) in rt.fields().iter().enumerate() {
+                if i > 0 {
+                    w.write_str(",\n")?;
+                }
+                write_spaces(w, indent + STEP)?;
+                write_key(w, &field.name)?;
+                w.write_str(": ")?;
+                write_pretty(w, &field.ty, indent + STEP, inline_limit)?;
+                if field.optional {
+                    w.write_char('?')?;
+                }
+            }
+            w.write_char('\n')?;
+            write_spaces(w, indent)?;
+            w.write_char('}')
+        }
+        Type::Array(at) => {
+            w.write_str("[\n")?;
+            for (i, elem) in at.elems().iter().enumerate() {
+                if i > 0 {
+                    w.write_str(",\n")?;
+                }
+                write_spaces(w, indent + STEP)?;
+                write_pretty(w, elem, indent + STEP, inline_limit)?;
+            }
+            w.write_char('\n')?;
+            write_spaces(w, indent)?;
+            w.write_char(']')
+        }
+        Type::Star(body) => match body.as_ref() {
+            Type::Union(_) => {
+                w.write_str("[(")?;
+                write_pretty(w, body, indent, inline_limit)?;
+                w.write_str(")*]")
+            }
+            other => {
+                w.write_char('[')?;
+                write_pretty(w, other, indent, inline_limit)?;
+                w.write_str("*]")
+            }
+        },
+        Type::Union(u) => {
+            for (i, addend) in u.addends().iter().enumerate() {
+                if i > 0 {
+                    w.write_str(" + ")?;
+                }
+                write_pretty(w, addend, indent, inline_limit)?;
+            }
+            Ok(())
+        }
+        scalar => write_type(w, scalar),
+    }
+}
+
+fn write_spaces<W: fmt::Write>(w: &mut W, n: usize) -> fmt::Result {
+    for _ in 0..n {
+        w.write_char(' ')?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::{ArrayType, RecordBuilder, Type};
+
+    #[test]
+    fn paper_running_example() {
+        // T₁₂₃ from Section 2:
+        // {A: Str + Null?, B: Num + Bool, C: Str?}
+        let t = RecordBuilder::new()
+            .optional("A", Type::Str.plus(Type::Null))
+            .required("B", Type::Num.plus(Type::Bool))
+            .optional("C", Type::Str)
+            .into_type();
+        assert_eq!(t.to_string(), "{A: Null + Str?, B: Bool + Num, C: Str?}");
+    }
+
+    #[test]
+    fn basic_forms() {
+        assert_eq!(Type::Null.to_string(), "Null");
+        assert_eq!(Type::Bottom.to_string(), "ε");
+        assert_eq!(Type::empty_record().to_string(), "{}");
+        assert_eq!(Type::empty_array().to_string(), "[]");
+        assert_eq!(Type::star(Type::Bottom).to_string(), "[]");
+        assert_eq!(Type::star(Type::Num).to_string(), "[Num*]");
+    }
+
+    #[test]
+    fn star_union_body_is_parenthesised() {
+        let t = Type::star(Type::Str.plus(Type::empty_record()));
+        assert_eq!(t.to_string(), "[(Str + {})*]");
+    }
+
+    #[test]
+    fn positional_arrays() {
+        let t = Type::Array(ArrayType::new(vec![Type::Str, Type::Num]));
+        assert_eq!(t.to_string(), "[Str, Num]");
+    }
+
+    #[test]
+    fn non_identifier_keys_are_quoted() {
+        let t = RecordBuilder::new()
+            .required("P31", Type::Num)
+            .required("has space", Type::Str)
+            .required("", Type::Bool)
+            .into_type();
+        assert_eq!(t.to_string(), "{\"\": Bool, P31: Num, \"has space\": Str}");
+    }
+
+    #[test]
+    fn identifier_detection() {
+        assert!(is_identifier("abc_1"));
+        assert!(is_identifier("$ref"));
+        assert!(is_identifier("kebab-case"));
+        assert!(!is_identifier("1abc"));
+        assert!(!is_identifier("a b"));
+        assert!(!is_identifier(""));
+        assert!(!is_identifier("café"));
+    }
+
+    #[test]
+    fn pretty_small_types_stay_inline() {
+        let t = RecordBuilder::new().required("a", Type::Num).into_type();
+        assert_eq!(pretty(&t), "{a: Num}");
+    }
+
+    #[test]
+    fn pretty_large_types_break_lines() {
+        let mut b = RecordBuilder::new();
+        for i in 0..20 {
+            b = b.required(format!("field_{i:02}"), Type::Str);
+        }
+        let p = pretty(&b.into_type());
+        assert!(p.starts_with("{\n  field_00: Str,\n"));
+        assert!(p.ends_with("\n}"));
+    }
+}

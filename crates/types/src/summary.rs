@@ -1,0 +1,147 @@
+//! Aggregate structural measurements of a schema.
+//!
+//! Beyond the paper's single `size` metric, a user inspecting a fused
+//! schema wants to know *where* the size comes from: how many fields, how
+//! many of them optional, how many unions and starred arrays, how deep.
+//! The `typefuse infer --stats` output and EXPERIMENTS.md use these
+//! figures to explain the per-dataset compaction behaviour (e.g.
+//! Wikidata's fused size is almost entirely optional record fields from
+//! ids-as-keys).
+
+use crate::ty::Type;
+
+/// Structural counters for one schema.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeSummary {
+    /// Total AST nodes ([`Type::size`]).
+    pub size: usize,
+    /// Record-type nodes.
+    pub records: usize,
+    /// Record fields, total.
+    pub fields: usize,
+    /// Record fields marked optional.
+    pub optional_fields: usize,
+    /// Union nodes.
+    pub unions: usize,
+    /// Union addends, total.
+    pub union_addends: usize,
+    /// Starred array types.
+    pub stars: usize,
+    /// Positional array types.
+    pub positional_arrays: usize,
+    /// Basic-type leaves (`Null`/`Bool`/`Num`/`Str`).
+    pub basic_leaves: usize,
+    /// Maximum nesting depth ([`Type::depth`]).
+    pub depth: usize,
+}
+
+impl TypeSummary {
+    /// Measure a schema.
+    pub fn of(t: &Type) -> TypeSummary {
+        let mut s = TypeSummary {
+            size: t.size(),
+            depth: t.depth(),
+            ..Default::default()
+        };
+        walk(t, &mut s);
+        s
+    }
+
+    /// Fraction of fields that are optional, in `[0, 1]`.
+    pub fn optional_ratio(&self) -> f64 {
+        if self.fields == 0 {
+            0.0
+        } else {
+            self.optional_fields as f64 / self.fields as f64
+        }
+    }
+}
+
+fn walk(t: &Type, s: &mut TypeSummary) {
+    match t {
+        Type::Bottom => {}
+        Type::Null | Type::Bool | Type::Num | Type::Str => s.basic_leaves += 1,
+        Type::Record(rt) => {
+            s.records += 1;
+            s.fields += rt.len();
+            s.optional_fields += rt.optional_fields().count();
+            for f in rt.fields() {
+                walk(&f.ty, s);
+            }
+        }
+        Type::Array(at) => {
+            s.positional_arrays += 1;
+            for e in at.elems() {
+                walk(e, s);
+            }
+        }
+        Type::Star(body) => {
+            s.stars += 1;
+            walk(body, s);
+        }
+        Type::Union(u) => {
+            s.unions += 1;
+            s.union_addends += u.addends().len();
+            for a in u.addends() {
+                walk(a, s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_type;
+
+    fn summary(text: &str) -> TypeSummary {
+        TypeSummary::of(&parse_type(text).unwrap())
+    }
+
+    #[test]
+    fn scalar_summary() {
+        let s = summary("Num");
+        assert_eq!(s.basic_leaves, 1);
+        assert_eq!(s.size, 1);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.fields, 0);
+        assert_eq!(s.optional_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_summary() {
+        let s = summary("{a: Num, b: Str?, c: {d: Bool?}}");
+        assert_eq!(s.records, 2);
+        assert_eq!(s.fields, 4);
+        assert_eq!(s.optional_fields, 2);
+        assert_eq!(s.optional_ratio(), 0.5);
+        assert_eq!(s.basic_leaves, 3);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn union_and_array_summary() {
+        let s = summary("[(Num + Str + {x: Null})*] + Bool");
+        // outer union (2 addends) + inner union (3 addends)
+        assert_eq!(s.unions, 2);
+        assert_eq!(s.union_addends, 5);
+        assert_eq!(s.stars, 1);
+        assert_eq!(s.positional_arrays, 0);
+        assert_eq!(s.records, 1);
+    }
+
+    #[test]
+    fn positional_arrays_counted() {
+        let s = summary("[Num, [Str, Bool]]");
+        assert_eq!(s.positional_arrays, 2);
+        assert_eq!(s.basic_leaves, 3);
+    }
+
+    #[test]
+    fn size_and_depth_match_type_methods() {
+        let t = parse_type("{a: [(Num + {b: Str?})*]?}").unwrap();
+        let s = TypeSummary::of(&t);
+        assert_eq!(s.size, t.size());
+        assert_eq!(s.depth, t.depth());
+    }
+}

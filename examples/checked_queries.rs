@@ -1,0 +1,70 @@
+//! Schema-checked querying — the paper's "stronger type checking" use
+//! case (Sections 1 and 3), end to end.
+//!
+//! Without a schema, a typo'd path or a wrong-kind comparison silently
+//! returns empty results. With the complete fused schema, the same
+//! mistakes are *static errors*, and a pipeline that checks comes with a
+//! predicted output schema.
+//!
+//! ```sh
+//! cargo run --example checked_queries
+//! ```
+
+use typefuse::prelude::*;
+
+fn main() {
+    // A Twitter-like feed and its inferred schema.
+    let rows: Vec<Value> = Profile::Twitter.generate(99, 5_000).collect();
+    let schema = SchemaJob::new()
+        .without_type_stats()
+        .run_values(rows.clone())
+        .schema;
+    println!(
+        "schema inferred from {} records (size {})\n",
+        rows.len(),
+        schema.size()
+    );
+
+    // A realistic analysis: verified users' hashtags on popular tweets.
+    let script = "\
+filter exists $.user and $.retweet_count > 100
+flatten $.entities
+project $.user.screen_name, $.entities.hashtags, $.retweet_count
+limit 10";
+    // Oops — `$.entities` is a record, not an array. The checker says so
+    // before any data is read:
+    let wrong = Pipeline::parse(script).unwrap();
+    let err = wrong.check(&schema).unwrap_err();
+    println!("static error caught:\n  {err}\n");
+
+    // Corrected: flatten the hashtags array inside entities.
+    let script = "\
+filter exists $.user and $.retweet_count > 100
+flatten $.entities.hashtags
+project $.user.screen_name, $.entities.hashtags.text, $.retweet_count
+limit 10";
+    let pipeline = Pipeline::parse(script).unwrap();
+    let out_schema = pipeline.check(&schema).expect("pipeline type-checks");
+    println!("pipeline type-checks; output schema:\n  {out_schema}\n");
+
+    let out = pipeline.eval(&rows).unwrap();
+    println!("{} result rows:", out.len());
+    for row in &out {
+        println!("  {row}");
+        assert!(
+            out_schema.admits(row),
+            "soundness: outputs match the prediction"
+        );
+    }
+
+    // The classic silent-failure cases, now loud:
+    for bad in [
+        "project $.user.screenname",         // typo
+        "filter $.retweet_count > \"100\"",  // wrong literal kind
+        "flatten $.user",                    // not an array
+        "filter exists $.delete.status.uid", // wrong nested field
+    ] {
+        let err = Pipeline::parse(bad).unwrap().check(&schema).unwrap_err();
+        println!("rejected: {bad}\n  ↳ {err}");
+    }
+}

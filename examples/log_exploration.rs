@@ -1,0 +1,65 @@
+//! Dataset exploration: the paper's motivating scenario (Section 1).
+//!
+//! You receive a large, undocumented NDJSON feed (here: the synthetic
+//! NYTimes profile). Before writing a single query you want to know:
+//! (i) every field that can occur, (ii) which are optional, (iii) which
+//! are always there — without scanning the data by hand.
+//!
+//! ```sh
+//! cargo run --example log_exploration
+//! ```
+
+use typefuse::infer::CountingFuser;
+use typefuse::prelude::*;
+
+fn main() {
+    // An "unknown" feed of 3000 article-metadata records.
+    let feed: Vec<Value> = Profile::NYTimes.generate(2024, 3000).collect();
+
+    // One pass: fused schema + per-path presence statistics (the
+    // statistical enrichment sketched in the paper's future work).
+    let mut explorer = CountingFuser::new();
+    for record in &feed {
+        explorer.absorb(record);
+    }
+    let summary = explorer.finish();
+
+    println!("=== fused schema ({} records) ===", summary.total);
+    println!("{}", typefuse::types::print::pretty(&summary.schema));
+
+    // Property (iii): fields that can always be selected.
+    println!("\n=== always-present paths (safe to SELECT) ===");
+    for path in summary.mandatory_paths().iter().take(15) {
+        println!("  {path}");
+    }
+
+    // Property (ii): optional fields, with how optional they are — this
+    // is what tells you `headline.kicker` and `headline.print_headline`
+    // are variants, without reading a million records.
+    println!("\n=== partially-present paths ===");
+    println!("{:<42} {:>8} {:>8}", "path", "count", "ratio");
+    for row in summary
+        .rows()
+        .iter()
+        .filter(|r| r.count < summary.total)
+        .take(15)
+    {
+        println!(
+            "{:<42} {:>8} {:>7.1}%",
+            row.path,
+            row.count,
+            row.ratio * 100.0
+        );
+    }
+
+    // The schema is a complete description: every record conforms.
+    assert!(feed.iter().all(|v| summary.schema.admits(v)));
+
+    // And it is succinct: compare with the naive alternative of keeping
+    // every distinct type.
+    let result = SchemaJob::new().run_values(feed);
+    println!(
+        "\n{} distinct per-record types (avg size {:.0}) collapsed into one schema of size {}",
+        result.type_stats.distinct, result.type_stats.avg_size, result.fused_size
+    );
+}

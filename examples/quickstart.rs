@@ -1,0 +1,58 @@
+//! Quickstart: infer a schema from a handful of heterogeneous JSON
+//! records and export it as JSON Schema.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use typefuse::prelude::*;
+use typefuse::types::export::to_json_schema_document;
+
+fn main() {
+    // Three records from an imaginary product API: same shape, different
+    // corners — an optional field, a Num/Str mix, a nullable, an array
+    // that is sometimes empty.
+    let lines = [
+        r#"{"id": 1, "name": "keyboard", "price": 49.9, "tags": ["input", "usb"], "sku": "K-100"}"#,
+        r#"{"id": 2, "name": "monitor", "price": "call us", "tags": [], "stock": null}"#,
+        r#"{"id": "3b", "name": "cable", "price": 9.5, "tags": ["usb"], "stock": 14}"#,
+    ];
+
+    // Phase 1 (Map): one isomorphic type per record.
+    let values: Vec<Value> = lines
+        .iter()
+        .map(|l| parse_value(l).expect("valid JSON"))
+        .collect();
+    println!("Per-record inferred types:");
+    for v in &values {
+        println!("  {}", infer_type(v));
+    }
+
+    // Phase 2 (Reduce): fuse them into one succinct supertype.
+    let schema = values
+        .iter()
+        .map(infer_type)
+        .reduce(|a, b| fuse(&a, &b))
+        .expect("non-empty input");
+    println!("\nFused schema:\n  {schema}");
+
+    // Every input conforms to the fused schema (Theorem 5.2).
+    assert!(values.iter().all(|v| schema.admits(v)));
+
+    // The same computation through the parallel pipeline, with stats.
+    let result = SchemaJob::new().partitions(2).run_values(values);
+    assert_eq!(result.schema, schema);
+    println!(
+        "\nPipeline: {} records, {} distinct types, fused size {}, ratio {:.2}",
+        result.records,
+        result.type_stats.distinct,
+        result.fused_size,
+        result.compaction_ratio()
+    );
+
+    // Interop: export to JSON Schema for the rest of the ecosystem.
+    println!(
+        "\nAs JSON Schema:\n{}",
+        typefuse::json::to_string_pretty(&to_json_schema_document(&schema))
+    );
+}

@@ -1,0 +1,74 @@
+//! Data-contract monitoring with schema diffing.
+//!
+//! A feed you consume changes silently: a numeric field starts arriving
+//! as a string, a sub-record grows a field, a mandatory field becomes
+//! occasional. Inferring a schema per batch and diffing consecutive
+//! schemas turns that silence into an actionable report — the capability
+//! the paper's related-work section says base-type checkers (Scherzinger
+//! et al. [21]) lack.
+//!
+//! ```sh
+//! cargo run --example schema_drift
+//! ```
+
+use typefuse::prelude::*;
+use typefuse::types::diff::diff;
+use typefuse::types::summary::TypeSummary;
+
+fn main() {
+    // Yesterday's batch: a stable keyword feed.
+    let yesterday: Vec<Value> = [
+        r#"{"id": 1, "name": "alpha", "rank": 3, "meta": {"source": "crawl"}}"#,
+        r#"{"id": 2, "name": "beta", "rank": 1, "meta": {"source": "api"}}"#,
+        r#"{"id": 3, "name": "gamma", "rank": 2, "meta": {"source": "crawl"}}"#,
+    ]
+    .iter()
+    .map(|l| parse_value(l).unwrap())
+    .collect();
+
+    // Today's batch: the producer shipped three silent changes.
+    let today: Vec<Value> = [
+        // rank became a string, meta grew a `ts`, id sometimes missing
+        r#"{"id": 4, "name": "delta", "rank": "4", "meta": {"source": "api", "ts": "2016-07-01"}}"#,
+        r#"{"name": "epsilon", "rank": "2", "meta": {"source": "crawl", "ts": "2016-07-01"}}"#,
+    ]
+    .iter()
+    .map(|l| parse_value(l).unwrap())
+    .collect();
+
+    let old_schema = SchemaJob::new().run_values(yesterday).schema;
+    let new_schema = SchemaJob::new().run_values(today).schema;
+
+    println!("yesterday: {old_schema}");
+    println!("today:     {new_schema}\n");
+
+    println!("=== drift report ===");
+    let changes = diff(&old_schema, &new_schema);
+    for change in &changes {
+        println!("{change}");
+    }
+    assert!(!changes.is_empty());
+
+    // The checks a contract gate would run:
+    let rank_changed = changes
+        .iter()
+        .any(|c| c.path() == "$.rank" && c.to_string().contains("Num → Str"));
+    let id_now_optional = changes
+        .iter()
+        .any(|c| c.path() == "$.id" && c.to_string().contains("mandatory → optional"));
+    let meta_grew = changes.iter().any(|c| c.path() == "$.meta.ts");
+    assert!(rank_changed && id_now_optional && meta_grew);
+    println!("\nall three silent changes detected ✓");
+
+    // Structural summaries contextualise the drift.
+    let (before, after) = (TypeSummary::of(&old_schema), TypeSummary::of(&new_schema));
+    println!(
+        "\nfields {} → {}   optional {} → {}   size {} → {}",
+        before.fields,
+        after.fields,
+        before.optional_fields,
+        after.optional_fields,
+        before.size,
+        after.size
+    );
+}

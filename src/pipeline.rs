@@ -1,0 +1,314 @@
+//! The end-to-end schema-inference pipeline: the paper's two phases wired
+//! onto the execution engine, plus the measurements its evaluation
+//! reports.
+//!
+//! ```
+//! use typefuse::pipeline::SchemaJob;
+//! use typefuse::prelude::*;
+//!
+//! let values: Vec<Value> = ["{\"a\":1}", "{\"a\":\"x\",\"b\":null}"]
+//!     .iter().map(|s| parse_value(s).unwrap()).collect();
+//! let result = SchemaJob::new().run_values(values);
+//! assert_eq!(result.schema.to_string(), "{a: Num + Str, b: Null?}");
+//! assert_eq!(result.records, 2);
+//! ```
+
+use std::collections::HashSet;
+use std::io::BufRead;
+use std::time::{Duration, Instant};
+
+use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics};
+use typefuse_infer::{fuse_with, infer_type, FuseConfig};
+use typefuse_json::{NdjsonReader, Value};
+use typefuse_types::Type;
+
+/// Configuration of a schema-inference run.
+#[derive(Debug, Clone)]
+pub struct SchemaJob {
+    /// Worker threads (default: all available).
+    pub runtime: Runtime,
+    /// Number of dataset partitions (default: 4 × workers).
+    pub partitions: usize,
+    /// How the per-partition schemas are combined.
+    pub reduce_plan: ReducePlan,
+    /// Fusion configuration (array strategy).
+    pub fuse_config: FuseConfig,
+    /// Whether to collect per-record type statistics (distinct types,
+    /// min/max/avg sizes — the Tables 2–5 columns). Costs one hash-set
+    /// insert per record.
+    pub collect_type_stats: bool,
+}
+
+impl Default for SchemaJob {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchemaJob {
+    /// A job with default settings.
+    pub fn new() -> Self {
+        let runtime = Runtime::default();
+        let partitions = runtime.workers() * 4;
+        SchemaJob {
+            runtime,
+            partitions,
+            reduce_plan: ReducePlan::default(),
+            fuse_config: FuseConfig::default(),
+            collect_type_stats: true,
+        }
+    }
+
+    /// Set the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.runtime = Runtime::new(workers);
+        self
+    }
+
+    /// Set the partition count.
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Set the reduce topology.
+    pub fn reduce_plan(mut self, plan: ReducePlan) -> Self {
+        self.reduce_plan = plan;
+        self
+    }
+
+    /// Set the fusion configuration.
+    pub fn fuse_config(mut self, cfg: FuseConfig) -> Self {
+        self.fuse_config = cfg;
+        self
+    }
+
+    /// Disable per-record type statistics for maximum throughput.
+    pub fn without_type_stats(mut self) -> Self {
+        self.collect_type_stats = false;
+        self
+    }
+
+    /// Run over an in-memory value collection.
+    pub fn run_values(&self, values: Vec<Value>) -> SchemaResult {
+        let dataset = Dataset::from_vec(values, self.partitions);
+        self.run_dataset(&dataset)
+    }
+
+    /// Run over an already partitioned dataset.
+    pub fn run_dataset(&self, dataset: &Dataset<Value>) -> SchemaResult {
+        let wall_start = Instant::now();
+
+        // ---- Map phase: infer one type per value (Figure 4). ----------
+        let map_start = Instant::now();
+        let (types, map_metrics) = dataset.map_metered(&self.runtime, infer_type);
+        let map_time = map_start.elapsed();
+
+        // ---- Type statistics (the Tables 2–5 columns). ----------------
+        let stats_source: Vec<&Type> = if self.collect_type_stats {
+            types.iter().collect()
+        } else {
+            Vec::new()
+        };
+        let type_stats = TypeStats::measure(stats_source);
+
+        // ---- Reduce phase: fuse (Figure 6). ----------------------------
+        let cfg = self.fuse_config;
+        let reduce_start = Instant::now();
+        let (fused, reduce_metrics) =
+            types.reduce_metered(&self.runtime, self.reduce_plan, move |a, b| {
+                fuse_with(cfg, a, b)
+            });
+        let reduce_time = reduce_start.elapsed();
+
+        let schema = fused.unwrap_or(Type::Bottom);
+        SchemaResult {
+            fused_size: schema.size(),
+            schema,
+            records: dataset.count() as u64,
+            partitions: dataset.num_partitions(),
+            type_stats,
+            map_time,
+            reduce_time,
+            wall: wall_start.elapsed(),
+            map_metrics,
+            reduce_metrics,
+        }
+    }
+
+    /// Run over an NDJSON stream, failing on the first malformed record.
+    pub fn run_ndjson<R: BufRead>(&self, reader: R) -> Result<SchemaResult, typefuse_json::Error> {
+        let values: Result<Vec<Value>, _> = NdjsonReader::new(reader).collect();
+        Ok(self.run_values(values?))
+    }
+}
+
+/// Distinct-type statistics — the "Inferred types size" columns of
+/// Tables 2–5.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeStats {
+    /// Number of distinct inferred types.
+    pub distinct: usize,
+    /// Smallest inferred type size.
+    pub min_size: usize,
+    /// Largest inferred type size.
+    pub max_size: usize,
+    /// Mean inferred type size over *all* records (not just distinct).
+    pub avg_size: f64,
+}
+
+impl TypeStats {
+    fn measure<'a>(types: Vec<&'a Type>) -> TypeStats {
+        if types.is_empty() {
+            return TypeStats::default();
+        }
+        let mut distinct: HashSet<&'a Type> = HashSet::with_capacity(types.len() / 4);
+        let mut min_size = usize::MAX;
+        let mut max_size = 0usize;
+        let mut sum = 0u64;
+        for t in &types {
+            let size = t.size();
+            min_size = min_size.min(size);
+            max_size = max_size.max(size);
+            sum += size as u64;
+            distinct.insert(t);
+        }
+        TypeStats {
+            distinct: distinct.len(),
+            min_size,
+            max_size,
+            avg_size: sum as f64 / types.len() as f64,
+        }
+    }
+}
+
+/// The outcome of a schema-inference run.
+#[derive(Debug, Clone)]
+pub struct SchemaResult {
+    /// The fused schema.
+    pub schema: Type,
+    /// Size of the fused schema (AST nodes) — the "Fused types size"
+    /// column.
+    pub fused_size: usize,
+    /// Number of input records.
+    pub records: u64,
+    /// Partitions processed.
+    pub partitions: usize,
+    /// Distinct / min / max / avg inferred-type statistics.
+    pub type_stats: TypeStats,
+    /// Wall time of the Map (inference) phase.
+    pub map_time: Duration,
+    /// Wall time of the Reduce (fusion) phase.
+    pub reduce_time: Duration,
+    /// Total wall time including statistics collection.
+    pub wall: Duration,
+    /// Per-partition metrics of the Map phase.
+    pub map_metrics: StageMetrics,
+    /// Per-partition metrics of the partition-local fold.
+    pub reduce_metrics: StageMetrics,
+}
+
+impl SchemaResult {
+    /// The succinctness ratio the paper discusses: fused size over the
+    /// average inferred size (≤ 1.4 for GitHub, ≤ 4 for Twitter, larger
+    /// for Wikidata).
+    pub fn compaction_ratio(&self) -> f64 {
+        if self.type_stats.avg_size == 0.0 {
+            0.0
+        } else {
+            self.fused_size as f64 / self.type_stats.avg_size
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typefuse_json::json;
+
+    fn values() -> Vec<Value> {
+        vec![
+            json!({"a": 1, "b": "x"}),
+            json!({"a": 2, "b": "y"}),
+            json!({"a": null, "c": [1, 2]}),
+            json!({"a": 1, "b": "x"}),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_schema() {
+        let r = SchemaJob::new().partitions(2).run_values(values());
+        assert_eq!(
+            r.schema.to_string(),
+            "{a: Null + Num, b: Str?, c: [Num, Num]?}"
+        );
+        assert_eq!(r.records, 4);
+        assert_eq!(r.partitions, 2);
+        for v in values() {
+            assert!(r.schema.admits(&v));
+        }
+    }
+
+    #[test]
+    fn type_stats_columns() {
+        let r = SchemaJob::new().run_values(values());
+        // 2 distinct types: three of the four records infer {a: Num, b: Str}.
+        assert_eq!(r.type_stats.distinct, 2);
+        assert!(r.type_stats.min_size <= r.type_stats.max_size);
+        assert!(r.type_stats.avg_size >= r.type_stats.min_size as f64);
+        assert!(r.type_stats.avg_size <= r.type_stats.max_size as f64);
+        assert_eq!(r.fused_size, r.schema.size());
+        assert!(r.compaction_ratio() > 0.0);
+    }
+
+    #[test]
+    fn partitioning_does_not_change_the_schema() {
+        let base = SchemaJob::new().partitions(1).run_values(values()).schema;
+        for parts in [2, 3, 7, 64] {
+            let r = SchemaJob::new().partitions(parts).run_values(values());
+            assert_eq!(r.schema, base, "partitions = {parts}");
+        }
+    }
+
+    #[test]
+    fn reduce_plans_agree() {
+        let seq = SchemaJob::new()
+            .reduce_plan(ReducePlan::Sequential)
+            .run_values(values())
+            .schema;
+        let tree = SchemaJob::new()
+            .reduce_plan(ReducePlan::Tree { arity: 2 })
+            .run_values(values())
+            .schema;
+        assert_eq!(seq, tree);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = SchemaJob::new().run_values(vec![]);
+        assert_eq!(r.schema, Type::Bottom);
+        assert_eq!(r.records, 0);
+        assert_eq!(r.type_stats, TypeStats::default());
+        assert_eq!(r.compaction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ndjson_entry_point() {
+        let data = "{\"a\":1}\n{\"a\":\"x\"}\n";
+        let r = SchemaJob::new().run_ndjson(data.as_bytes()).unwrap();
+        assert_eq!(r.schema.to_string(), "{a: Num + Str}");
+
+        let bad = "{\"a\":1}\nnot json\n";
+        assert!(SchemaJob::new().run_ndjson(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn without_stats_still_fuses() {
+        let r = SchemaJob::new().without_type_stats().run_values(values());
+        assert_eq!(r.type_stats.distinct, 0);
+        assert_eq!(
+            r.schema.to_string(),
+            "{a: Null + Num, b: Str?, c: [Num, Num]?}"
+        );
+    }
+}

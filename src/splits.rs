@@ -1,0 +1,275 @@
+//! Parallel NDJSON file ingestion via byte-range splits.
+//!
+//! Spark reads HDFS files as block-aligned *input splits*: each task
+//! seeks to its byte range and snaps to the next newline so every record
+//! is processed exactly once. This module reproduces that mechanism for
+//! local NDJSON files, so `SchemaJob`-style inference can run all cores
+//! on one big file without first loading it into memory:
+//!
+//! * [`plan_splits`] — cut `[0, len)` into `n` ranges;
+//! * [`read_split`] — the snap-to-newline rule: a split owns every line
+//!   that *starts* within its range (the first split also owns offset 0);
+//! * [`infer_file_schema`] — per-split streaming inference (text → type,
+//!   no value trees) fused across splits; the result is identical for
+//!   any split count, by associativity.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::Path;
+
+use typefuse_engine::Runtime;
+use typefuse_infer::{streaming, Incremental};
+use typefuse_json::{Error, ErrorKind, Position};
+use typefuse_types::Type;
+
+/// A byte range `[start, end)` of the input file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Split {
+    /// First byte of the range.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+/// Cut `[0, file_len)` into at most `parts` contiguous ranges of roughly
+/// equal size (at least one byte each; fewer ranges for tiny files).
+pub fn plan_splits(file_len: u64, parts: usize) -> Vec<Split> {
+    if file_len == 0 {
+        return Vec::new();
+    }
+    let parts = (parts.max(1) as u64).min(file_len);
+    let base = file_len / parts;
+    let rem = file_len % parts;
+    let mut splits = Vec::with_capacity(parts as usize);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + u64::from(i < rem);
+        splits.push(Split {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    splits
+}
+
+/// Read the lines owned by `split`: every line *starting* inside
+/// `[start, end)`. A split with `start > 0` first skips the tail of the
+/// line that began in the previous split; a line straddling `end` is
+/// still read to completion by its owner.
+pub fn read_split(
+    path: &Path,
+    split: Split,
+    mut on_line: impl FnMut(u64, &str) -> Result<(), Error>,
+) -> Result<(), Error> {
+    let file = File::open(path).map_err(io_error)?;
+    let mut reader = BufReader::new(file);
+    let mut pos = split.start;
+    if split.start > 0 {
+        reader
+            .seek(SeekFrom::Start(split.start - 1))
+            .map_err(io_error)?;
+        // Skip the (possibly empty) remainder of the previous line. If
+        // the byte before our range is itself a newline, the line starts
+        // exactly at `start` and belongs to us: read_until consumes just
+        // that newline byte.
+        let mut skipped = Vec::new();
+        let n = reader.read_until(b'\n', &mut skipped).map_err(io_error)? as u64;
+        pos = split.start - 1 + n;
+    }
+    let mut line = String::new();
+    while pos < split.end {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(io_error)? as u64;
+        if n == 0 {
+            break; // EOF
+        }
+        let line_start = pos;
+        pos += n;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            on_line(line_start, trimmed)?;
+        }
+    }
+    Ok(())
+}
+
+fn io_error(e: std::io::Error) -> Error {
+    Error::at(ErrorKind::Io(e.to_string()), Position::start())
+}
+
+/// Outcome of [`infer_file_schema`].
+#[derive(Debug, Clone)]
+pub struct FileSchema {
+    /// The fused schema of every record in the file.
+    pub schema: Type,
+    /// Number of records.
+    pub records: u64,
+    /// Splits processed.
+    pub splits: usize,
+}
+
+/// Infer the schema of an NDJSON file with `runtime.workers()` parallel
+/// splits, using streaming inference (no value trees; memory stays
+/// O(schema) per split).
+pub fn infer_file_schema(path: &Path, runtime: &Runtime) -> Result<FileSchema, Error> {
+    let len = std::fs::metadata(path).map_err(io_error)?.len();
+    let splits = plan_splits(len, runtime.workers() * 4);
+    let (accs, _) = runtime.run_indexed(&splits, |_, &split| {
+        let mut acc = Incremental::new();
+        let result = read_split(path, split, |offset, line| {
+            let ty = streaming::infer_type_from_str(line).map_err(|e| {
+                // Re-anchor at the file offset for actionable messages.
+                Error::at(
+                    e.kind().clone(),
+                    Position {
+                        offset: offset as usize + e.span().start.offset,
+                        line: 1,
+                        column: (e.span().start.offset + 1) as u32,
+                    },
+                )
+            })?;
+            acc.absorb_type(ty);
+            Ok(())
+        });
+        result.map(|()| acc)
+    });
+    let mut total = Incremental::new();
+    let split_count = accs.len();
+    for acc in accs {
+        total.merge(&acc?);
+    }
+    Ok(FileSchema {
+        schema: total.schema().clone(),
+        records: total.count(),
+        splits: split_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::DatasetProfile;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn temp_file(name: &str, contents: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("typefuse-splits-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    #[test]
+    fn plan_covers_the_file_exactly() {
+        for (len, parts) in [(100u64, 4usize), (7, 3), (1, 8), (10, 1)] {
+            let splits = plan_splits(len, parts);
+            assert_eq!(splits[0].start, 0);
+            assert_eq!(splits.last().unwrap().end, len);
+            for pair in splits.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gapless");
+            }
+            assert!(splits.len() <= parts);
+        }
+        assert!(plan_splits(0, 4).is_empty());
+    }
+
+    #[test]
+    fn every_line_is_owned_by_exactly_one_split() {
+        let contents: String = (0..50).map(|i| format!("{{\"n\":{i}}}\n")).collect();
+        let path = temp_file("ownership.ndjson", &contents);
+        for parts in [1, 2, 3, 7, 13] {
+            let splits = plan_splits(contents.len() as u64, parts);
+            let mut seen: Vec<u64> = Vec::new();
+            for split in splits {
+                read_split(&path, split, |offset, _| {
+                    seen.push(offset);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            seen.sort_unstable();
+            assert_eq!(seen.len(), 50, "parts = {parts}");
+            seen.dedup();
+            assert_eq!(seen.len(), 50, "duplicate ownership with {parts} parts");
+        }
+    }
+
+    #[test]
+    fn split_boundaries_mid_line_are_handled() {
+        // Construct lines of very different lengths so boundaries fall
+        // everywhere, including immediately after newlines.
+        let contents = "{\"a\":1}\n{\"long\":\"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\"}\n{}\n";
+        let path = temp_file("straddle.ndjson", contents);
+        for parts in 1..=contents.len() {
+            let splits = plan_splits(contents.len() as u64, parts);
+            let mut count = 0;
+            for split in splits {
+                read_split(&path, split, |_, line| {
+                    assert!(
+                        typefuse_json::parse_value(line).is_ok(),
+                        "torn line {line:?}"
+                    );
+                    count += 1;
+                    Ok(())
+                })
+                .unwrap();
+            }
+            assert_eq!(count, 3, "parts = {parts}");
+        }
+    }
+
+    #[test]
+    fn file_schema_matches_in_memory_pipeline() {
+        let values: Vec<typefuse_json::Value> =
+            crate::datagen::Profile::Twitter.generate(3, 200).collect();
+        let mut contents = Vec::new();
+        typefuse_json::ndjson::write_ndjson(&mut contents, &values).unwrap();
+        let path = temp_file("twitter.ndjson", std::str::from_utf8(&contents).unwrap());
+
+        let from_file = infer_file_schema(&path, &Runtime::new(4)).unwrap();
+        let in_memory = crate::pipeline::SchemaJob::new()
+            .without_type_stats()
+            .run_values(values);
+        assert_eq!(from_file.schema, in_memory.schema);
+        assert_eq!(from_file.records, in_memory.records);
+        assert!(from_file.splits >= 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_file_offsets() {
+        let contents = "{\"ok\":1}\n{broken\n";
+        let path = temp_file("bad.ndjson", contents);
+        let err = infer_file_schema(&path, &Runtime::sequential()).unwrap_err();
+        // The bad record starts at byte 9; the offending byte is inside it.
+        assert!(
+            err.span().start.offset >= 9,
+            "offset {}",
+            err.span().start.offset
+        );
+    }
+
+    #[test]
+    fn empty_and_blank_files() {
+        let path = temp_file("empty.ndjson", "");
+        let fs = infer_file_schema(&path, &Runtime::sequential()).unwrap();
+        assert_eq!(fs.records, 0);
+        assert_eq!(fs.schema, Type::Bottom);
+
+        let path = temp_file("blank.ndjson", "\n\n  \n");
+        let fs = infer_file_schema(&path, &Runtime::new(2)).unwrap();
+        assert_eq!(fs.records, 0);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = infer_file_schema(
+            Path::new("/nonexistent/typefuse.ndjson"),
+            &Runtime::sequential(),
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::Io(_)));
+    }
+}
