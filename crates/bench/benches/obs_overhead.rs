@@ -1,0 +1,52 @@
+//! Overhead of the observability layer: the identical `SchemaJob` run
+//! with the default disabled recorder vs an enabled one. The enabled
+//! run pays one atomic add per record (`infer.types`), one per fuse
+//! call plus a histogram bucket add, and a handful of span timestamps —
+//! the acceptance bar is < 3% on a large run.
+//!
+//! ```text
+//! cargo bench -p typefuse-bench --bench obs_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use typefuse::pipeline::SchemaJob;
+use typefuse_datagen::{DatasetProfile, Profile};
+use typefuse_json::Value;
+use typefuse_obs::Recorder;
+
+const N: usize = 5_000;
+
+fn values() -> Vec<Value> {
+    Profile::Twitter.generate(20170321, N).collect()
+}
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let values = values();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("disabled_recorder", |b| {
+        let job = SchemaJob::new().without_type_stats();
+        b.iter(|| job.run_values(values.clone()))
+    });
+    group.bench_function("enabled_recorder", |b| {
+        let job = SchemaJob::new()
+            .without_type_stats()
+            .recorder(Recorder::enabled());
+        b.iter(|| job.run_values(values.clone()))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_recorder_overhead
+}
+criterion_main!(benches);

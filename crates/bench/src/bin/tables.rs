@@ -18,6 +18,7 @@ use typefuse_engine::sim::SimReport;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_records: u64 = 100_000;
+    let mut metrics_json: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -28,8 +29,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--max-records needs a number"));
             }
+            "--metrics-json" => {
+                metrics_json = Some(
+                    iter.next()
+                        .unwrap_or_else(|| die("--metrics-json needs a path")),
+                );
+            }
             "--help" | "-h" => {
-                eprintln!("usage: tables [--max-records N] [table1 table2 ... table8]");
+                eprintln!(
+                    "usage: tables [--max-records N] [--metrics-json F] [table1 table2 ... table8]"
+                );
                 return;
             }
             t if t.starts_with("table") => wanted.push(t.to_string()),
@@ -92,6 +101,27 @@ fn main() {
             );
             print_table8_local(max_records.min(200_000));
         }
+    }
+
+    // The machine-readable counterpart of the tables above: one scale
+    // run serialized as the same RunReport struct `typefuse infer
+    // --metrics-json` emits.
+    if let Some(path) = metrics_json {
+        let records = scales.last().expect("scales checked non-empty").records;
+        let result = typefuse_bench::run_scale(
+            &typefuse_bench::ScaleConfig::new(Profile::Twitter, records).measure_bytes(),
+        );
+        let mut report = result.run_report();
+        report
+            .meta
+            .insert("profile".to_string(), Profile::Twitter.to_string());
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        println!(
+            "wrote run report ({} records, Twitter profile) to {path}",
+            records
+        );
     }
 }
 

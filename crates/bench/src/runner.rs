@@ -137,6 +137,51 @@ impl ScaleResult {
             self.fused_size as f64 / self.avg_size
         }
     }
+
+    /// Convert to the same [`typefuse_obs::RunReport`] struct the CLI's
+    /// `--metrics-json` emits, so bench output and pipeline output can
+    /// be diffed or post-processed with the same tooling. Partition
+    /// timings become one `partitions` stage (queue wait is 0: the
+    /// streaming runner generates its own input, tasks never wait).
+    pub fn run_report(&self) -> typefuse_obs::RunReport {
+        let mut report = typefuse_obs::RunReport::default();
+        report.counters.insert("records".to_string(), self.records);
+        if self.bytes > 0 {
+            report.counters.insert("json.bytes".to_string(), self.bytes);
+        }
+        report.stages.push(typefuse_obs::StageReport {
+            name: "partitions".to_string(),
+            wall_ns: self.wall.as_nanos() as u64,
+            tasks: self
+                .partition_rows
+                .iter()
+                .enumerate()
+                .map(|(i, (_, _, wall))| typefuse_obs::TaskReport {
+                    partition: i,
+                    queue_wait_ns: 0,
+                    execute_ns: wall.as_nanos() as u64,
+                })
+                .collect(),
+        });
+        let values = [
+            ("distinct_types", self.distinct_types as f64),
+            ("min_size", self.min_size as f64),
+            ("max_size", self.max_size as f64),
+            ("avg_size", self.avg_size),
+            ("fused_size", self.fused_size as f64),
+            ("compaction_ratio", self.compaction_ratio()),
+            ("infer_cpu_seconds", self.infer_cpu.as_secs_f64()),
+            ("fuse_cpu_seconds", self.fuse_cpu.as_secs_f64()),
+            ("wall_seconds", self.wall.as_secs_f64()),
+        ];
+        for (k, v) in values {
+            report.values.insert(k.to_string(), v);
+        }
+        report
+            .meta
+            .insert("schema".to_string(), self.schema.to_string());
+        report
+    }
 }
 
 fn type_hash(t: &Type) -> u64 {
@@ -299,6 +344,29 @@ mod tests {
         );
         assert_eq!(a.schema, b.schema);
         assert_eq!(a.distinct_types, b.distinct_types);
+    }
+
+    #[test]
+    fn run_report_mirrors_the_result() {
+        let r = run_scale(
+            &ScaleConfig::new(Profile::GitHub, 50)
+                .partitions(4)
+                .measure_bytes(),
+        );
+        let report = r.run_report();
+        assert_eq!(report.counters["records"], 50);
+        assert_eq!(report.counters["json.bytes"], r.bytes);
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].name, "partitions");
+        assert_eq!(report.stages[0].tasks.len(), 4);
+        assert_eq!(report.values["fused_size"], r.fused_size as f64);
+        assert_eq!(report.meta["schema"], r.schema.to_string());
+        // Same shape as the pipeline's report: serializes with the
+        // standard top-level keys.
+        let json = report.to_json();
+        for key in ["\"counters\"", "\"stages\"", "\"values\"", "\"meta\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
     }
 
     #[test]

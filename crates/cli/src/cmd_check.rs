@@ -21,7 +21,8 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let schema = parse_type(schema_text.trim())
         .map_err(|e| CliError::runtime(format!("invalid schema: {e}")))?;
 
-    let values = crate::cmd_infer::read_values(input.as_deref())?;
+    let values =
+        crate::cmd_infer::read_values(input.as_deref(), &typefuse_obs::Recorder::disabled())?;
     let mut failures = 0usize;
     for (i, v) in values.iter().enumerate() {
         if !schema.admits(v) {

@@ -45,7 +45,7 @@ fn load_schema(path: &str) -> Result<Type, CliError> {
 }
 
 fn infer_schema(input: &str) -> Result<Type, CliError> {
-    let values = crate::cmd_infer::read_values(Some(input))?;
+    let values = crate::cmd_infer::read_values(Some(input), &typefuse_obs::Recorder::disabled())?;
     Ok(SchemaJob::new()
         .without_type_stats()
         .run_values(values)

@@ -8,6 +8,7 @@ use typefuse::pipeline::SchemaJob;
 use typefuse_engine::ReducePlan;
 use typefuse_infer::{ArrayFusion, CountingFuser, FuseConfig};
 use typefuse_json::{NdjsonReader, Value};
+use typefuse_obs::Recorder;
 use typefuse_types::export::to_json_schema_document;
 
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
@@ -23,7 +24,18 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let sequential_reduce = args.flag("--sequential-reduce");
     let streaming = args.flag("--streaming");
     let maplike = args.flag("--maplike");
+    let metrics_json = args.option("--metrics-json")?;
+    let trace_json = args.option("--trace-json")?;
+    let progress = args.flag("--progress");
     args.finish()?;
+
+    let observing = metrics_json.is_some() || trace_json.is_some() || progress;
+    let recorder = if observing {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let heartbeat = progress.then(|| Heartbeat::start(recorder.clone()));
 
     if streaming {
         if stats || counting {
@@ -31,14 +43,24 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
                 "--streaming is incompatible with --stats/--counting",
             ));
         }
-        let schema = run_streaming(input.as_deref(), positional_arrays)?;
+        let outcome = run_streaming(input.as_deref(), positional_arrays, &recorder);
+        if let Some(hb) = heartbeat {
+            hb.finish();
+        }
+        let schema = outcome?;
         print_schema(&schema, &format)?;
+        // Streaming has no pipeline stages; the report is the
+        // recorder's own counters, histograms, spans and trace.
+        write_observability(&recorder.snapshot(), &recorder, &metrics_json, &trace_json)?;
         return Ok(());
     }
 
-    let values = read_values(input.as_deref())?;
+    let values = {
+        let _span = recorder.span("pipeline.read");
+        read_values(input.as_deref(), &recorder)?
+    };
 
-    let mut job = SchemaJob::new();
+    let mut job = SchemaJob::new().recorder(recorder.clone());
     if let Some(w) = workers {
         job = job.workers(w);
     }
@@ -58,8 +80,8 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     }
 
     // Path statistics, if requested. The counting fuser already computes
-    // the fused schema, so when no per-record type statistics are needed
-    // the main pipeline run is skipped entirely.
+    // the fused schema, so the main pipeline run is skipped when nothing
+    // else (type statistics, metrics, a trace) requires it.
     let counted = counting.then(|| {
         let mut cf = CountingFuser::new();
         for v in &values {
@@ -68,29 +90,31 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         cf.finish()
     });
 
-    let result = match &counted {
-        Some(cs) if !stats => {
-            let mut fake = job.without_type_stats().run_values(Vec::new());
-            fake.schema = cs.schema.clone();
-            fake.records = cs.total;
-            fake
-        }
-        _ => job.run_values(values),
+    let need_pipeline = counted.is_none() || stats || observing;
+    let result = need_pipeline.then(|| job.run_values(values));
+    let schema = match (&counted, &result) {
+        // The counting fuser's schema and the pipeline's are identical;
+        // prefer the counted one so `--counting` output is self-consistent.
+        (Some(cs), _) => &cs.schema,
+        (None, Some(r)) => &r.schema,
+        (None, None) => unreachable!("at least one of counting/pipeline runs"),
     };
+
+    if let Some(hb) = heartbeat {
+        hb.finish();
+    }
 
     if maplike {
         println!(
             "{}",
-            typefuse_infer::maplike::summarize(
-                &result.schema,
-                typefuse_infer::MapLikeConfig::default()
-            )
+            typefuse_infer::maplike::summarize(schema, typefuse_infer::MapLikeConfig::default())
         );
     } else {
-        print_schema(&result.schema, &format)?;
+        print_schema(schema, &format)?;
     }
 
     if stats {
+        let result = result.as_ref().expect("--stats forces the pipeline");
         eprintln!();
         eprintln!("records           {}", result.records);
         eprintln!("partitions        {}", result.partitions);
@@ -111,6 +135,10 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
 
     if let Some(cs) = counted {
         eprintln!();
+        // The counting fuser's own total, not a pipeline measurement —
+        // with `--counting` alone the timed pipeline may not have run,
+        // so no timings are reported here.
+        eprintln!("records {}", cs.total);
         eprintln!("{:<40} {:>10} {:>8}", "path", "count", "ratio");
         for row in cs.rows().iter().take(40) {
             eprintln!(
@@ -121,7 +149,80 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
             );
         }
     }
+
+    if let Some(result) = &result {
+        write_observability(
+            &result.run_report(&recorder),
+            &recorder,
+            &metrics_json,
+            &trace_json,
+        )?;
+    }
     Ok(())
+}
+
+/// Write the structured report and/or Chrome trace, if requested.
+fn write_observability(
+    report: &typefuse_obs::RunReport,
+    recorder: &Recorder,
+    metrics_json: &Option<String>,
+    trace_json: &Option<String>,
+) -> CliResult {
+    if let Some(path) = metrics_json {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = trace_json {
+        std::fs::write(path, recorder.chrome_trace_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(())
+}
+
+/// The `--progress` heartbeat: a background thread that prints
+/// records/s and bytes/s to stderr once a second, computed from the
+/// shared recorder's `json.records` / `json.bytes` counters.
+struct Heartbeat {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Heartbeat {
+    fn start(recorder: Recorder) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut last_tick = Instant::now();
+            let (mut last_records, mut last_bytes) = (0u64, 0u64);
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(100));
+                if last_tick.elapsed() < Duration::from_secs(1) {
+                    continue;
+                }
+                let dt = last_tick.elapsed().as_secs_f64();
+                last_tick = Instant::now();
+                let records = recorder.counter_value("json.records");
+                let bytes = recorder.counter_value("json.bytes");
+                eprintln!(
+                    "progress: {records} records ({:.0}/s), {:.1} MB ({:.1} MB/s), {:.0}s elapsed",
+                    (records - last_records) as f64 / dt,
+                    bytes as f64 / 1e6,
+                    (bytes - last_bytes) as f64 / dt / 1e6,
+                    started.elapsed().as_secs_f64(),
+                );
+                (last_records, last_bytes) = (records, bytes);
+            }
+        });
+        Heartbeat { stop, handle }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
 }
 
 fn print_schema(schema: &typefuse_types::Type, format: &str) -> CliResult {
@@ -148,17 +249,18 @@ fn print_schema(schema: &typefuse_types::Type, format: &str) -> CliResult {
 fn run_streaming(
     input: Option<&str>,
     positional_arrays: bool,
+    recorder: &Recorder,
 ) -> Result<typefuse_types::Type, CliError> {
-    use std::io::BufRead;
     if let Some(path) = input.filter(|p| *p != "-") {
         if positional_arrays {
             return Err(CliError::usage(
                 "--positional-arrays is not supported with file-parallel --streaming",
             ));
         }
-        let fs = typefuse::splits::infer_file_schema(
+        let fs = typefuse::splits::infer_file_schema_recorded(
             std::path::Path::new(path),
             &typefuse_engine::Runtime::default(),
+            recorder,
         )
         .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
         return Ok(fs.schema);
@@ -180,6 +282,7 @@ fn run_streaming(
         if n == 0 {
             break;
         }
+        recorder.add("json.bytes", n as u64);
         line_no += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -187,24 +290,27 @@ fn run_streaming(
         }
         let ty = typefuse_infer::streaming::infer_type_from_str(trimmed)
             .map_err(|e| CliError::runtime(format!("parse error on line {line_no}: {e}")))?;
+        recorder.add("json.records", 1);
         acc.absorb_type(ty);
     }
+    recorder.add("records", acc.count());
     Ok(acc.into_schema())
 }
 
-/// Read NDJSON from a file path or stdin (`-` or absent).
-pub(crate) fn read_values(input: Option<&str>) -> Result<Vec<Value>, CliError> {
+/// Read NDJSON from a file path or stdin (`-` or absent), counting
+/// bytes/lines/records into `recorder` (free when disabled).
+pub(crate) fn read_values(
+    input: Option<&str>,
+    recorder: &Recorder,
+) -> Result<Vec<Value>, CliError> {
     let reader: Box<dyn Read> = match input {
         None | Some("-") => Box::new(io::stdin()),
         Some(path) => Box::new(
             File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?,
         ),
     };
-    collect_ndjson(BufReader::new(reader))
-}
-
-pub(crate) fn collect_ndjson<R: BufRead>(reader: R) -> Result<Vec<Value>, CliError> {
-    NdjsonReader::new(reader)
+    NdjsonReader::new(BufReader::new(reader))
+        .with_recorder(recorder.clone())
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| CliError::runtime(format!("parse error: {e}")))
 }

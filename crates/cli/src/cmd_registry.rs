@@ -40,7 +40,10 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
                         .map_err(|e| CliError::runtime(format!("invalid schema: {e}")))?
                 }
                 None => {
-                    let values = crate::cmd_infer::read_values(input.as_deref())?;
+                    let values = crate::cmd_infer::read_values(
+                        input.as_deref(),
+                        &typefuse_obs::Recorder::disabled(),
+                    )?;
                     SchemaJob::new()
                         .without_type_stats()
                         .run_values(values)

@@ -8,7 +8,8 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let input = args.next_positional();
     args.finish()?;
 
-    let values = crate::cmd_infer::read_values(input.as_deref())?;
+    let values =
+        crate::cmd_infer::read_values(input.as_deref(), &typefuse_obs::Recorder::disabled())?;
     let stats = DatasetStats::measure(&values);
 
     println!("records     {}", stats.records);

@@ -71,6 +71,11 @@ COMMANDS:
         --sequential-reduce  fold partials sequentially instead of tree
         --streaming          constant-memory single pass (no value trees)
         --maplike            summarise ids-as-keys records as {<key>: T}
+        --metrics-json F     write a structured run report (counters,
+                             histograms, per-task timings) as JSON to F
+        --trace-json F       write a Chrome trace to F (load in Perfetto
+                             or chrome://tracing)
+        --progress           heartbeat on stderr: records/s and bytes/s
 
     generate             emit a synthetic dataset as NDJSON on stdout
         --profile P        github | twitter | wikidata | nytimes (required)

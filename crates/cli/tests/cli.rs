@@ -438,3 +438,145 @@ fn registry_usage_errors() {
     let out = typefuse(&["registry", "publish"], None);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn infer_metrics_json_emits_a_structured_report() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.ndjson");
+    let contents: String = (0..50)
+        .map(|i| format!("{{\"n\":{i},\"tags\":[\"a\",\"b\"]}}\n"))
+        .collect();
+    std::fs::write(&data, &contents).unwrap();
+    let metrics = dir.join("metrics.json");
+    let trace = dir.join("trace.json");
+
+    let out = typefuse(
+        &[
+            "infer",
+            data.to_str().unwrap(),
+            "--format",
+            "text",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+            "--trace-json",
+            trace.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // The report is valid JSON with the promised keys and real counts.
+    let report = typefuse_json::parse_value(&std::fs::read_to_string(&metrics).unwrap())
+        .expect("metrics report is valid JSON");
+    assert_eq!(
+        report.pointer("/counters/records").unwrap().as_i64(),
+        Some(50)
+    );
+    assert_eq!(
+        report.pointer("/counters/json.records").unwrap().as_i64(),
+        Some(50)
+    );
+    assert_eq!(
+        report.pointer("/counters/json.bytes").unwrap().as_i64(),
+        Some(contents.len() as i64)
+    );
+    assert!(
+        report
+            .pointer("/counters/fuse.calls")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            > 0
+    );
+    assert!(report
+        .pointer("/histograms/fuse.union_width/count")
+        .is_some());
+    assert!(report
+        .pointer("/histograms/infer.record_width/count")
+        .is_some());
+    assert!(report.pointer("/spans/pipeline.map/total_ns").is_some());
+    let stages = report.pointer("/stages").unwrap().as_array().unwrap();
+    let names: Vec<&str> = stages
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["map", "reduce.local_fold"]);
+    let task = stages[0].get("tasks").unwrap().as_array().unwrap()[0].clone();
+    assert!(task.get("queue_wait_ns").is_some());
+    assert!(task.get("execute_ns").is_some());
+
+    // The trace is valid Chrome trace-event JSON with complete events.
+    let trace = typefuse_json::parse_value(&std::fs::read_to_string(&trace).unwrap())
+        .expect("trace is valid JSON");
+    let events = trace.pointer("/traceEvents").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+    for e in events {
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert!(e.get("ts").is_some() && e.get("dur").is_some());
+    }
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").unwrap().as_str() == Some("pipeline.reduce")));
+}
+
+#[test]
+fn infer_streaming_metrics_count_splits() {
+    let dir = std::env::temp_dir().join("typefuse-cli-test-metrics-streaming");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.ndjson");
+    let contents: String = (0..80).map(|i| format!("{{\"n\":{i}}}\n")).collect();
+    std::fs::write(&data, &contents).unwrap();
+    let metrics = dir.join("metrics.json");
+
+    let out = typefuse(
+        &[
+            "infer",
+            data.to_str().unwrap(),
+            "--streaming",
+            "--format",
+            "text",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let report = typefuse_json::parse_value(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(
+        report.pointer("/counters/records").unwrap().as_i64(),
+        Some(80)
+    );
+    assert!(
+        report
+            .pointer("/counters/streaming.splits")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            >= 1
+    );
+}
+
+#[test]
+fn counting_reports_the_real_record_total() {
+    let out = typefuse(
+        &["infer", "-", "--counting", "--format", "text"],
+        Some("{\"a\":1}\n{\"a\":2,\"b\":[1]}\n{\"a\":3}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("records 3"), "stderr: {err}");
+    assert!(err.contains("path"), "stderr: {err}");
+    // Counting alone skips the timed pipeline, so no timings are shown.
+    assert!(!err.contains("map 0.000s"), "stderr: {err}");
+}
+
+#[test]
+fn progress_flag_is_accepted() {
+    let out = typefuse(
+        &["infer", "-", "--progress", "--format", "text"],
+        Some("{\"a\":1}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("{a: Num}"));
+}

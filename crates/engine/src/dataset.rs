@@ -163,6 +163,24 @@ impl<T: Send + Sync> Dataset<T> {
         T: Clone,
         F: Fn(&T, &T) -> T + Sync,
     {
+        self.reduce_recorded(rt, plan, op, &typefuse_obs::Recorder::disabled())
+    }
+
+    /// [`Dataset::reduce_metered`] with observability: the per-level
+    /// combine spans and fan-in histogram of
+    /// [`ReducePlan::combine_recorded`]. A disabled recorder makes this
+    /// identical to `reduce_metered`.
+    pub fn reduce_recorded<F>(
+        &self,
+        rt: &Runtime,
+        plan: ReducePlan,
+        op: F,
+        rec: &typefuse_obs::Recorder,
+    ) -> (Option<T>, StageMetrics)
+    where
+        T: Clone,
+        F: Fn(&T, &T) -> T + Sync,
+    {
         let (partials, metrics) = rt.run_indexed(&self.partitions, |_, part: &Vec<T>| {
             let mut iter = part.iter();
             let first = iter.next()?;
@@ -173,7 +191,7 @@ impl<T: Send + Sync> Dataset<T> {
             Some(acc)
         });
         let partials: Vec<T> = partials.into_iter().flatten().collect();
-        (plan.combine(rt, partials, op), metrics)
+        (plan.combine_recorded(rt, partials, op, rec), metrics)
     }
 
     /// Spark-style `aggregate`: fold each partition from `zero()` with

@@ -13,6 +13,11 @@ pub struct TaskMetrics {
     pub partition: usize,
     /// Wall-clock time the task spent executing.
     pub duration: Duration,
+    /// Time the task spent queued before a worker picked it up: the gap
+    /// between stage submission (all tasks enqueue at stage start) and
+    /// execution start. Large queue waits with short durations mean the
+    /// stage is worker-bound, not work-bound.
+    pub queue_wait: Duration,
 }
 
 /// Aggregated metrics for one parallel stage.
@@ -55,11 +60,42 @@ impl StageMetrics {
         self.total_task_time().as_secs_f64() / wall
     }
 
-    /// Merge another stage's metrics into this one (multi-stage
-    /// pipelines). Partition indices are kept as-is.
+    /// Merge the metrics of a stage that ran **after** this one into
+    /// this one (multi-stage pipelines). Partition indices are kept
+    /// as-is.
+    ///
+    /// This is a *sequential-stage* merge: `wall` is the sum of both
+    /// stages' wall times, which is correct when the stages ran
+    /// back-to-back (map then reduce) and an overstatement if they
+    /// overlapped. Stages that run concurrently should be reported
+    /// separately (see [`StageMetrics::stage_report`]) rather than
+    /// merged.
     pub fn merge(&mut self, other: &StageMetrics) {
         self.tasks.extend(other.tasks.iter().cloned());
         self.wall += other.wall;
+    }
+
+    /// Sum of per-task queue waits (scheduling overhead of the stage).
+    pub fn total_queue_wait(&self) -> Duration {
+        self.tasks.iter().map(|t| t.queue_wait).sum()
+    }
+
+    /// Convert to the serializable [`typefuse_obs::StageReport`] shape
+    /// consumed by `RunReport` (per-task queue-wait vs execute time).
+    pub fn stage_report(&self, name: &str) -> typefuse_obs::StageReport {
+        typefuse_obs::StageReport {
+            name: name.to_string(),
+            wall_ns: self.wall.as_nanos() as u64,
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| typefuse_obs::TaskReport {
+                    partition: t.partition,
+                    queue_wait_ns: t.queue_wait.as_nanos() as u64,
+                    execute_ns: t.duration.as_nanos() as u64,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -71,6 +107,7 @@ mod tests {
         TaskMetrics {
             partition,
             duration: Duration::from_millis(millis),
+            queue_wait: Duration::from_millis(millis / 10),
         }
     }
 
@@ -102,5 +139,43 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.tasks.len(), 2);
         assert_eq!(a.wall, Duration::from_millis(12));
+    }
+
+    /// Regression test pinning the documented sequential-stage merge
+    /// semantics: `wall` is additive, so merging N stages reports the
+    /// sum of their walls — an overstatement for concurrent stages,
+    /// which must be reported separately instead of merged.
+    #[test]
+    fn merge_wall_is_sequential_sum_not_max() {
+        let mut a = StageMetrics::new(vec![task(0, 10)], Duration::from_millis(10));
+        let b = StageMetrics::new(vec![task(1, 10)], Duration::from_millis(10));
+        a.merge(&b);
+        assert_eq!(
+            a.wall,
+            Duration::from_millis(20),
+            "merge must keep summing walls (sequential-stage semantics); \
+             if this changed, update the merge docs and every caller \
+             that reports merged walls"
+        );
+        assert_ne!(a.wall, Duration::from_millis(10), "not max-semantics");
+    }
+
+    #[test]
+    fn stage_report_preserves_queue_wait_and_execute_split() {
+        let m = StageMetrics::new(vec![task(1, 30), task(0, 10)], Duration::from_millis(35));
+        let report = m.stage_report("map");
+        assert_eq!(report.name, "map");
+        assert_eq!(report.wall_ns, 35_000_000);
+        assert_eq!(report.tasks.len(), 2);
+        assert_eq!(report.tasks[0].partition, 0);
+        assert_eq!(report.tasks[0].execute_ns, 10_000_000);
+        assert_eq!(report.tasks[0].queue_wait_ns, 1_000_000);
+        assert_eq!(report.tasks[1].partition, 1);
+        assert_eq!(report.tasks[1].queue_wait_ns, 3_000_000);
+        assert_eq!(
+            m.total_queue_wait(),
+            Duration::from_millis(4),
+            "1ms + 3ms of queue wait"
+        );
     }
 }

@@ -14,6 +14,7 @@
 //! fused types.
 
 use crate::runtime::Runtime;
+use typefuse_obs::{span, Recorder};
 
 /// How partial results are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +44,31 @@ impl ReducePlan {
         A: Send + Sync + Clone,
         F: Fn(&A, &A) -> A + Sync,
     {
+        self.combine_recorded(rt, partials, op, &Recorder::disabled())
+    }
+
+    /// [`ReducePlan::combine`] with per-level instrumentation.
+    ///
+    /// When `rec` is enabled, each combine round is wrapped in a
+    /// `reduce.level.N` span (level 0 is the first round over the raw
+    /// partials) and the `reduce.fan_in` histogram records the number of
+    /// partials entering every level. A `Sequential` plan is one level.
+    /// With a disabled recorder this is exactly [`ReducePlan::combine`].
+    pub fn combine_recorded<A, F>(
+        self,
+        rt: &Runtime,
+        partials: Vec<A>,
+        op: F,
+        rec: &Recorder,
+    ) -> Option<A>
+    where
+        A: Send + Sync + Clone,
+        F: Fn(&A, &A) -> A + Sync,
+    {
         match self {
             ReducePlan::Sequential => {
+                rec.record("reduce.fan_in", partials.len() as u64);
+                let _level = span!(rec, "reduce.level", 0);
                 let mut iter = partials.into_iter();
                 let first = iter.next()?;
                 Some(iter.fold(first, |acc, x| op(&acc, &x)))
@@ -55,7 +79,10 @@ impl ReducePlan {
                 if partials.is_empty() {
                     return None;
                 }
+                let mut level = 0u32;
                 while partials.len() > 1 {
+                    rec.record("reduce.fan_in", partials.len() as u64);
+                    let _level = span!(rec, "reduce.level", level);
                     let groups: Vec<Vec<A>> = {
                         let mut gs = Vec::new();
                         let mut it = partials.into_iter().peekable();
@@ -72,6 +99,7 @@ impl ReducePlan {
                         acc
                     });
                     partials = combined;
+                    level += 1;
                 }
                 partials.pop()
             }
@@ -132,6 +160,35 @@ mod tests {
             .collect();
         let out = ReducePlan::Tree { arity: 2 }.combine(&rt, parts, |a, b| format!("{a}{b}"));
         assert_eq!(out.as_deref(), Some("abcde"));
+    }
+
+    #[test]
+    fn combine_recorded_emits_per_level_spans() {
+        let rt = Runtime::new(2);
+        let rec = Recorder::enabled();
+        // 8 partials at arity 2: levels of 8, 4, 2 partials → 3 rounds.
+        let partials: Vec<u64> = (1..=8).collect();
+        let r = ReducePlan::Tree { arity: 2 }.combine_recorded(&rt, partials, |a, b| a + b, &rec);
+        assert_eq!(r, Some(36));
+        let report = rec.snapshot();
+        assert!(report.spans.contains_key("reduce.level.0"));
+        assert!(report.spans.contains_key("reduce.level.1"));
+        assert!(report.spans.contains_key("reduce.level.2"));
+        assert!(!report.spans.contains_key("reduce.level.3"));
+        let fan_in = &report.histograms["reduce.fan_in"];
+        assert_eq!(fan_in.count, 3);
+        assert_eq!(fan_in.sum, 8 + 4 + 2);
+    }
+
+    #[test]
+    fn combine_recorded_sequential_is_one_level() {
+        let rt = Runtime::sequential();
+        let rec = Recorder::enabled();
+        let r = ReducePlan::Sequential.combine_recorded(&rt, vec![1u64, 2, 3], |a, b| a + b, &rec);
+        assert_eq!(r, Some(6));
+        let report = rec.snapshot();
+        assert_eq!(report.spans["reduce.level.0"].count, 1);
+        assert_eq!(report.histograms["reduce.fan_in"].sum, 3);
     }
 
     #[test]

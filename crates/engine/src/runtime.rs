@@ -85,6 +85,10 @@ impl Runtime {
                 task_metrics.push(TaskMetrics {
                     partition: i,
                     duration: t0.elapsed(),
+                    // Conceptually every task is submitted at stage
+                    // start, so a sequential task "waits" behind its
+                    // predecessors.
+                    queue_wait: t0.saturating_duration_since(stage_start),
                 });
             }
             return (out, StageMetrics::new(task_metrics, stage_start.elapsed()));
@@ -96,8 +100,9 @@ impl Runtime {
         }
         drop(tx);
 
-        let slots: Vec<Mutex<(Option<R>, Duration)>> =
-            (0..n).map(|_| Mutex::new((None, Duration::ZERO))).collect();
+        let slots: Vec<Mutex<(Option<R>, Duration, Duration)>> = (0..n)
+            .map(|_| Mutex::new((None, Duration::ZERO, Duration::ZERO)))
+            .collect();
 
         std::thread::scope(|scope| {
             for _ in 0..self.workers.min(n) {
@@ -106,20 +111,24 @@ impl Runtime {
                 let task = &task;
                 scope.spawn(move || {
                     while let Ok(i) = rx.recv() {
+                        // All indices were enqueued at stage start, so
+                        // pickup time *is* this task's queue wait.
                         let t0 = Instant::now();
+                        let queue_wait = t0.saturating_duration_since(stage_start);
                         let r = task(i, &items[i]);
-                        *slots[i].lock() = (Some(r), t0.elapsed());
+                        *slots[i].lock() = (Some(r), t0.elapsed(), queue_wait);
                     }
                 });
             }
         });
 
         for (i, slot) in slots.into_iter().enumerate() {
-            let (r, duration) = slot.into_inner();
+            let (r, duration, queue_wait) = slot.into_inner();
             results[i] = r;
             task_metrics.push(TaskMetrics {
                 partition: i,
                 duration,
+                queue_wait,
             });
         }
         let out: Vec<R> = results

@@ -32,6 +32,7 @@ pub mod fuse_inplace;
 pub mod incremental;
 pub mod infer;
 pub mod maplike;
+pub mod obs;
 mod project;
 pub mod streaming;
 
@@ -41,4 +42,5 @@ pub use fuse_inplace::fuse_into;
 pub use incremental::Incremental;
 pub use infer::infer_type;
 pub use maplike::{find_map_like, MapLikeConfig, MapLikeSite};
+pub use obs::{fuse_with_recorded, infer_type_recorded};
 pub use project::project;

@@ -9,6 +9,7 @@ use crate::error::{Error, ErrorKind, Position, Result};
 use crate::parse::{Parser, ParserOptions};
 use crate::value::Value;
 use std::io::BufRead;
+use typefuse_obs::Recorder;
 
 /// A streaming reader that yields one [`Value`] per non-empty input line.
 ///
@@ -32,6 +33,7 @@ pub struct NdjsonReader<R> {
     options: ParserOptions,
     /// Stop permanently after an I/O error.
     poisoned: bool,
+    recorder: Recorder,
 }
 
 impl<R: BufRead> NdjsonReader<R> {
@@ -48,7 +50,18 @@ impl<R: BufRead> NdjsonReader<R> {
             line_no: 0,
             options,
             poisoned: false,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder. While iterating, the reader
+    /// counts `json.bytes` (raw bytes consumed, including newlines and
+    /// blank lines), `json.lines` (input lines, including blank ones),
+    /// `json.records` (successfully parsed records) and
+    /// `json.parse_errors`. A disabled recorder costs nothing.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The number of input lines consumed so far (including blank ones).
@@ -61,7 +74,7 @@ impl<R: BufRead> NdjsonReader<R> {
             self.line.clear();
             match self.reader.read_line(&mut self.line) {
                 Ok(0) => return None,
-                Ok(_) => {}
+                Ok(n) => self.recorder.add("json.bytes", n as u64),
                 Err(e) => {
                     self.poisoned = true;
                     return Some(Err(Error::at(
@@ -75,18 +88,26 @@ impl<R: BufRead> NdjsonReader<R> {
                 }
             }
             self.line_no += 1;
+            self.recorder.add("json.lines", 1);
             let trimmed = self.line.trim();
             if trimmed.is_empty() {
                 continue;
             }
             let parser = Parser::with_options(trimmed.as_bytes(), self.options.clone());
-            return Some(parser.parse_complete().map_err(|e| {
-                // Re-anchor the error at the file-level line number; the
-                // column within the line is preserved.
-                let mut pos = e.span().start;
-                pos.line = self.line_no;
-                Error::at(e.kind().clone(), pos)
-            }));
+            return Some(match parser.parse_complete() {
+                Ok(v) => {
+                    self.recorder.add("json.records", 1);
+                    Ok(v)
+                }
+                Err(e) => {
+                    self.recorder.add("json.parse_errors", 1);
+                    // Re-anchor the error at the file-level line number;
+                    // the column within the line is preserved.
+                    let mut pos = e.span().start;
+                    pos.line = self.line_no;
+                    Err(Error::at(e.kind().clone(), pos))
+                }
+            });
         }
     }
 }
@@ -185,6 +206,19 @@ mod tests {
         let err = it.next().unwrap().unwrap_err();
         assert!(matches!(err.kind(), ErrorKind::Io(_)));
         assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn recorder_counts_bytes_lines_records_and_errors() {
+        let data = "{\"a\":1}\n\n{\"bad\n{\"a\":2}\n";
+        let rec = typefuse_obs::Recorder::enabled();
+        let reader = NdjsonReader::new(data.as_bytes()).with_recorder(rec.clone());
+        let outcomes: Vec<_> = reader.collect();
+        assert_eq!(outcomes.len(), 3, "two records and one error");
+        assert_eq!(rec.counter_value("json.bytes"), data.len() as u64);
+        assert_eq!(rec.counter_value("json.lines"), 4);
+        assert_eq!(rec.counter_value("json.records"), 2);
+        assert_eq!(rec.counter_value("json.parse_errors"), 1);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Log₂-bucketed histograms over `u64` samples.
+//!
+//! Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i - 1]` (the top bucket is clipped to `u64::MAX`). With
+//! [`BUCKETS`] = 65 slots a histogram covers the full `u64` range with
+//! relative error bounded by 2×, which is plenty for union widths,
+//! record widths and nanosecond timings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a sample value.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of a bucket index.
+///
+/// Panics when `index >= BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// Shared histogram state: per-bucket counts plus sum/count/min/max.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    pub(crate) buckets: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Fold `other` into `self`: bucket-wise and moment-wise addition,
+    /// min/max by comparison. Associative and commutative because every
+    /// component operation is.
+    pub(crate) fn merge_from(&self, other: &HistogramCore) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Hot-loop handle to a named histogram; no-op when the recorder that
+/// produced it is disabled.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.record(value);
+        }
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_gets_its_own_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn power_of_two_boundaries() {
+        // Each bucket i >= 1 covers [2^(i-1), 2^i - 1]: the boundary
+        // values must land exactly on bucket edges.
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high edge of bucket {i}");
+            if lo > 0 {
+                assert_eq!(bucket_index(lo - 1), i - 1, "below bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_tile_the_u64_range() {
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} leaves a gap");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1);
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("buckets never reached u64::MAX");
+    }
+
+    #[test]
+    fn core_tracks_moments() {
+        let core = HistogramCore::new();
+        for v in [0, 1, 5, 1000] {
+            core.record(v);
+        }
+        assert_eq!(core.count.load(Ordering::Relaxed), 4);
+        assert_eq!(core.sum.load(Ordering::Relaxed), 1006);
+        assert_eq!(core.min.load(Ordering::Relaxed), 0);
+        assert_eq!(core.max.load(Ordering::Relaxed), 1000);
+    }
+}

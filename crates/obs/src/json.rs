@@ -1,0 +1,157 @@
+//! Minimal JSON writer used by [`crate::report`] and [`crate::trace`].
+//!
+//! This crate must not depend on anything (including the workspace's
+//! own `typefuse-json`, which sits *above* it in the dependency graph
+//! once instrumented), so serialization is a small comma-tracking
+//! string builder with correct string escaping.
+
+/// Streaming JSON writer over a growing `String`.
+///
+/// The caller is responsible for structural validity (matching
+/// `begin_*`/`end_*`, keys only inside objects); the writer handles
+/// commas and escaping.
+#[derive(Debug, Default)]
+pub(crate) struct JsonWriter {
+    out: String,
+    /// Whether the next value at the current nesting level needs a
+    /// leading comma, one entry per open container.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub(crate) fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+        }
+    }
+
+    pub(crate) fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    pub(crate) fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    pub(crate) fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    pub(crate) fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Write an object key; the following call writes its value.
+    pub(crate) fn key(&mut self, key: &str) {
+        self.before_value();
+        push_escaped(&mut self.out, key);
+        self.out.push(':');
+        // The value that follows must not get its own comma.
+        if let Some(needs) = self.needs_comma.last_mut() {
+            *needs = false;
+        }
+    }
+
+    pub(crate) fn string(&mut self, value: &str) {
+        self.before_value();
+        push_escaped(&mut self.out, value);
+    }
+
+    pub(crate) fn number(&mut self, value: u64) {
+        self.before_value();
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Write a float; non-finite values become `null` since JSON has no
+    /// representation for them.
+    pub(crate) fn float(&mut self, value: f64) {
+        self.before_value();
+        if value.is_finite() {
+            let mut text = format!("{value}");
+            // Keep output unambiguous as a float for readers that care.
+            if !text.contains(['.', 'e', 'E']) {
+                text.push_str(".0");
+            }
+            self.out.push_str(&text);
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    pub(crate) fn finish(self) -> String {
+        debug_assert!(self.needs_comma.is_empty(), "unclosed JSON container");
+        self.out
+    }
+}
+
+fn push_escaped(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.number(1);
+        w.key("b");
+        w.begin_array();
+        w.number(2);
+        w.string("three");
+        w.begin_object();
+        w.end_object();
+        w.end_array();
+        w.key("c");
+        w.float(0.5);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[2,"three",{}],"c":0.5}"#);
+    }
+
+    #[test]
+    fn escaping_controls_and_quotes() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\n\u{1}");
+        assert_eq!(w.finish(), concat!(r#""a\"b\\c\n"#, r#"\u0001""#));
+    }
+
+    #[test]
+    fn floats_stay_floats_and_nan_is_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.float(2.0);
+        w.float(f64::NAN);
+        w.end_array();
+        assert_eq!(w.finish(), "[2.0,null]");
+    }
+}

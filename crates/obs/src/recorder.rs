@@ -1,0 +1,387 @@
+//! The [`Recorder`]: a mergeable registry of counters, gauges,
+//! histograms, span statistics and trace events.
+
+use crate::histogram::{Histogram, HistogramCore};
+use crate::report::{RunReport, SpanReport};
+use crate::span::SpanGuard;
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpanStat {
+    pub(crate) count: u64,
+    pub(crate) total: Duration,
+    pub(crate) max: Duration,
+}
+
+impl SpanStat {
+    fn absorb(&mut self, other: SpanStat) {
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    /// Zero point for trace-event timestamps.
+    pub(crate) epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    pub(crate) spans: Mutex<BTreeMap<String, SpanStat>>,
+    pub(crate) trace: Mutex<Vec<TraceEvent>>,
+}
+
+/// A handle to a shared metrics registry, or a no-op when disabled.
+///
+/// Cloning is cheap and shares state: clones handed to worker threads
+/// all feed the same registry through atomics. Independently *created*
+/// recorders (one per partition, say) are combined afterwards with
+/// [`Recorder::merge_from`], which is associative and commutative in
+/// the same sense as schema fusion — counters add, gauges take the
+/// max, histograms add bucket-wise, span stats add, traces concatenate
+/// on a common timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    pub(crate) inner: Option<Arc<Inner>>,
+}
+
+/// Hot-loop handle to a named counter; no-op when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn inc(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Hot-loop handle to a named max-gauge; no-op when disabled.
+///
+/// Gauges here keep the *maximum* value ever set. Max (unlike
+/// last-write-wins) is associative and commutative, which is what lets
+/// per-partition recorders merge in any order and still agree.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Raise the gauge to `value` if it is higher than the current max.
+    pub fn set_max(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+impl Recorder {
+    /// A live recorder with an empty registry.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(BTreeMap::new()),
+                trace: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A recorder whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder actually records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Handle to the named counter, creating it at zero. Hoist the
+    /// handle out of hot loops: `inc` is one relaxed atomic add.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .counters
+                    .lock()
+                    .expect("counter registry poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Handle to the named max-gauge, creating it at zero.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .gauges
+                    .lock()
+                    .expect("gauge registry poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Handle to the named histogram, creating it empty.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .histograms
+                    .lock()
+                    .expect("histogram registry poisoned")
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            )
+        }))
+    }
+
+    /// One-shot counter add (prefer [`Recorder::counter`] in loops).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).inc(n);
+    }
+
+    /// One-shot gauge raise (prefer [`Recorder::gauge`] in loops).
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        self.gauge(name).set_max(value);
+    }
+
+    /// One-shot histogram sample (prefer [`Recorder::histogram`] in loops).
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Current value of a counter, 0 if absent or disabled.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner
+                .counters
+                .lock()
+                .expect("counter registry poisoned")
+                .get(name)
+                .map_or(0, |c| c.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Open a timed span (see the [`span!`](crate::span!) macro for the
+    /// usual dotted-name construction). The returned guard records the
+    /// span's duration and a trace event when dropped.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        SpanGuard::open(self.inner.clone(), name.into())
+    }
+
+    /// Record one completed span with an externally-measured duration,
+    /// without opening a guard. Updates the span statistics only — no
+    /// trace event is emitted, since there is no start timestamp.
+    pub fn record_span(&self, name: &str, duration: Duration) {
+        if let Some(inner) = &self.inner {
+            inner
+                .spans
+                .lock()
+                .expect("span registry poisoned")
+                .entry(name.to_string())
+                .or_default()
+                .absorb(SpanStat {
+                    count: 1,
+                    total: duration,
+                    max: duration,
+                });
+        }
+    }
+
+    /// Fold every metric of `other` into `self`.
+    ///
+    /// The operation is associative and commutative up to trace-event
+    /// ordering (events keep their wall-clock timestamps, re-based onto
+    /// `self`'s epoch, but the vector order depends on merge order).
+    /// Merging a recorder into itself, or merging with a disabled
+    /// recorder on either side, is a no-op.
+    pub fn merge_from(&self, other: &Recorder) {
+        let (Some(mine), Some(theirs)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(mine, theirs) {
+            return;
+        }
+        for (name, cell) in theirs.counters.lock().expect("poisoned").iter() {
+            let n = cell.load(Ordering::Relaxed);
+            if n > 0 {
+                self.counter(name).inc(n);
+            }
+        }
+        for (name, cell) in theirs.gauges.lock().expect("poisoned").iter() {
+            self.gauge(name).set_max(cell.load(Ordering::Relaxed));
+        }
+        for (name, core) in theirs.histograms.lock().expect("poisoned").iter() {
+            if let Histogram(Some(mine_core)) = self.histogram(name) {
+                mine_core.merge_from(core);
+            }
+        }
+        {
+            let mut mine_spans = mine.spans.lock().expect("poisoned");
+            for (name, stat) in theirs.spans.lock().expect("poisoned").iter() {
+                mine_spans.entry(name.clone()).or_default().absorb(*stat);
+            }
+        }
+        {
+            // Re-base the other timeline onto ours so Perfetto shows a
+            // single consistent clock.
+            let forward = theirs.epoch.saturating_duration_since(mine.epoch);
+            let backward = mine.epoch.saturating_duration_since(theirs.epoch);
+            let mut mine_trace = mine.trace.lock().expect("poisoned");
+            for event in theirs.trace.lock().expect("poisoned").iter() {
+                let mut event = event.clone();
+                event.ts_us = (event.ts_us + forward.as_micros() as u64)
+                    .saturating_sub(backward.as_micros() as u64);
+                mine_trace.push(event);
+            }
+        }
+    }
+
+    /// Snapshot every metric into a serializable [`RunReport`].
+    ///
+    /// Stage timings (`stages`), derived float values (`values`) and
+    /// free-form metadata (`meta`) are not recorded here — callers that
+    /// own them (the pipeline, the bench harness) fill those fields on
+    /// the returned report.
+    pub fn snapshot(&self) -> RunReport {
+        let mut report = RunReport::default();
+        let Some(inner) = &self.inner else {
+            return report;
+        };
+        for (name, cell) in inner.counters.lock().expect("poisoned").iter() {
+            report
+                .counters
+                .insert(name.clone(), cell.load(Ordering::Relaxed));
+        }
+        for (name, cell) in inner.gauges.lock().expect("poisoned").iter() {
+            report
+                .gauges
+                .insert(name.clone(), cell.load(Ordering::Relaxed));
+        }
+        for (name, core) in inner.histograms.lock().expect("poisoned").iter() {
+            report.histograms.insert(
+                name.clone(),
+                crate::report::HistogramReport::from_core(core),
+            );
+        }
+        for (name, stat) in inner.spans.lock().expect("poisoned").iter() {
+            report.spans.insert(
+                name.clone(),
+                SpanReport {
+                    count: stat.count,
+                    total_ns: stat.total.as_nanos() as u64,
+                    max_ns: stat.max.as_nanos() as u64,
+                },
+            );
+        }
+        report
+    }
+
+    /// All trace events captured so far, in emission order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |inner| {
+            inner.trace.lock().expect("poisoned").clone()
+        })
+    }
+
+    /// Serialize the captured spans as Chrome `trace_event` JSON,
+    /// loadable in Perfetto or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        crate::trace::to_chrome_json(&self.trace_events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        let c = rec.counter("x");
+        c.inc(5);
+        rec.record("h", 3);
+        rec.gauge_max("g", 9);
+        drop(rec.span("s"));
+        assert_eq!(c.get(), 0);
+        assert_eq!(rec.counter_value("x"), 0);
+        let report = rec.snapshot();
+        assert!(report.counters.is_empty());
+        assert!(report.spans.is_empty());
+        assert!(rec.trace_events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.counter("shared").inc(2);
+        rec.counter("shared").inc(3);
+        assert_eq!(rec.counter_value("shared"), 5);
+    }
+
+    #[test]
+    fn merge_is_identity_on_self_and_disabled() {
+        let rec = Recorder::enabled();
+        rec.add("c", 7);
+        rec.merge_from(&rec.clone()); // same Arc: must not double
+        assert_eq!(rec.counter_value("c"), 7);
+        rec.merge_from(&Recorder::disabled());
+        assert_eq!(rec.counter_value("c"), 7);
+        let disabled = Recorder::disabled();
+        disabled.merge_from(&rec);
+        assert!(disabled.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_each_metric_kind() {
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        a.add("n", 1);
+        b.add("n", 2);
+        a.gauge_max("depth", 3);
+        b.gauge_max("depth", 9);
+        a.record("width", 4);
+        b.record("width", 4);
+        b.record("width", 1000);
+        a.record_span("s", Duration::from_millis(2));
+        b.record_span("s", Duration::from_millis(5));
+        a.merge_from(&b);
+        let report = a.snapshot();
+        assert_eq!(report.counters["n"], 3);
+        assert_eq!(report.gauges["depth"], 9);
+        let width = &report.histograms["width"];
+        assert_eq!(width.count, 3);
+        assert_eq!(width.sum, 1008);
+        assert_eq!(width.min, 4);
+        assert_eq!(width.max, 1000);
+        let span = &report.spans["s"];
+        assert_eq!(span.count, 2);
+        assert_eq!(span.max_ns, 5_000_000);
+        assert_eq!(span.total_ns, 7_000_000);
+    }
+}

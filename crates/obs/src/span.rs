@@ -1,0 +1,149 @@
+//! Timed spans: RAII guards that measure wall-clock duration and emit
+//! Chrome trace events with stable per-thread track ids.
+
+use crate::recorder::Inner;
+use crate::trace::TraceEvent;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small, dense id for the current thread, assigned on first use.
+/// Used as the `tid` of trace events so each worker gets its own track
+/// in Perfetto.
+pub(crate) fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// RAII guard for an open span; created via
+/// [`Recorder::span`](crate::Recorder::span) or the
+/// [`span!`](crate::span!) macro.
+///
+/// On drop, the elapsed time is added to the span's aggregate stats and
+/// a complete (`"ph": "X"`) trace event is pushed. Guards on the same
+/// thread nest naturally — an inner guard drops before its outer one,
+/// and Chrome's trace model renders containment as hierarchy.
+#[derive(Debug)]
+#[must_use = "a span measures the time until its guard is dropped; bind it with `let _span = …`"]
+pub struct SpanGuard {
+    inner: Option<Arc<Inner>>,
+    name: String,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    pub(crate) fn open(inner: Option<Arc<Inner>>, name: String) -> Self {
+        // `Instant::now` is only paid when the recorder is live.
+        let start = inner.as_ref().map(|_| Instant::now());
+        SpanGuard { inner, name, start }
+    }
+
+    /// The span's full dotted name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(inner), Some(start)) = (&self.inner, self.start) else {
+            return;
+        };
+        let duration = start.elapsed();
+        let name = std::mem::take(&mut self.name);
+        {
+            let mut spans = inner.spans.lock().expect("span registry poisoned");
+            let stat = spans.entry(name.clone()).or_default();
+            stat.count += 1;
+            stat.total += duration;
+            stat.max = stat.max.max(duration);
+        }
+        let ts_us = start.saturating_duration_since(inner.epoch).as_micros() as u64;
+        inner
+            .trace
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(TraceEvent {
+                name,
+                ts_us,
+                dur_us: duration.as_micros() as u64,
+                tid: current_thread_id(),
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    #[test]
+    fn span_records_stats_and_trace_event() {
+        let rec = Recorder::enabled();
+        {
+            let guard = rec.span("outer");
+            assert_eq!(guard.name(), "outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let report = rec.snapshot();
+        assert_eq!(report.spans["outer"].count, 1);
+        assert!(report.spans["outer"].total_ns >= 1_000_000);
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "outer");
+    }
+
+    #[test]
+    fn nested_spans_close_inner_first_and_are_contained() {
+        let rec = Recorder::enabled();
+        {
+            let _outer = crate::span!(rec, "outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = crate::span!(rec, "outer.inner", 7);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 2);
+        // Complete events are pushed at close time: inner first.
+        let inner = &events[0];
+        let outer = &events[1];
+        assert_eq!(inner.name, "outer.inner.7");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.tid, outer.tid);
+        // Containment on the common timeline: that is what makes the
+        // Chrome trace model render the hierarchy.
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us);
+    }
+
+    #[test]
+    fn same_name_spans_aggregate() {
+        let rec = Recorder::enabled();
+        for _ in 0..3 {
+            let _s = rec.span("repeat");
+        }
+        let report = rec.snapshot();
+        assert_eq!(report.spans["repeat"].count, 3);
+        assert_eq!(rec.trace_events().len(), 3);
+    }
+
+    #[test]
+    fn threads_get_distinct_track_ids() {
+        let rec = Recorder::enabled();
+        let r2 = rec.clone();
+        std::thread::spawn(move || drop(r2.span("worker")))
+            .join()
+            .expect("worker thread panicked");
+        drop(rec.span("main"));
+        let events = rec.trace_events();
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].tid, events[1].tid);
+    }
+}

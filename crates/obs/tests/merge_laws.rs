@@ -1,0 +1,121 @@
+//! Algebraic laws of `Recorder::merge_from`, mirroring the fusion-law
+//! property tests in `typefuse-infer`: observability merges with the
+//! same associativity/commutativity discipline as schema fusion, so
+//! per-partition recorders can be combined in any grouping or order.
+
+use proptest::prelude::*;
+use typefuse_obs::{Recorder, RunReport};
+
+/// One recorded operation, applied to a recorder.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(String, u64),
+    Gauge(String, u64),
+    Sample(String, u64),
+}
+
+fn apply(rec: &Recorder, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Count(name, n) => rec.add(name, *n),
+            Op::Gauge(name, v) => rec.gauge_max(name, *v),
+            Op::Sample(name, v) => rec.record(name, *v),
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let name = prop::sample::select(vec!["a", "b", "c.d"]).prop_map(str::to_string);
+    prop_oneof![
+        (name.clone(), 0u64..1000).prop_map(|(n, v)| Op::Count(n, v)),
+        (name.clone(), 0u64..1000).prop_map(|(n, v)| Op::Gauge(n, v)),
+        (name, 0u64..u64::MAX).prop_map(|(n, v)| Op::Sample(n, v)),
+    ]
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(arb_op(), 0..20)
+}
+
+/// Project a recorder's state to the comparable part of its report.
+/// Trace events are excluded by construction (none of the generated
+/// ops open spans), and span maps are empty for the same reason.
+fn state(rec: &Recorder) -> RunReport {
+    rec.snapshot()
+}
+
+fn recorded(ops: &[Op]) -> Recorder {
+    let rec = Recorder::enabled();
+    apply(&rec, ops);
+    rec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(xs in arb_ops(), ys in arb_ops()) {
+        let (a1, b1) = (recorded(&xs), recorded(&ys));
+        a1.merge_from(&b1);
+        let (a2, b2) = (recorded(&xs), recorded(&ys));
+        b2.merge_from(&a2);
+        prop_assert_eq!(state(&a1), state(&b2));
+    }
+
+    #[test]
+    fn merge_is_associative(xs in arb_ops(), ys in arb_ops(), zs in arb_ops()) {
+        // (x ⊔ y) ⊔ z
+        let left = recorded(&xs);
+        let y = recorded(&ys);
+        left.merge_from(&y);
+        left.merge_from(&recorded(&zs));
+        // x ⊔ (y ⊔ z)
+        let right = recorded(&xs);
+        let yz = recorded(&ys);
+        yz.merge_from(&recorded(&zs));
+        right.merge_from(&yz);
+        prop_assert_eq!(state(&left), state(&right));
+    }
+
+    #[test]
+    fn empty_recorder_is_identity(xs in arb_ops()) {
+        let rec = recorded(&xs);
+        let before = state(&rec);
+        rec.merge_from(&Recorder::enabled());
+        prop_assert_eq!(state(&rec), before.clone());
+        let empty = Recorder::enabled();
+        empty.merge_from(&rec);
+        prop_assert_eq!(state(&empty), before);
+    }
+
+    #[test]
+    fn merge_equals_replaying_both_op_lists(xs in arb_ops(), ys in arb_ops()) {
+        let merged = recorded(&xs);
+        merged.merge_from(&recorded(&ys));
+        let mut both = xs.clone();
+        both.extend(ys.clone());
+        prop_assert_eq!(state(&merged), state(&recorded(&both)));
+    }
+
+    #[test]
+    fn histogram_moments_match_samples(samples in prop::collection::vec(0u64..1_000_000, 0..50)) {
+        let rec = Recorder::enabled();
+        let hist = rec.histogram("h");
+        for &s in &samples {
+            hist.record(s);
+        }
+        let report = rec.snapshot();
+        let h = &report.histograms["h"];
+        prop_assert_eq!(h.count, samples.len() as u64);
+        prop_assert_eq!(h.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min, samples.iter().min().copied().unwrap_or(0));
+        prop_assert_eq!(h.max, samples.iter().max().copied().unwrap_or(0));
+        let bucket_total: u64 = h.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(bucket_total, h.count);
+        for b in &h.buckets {
+            prop_assert!(b.lo <= b.hi);
+            let in_range = samples.iter().filter(|&&s| b.lo <= s && s <= b.hi).count() as u64;
+            prop_assert_eq!(b.count, in_range, "bucket [{}, {}]", b.lo, b.hi);
+        }
+    }
+}

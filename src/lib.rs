@@ -14,6 +14,9 @@
 //!   standing in for Spark.
 //! * [`datagen`] — synthetic dataset generators matching the structural
 //!   profiles of the paper's four evaluation datasets.
+//! * [`obs`] — zero-dependency observability: mergeable counters,
+//!   histograms and timed spans, exportable as structured run reports
+//!   and Chrome/Perfetto traces (see DESIGN.md § Observability).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use typefuse_datagen as datagen;
 pub use typefuse_engine as engine;
 pub use typefuse_infer as infer;
 pub use typefuse_json as json;
+pub use typefuse_obs as obs;
 pub use typefuse_query as query;
 pub use typefuse_registry as registry;
 pub use typefuse_types as types;
@@ -52,6 +56,7 @@ pub mod prelude {
     pub use typefuse_engine::{Dataset, ReducePlan, Runtime};
     pub use typefuse_infer::{fuse, infer_type, Incremental};
     pub use typefuse_json::{parse_value, NdjsonReader, Value};
+    pub use typefuse_obs::{Recorder, RunReport};
     pub use typefuse_query::Pipeline;
     pub use typefuse_types::{Type, TypeKind};
 }

@@ -18,8 +18,9 @@ use std::io::BufRead;
 use std::time::{Duration, Instant};
 
 use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics};
-use typefuse_infer::{fuse_with, infer_type, FuseConfig};
+use typefuse_infer::{fuse_with_recorded, infer_type_recorded, FuseConfig};
 use typefuse_json::{NdjsonReader, Value};
+use typefuse_obs::{Recorder, RunReport};
 use typefuse_types::Type;
 
 /// Configuration of a schema-inference run.
@@ -37,6 +38,10 @@ pub struct SchemaJob {
     /// min/max/avg sizes — the Tables 2–5 columns). Costs one hash-set
     /// insert per record.
     pub collect_type_stats: bool,
+    /// Observability recorder shared by every phase of the run (disabled
+    /// by default, which costs nothing). See [`SchemaResult::run_report`]
+    /// for turning it into a structured report after the run.
+    pub recorder: Recorder,
 }
 
 impl Default for SchemaJob {
@@ -56,6 +61,7 @@ impl SchemaJob {
             reduce_plan: ReducePlan::default(),
             fuse_config: FuseConfig::default(),
             collect_type_stats: true,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -89,6 +95,14 @@ impl SchemaJob {
         self
     }
 
+    /// Attach an observability recorder. Clones share state, so hold on
+    /// to one clone and snapshot it (or call
+    /// [`SchemaResult::run_report`]) after the run.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Run over an in-memory value collection.
     pub fn run_values(&self, values: Vec<Value>) -> SchemaResult {
         let dataset = Dataset::from_vec(values, self.partitions);
@@ -98,29 +112,42 @@ impl SchemaJob {
     /// Run over an already partitioned dataset.
     pub fn run_dataset(&self, dataset: &Dataset<Value>) -> SchemaResult {
         let wall_start = Instant::now();
+        let rec = &self.recorder;
 
         // ---- Map phase: infer one type per value (Figure 4). ----------
         let map_start = Instant::now();
-        let (types, map_metrics) = dataset.map_metered(&self.runtime, infer_type);
+        let (types, map_metrics) = {
+            let _span = rec.span("pipeline.map");
+            dataset.map_metered(&self.runtime, |v| infer_type_recorded(v, rec))
+        };
         let map_time = map_start.elapsed();
 
         // ---- Type statistics (the Tables 2–5 columns). ----------------
-        let stats_source: Vec<&Type> = if self.collect_type_stats {
-            types.iter().collect()
-        } else {
-            Vec::new()
+        let type_stats = {
+            let _span = rec.span("pipeline.stats");
+            let stats_source: Vec<&Type> = if self.collect_type_stats {
+                types.iter().collect()
+            } else {
+                Vec::new()
+            };
+            TypeStats::measure(stats_source)
         };
-        let type_stats = TypeStats::measure(stats_source);
 
         // ---- Reduce phase: fuse (Figure 6). ----------------------------
         let cfg = self.fuse_config;
         let reduce_start = Instant::now();
-        let (fused, reduce_metrics) =
-            types.reduce_metered(&self.runtime, self.reduce_plan, move |a, b| {
-                fuse_with(cfg, a, b)
-            });
+        let (fused, reduce_metrics) = {
+            let _span = rec.span("pipeline.reduce");
+            types.reduce_recorded(
+                &self.runtime,
+                self.reduce_plan,
+                |a, b| fuse_with_recorded(cfg, a, b, rec),
+                rec,
+            )
+        };
         let reduce_time = reduce_start.elapsed();
 
+        rec.add("records", dataset.count() as u64);
         let schema = fused.unwrap_or(Type::Bottom);
         SchemaResult {
             fused_size: schema.size(),
@@ -137,8 +164,15 @@ impl SchemaJob {
     }
 
     /// Run over an NDJSON stream, failing on the first malformed record.
+    /// With an enabled recorder, reading counts `json.bytes` /
+    /// `json.lines` / `json.records` under a `pipeline.read` span.
     pub fn run_ndjson<R: BufRead>(&self, reader: R) -> Result<SchemaResult, typefuse_json::Error> {
-        let values: Result<Vec<Value>, _> = NdjsonReader::new(reader).collect();
+        let values: Result<Vec<Value>, _> = {
+            let _span = self.recorder.span("pipeline.read");
+            NdjsonReader::new(reader)
+                .with_recorder(self.recorder.clone())
+                .collect()
+        };
         Ok(self.run_values(values?))
     }
 }
@@ -218,6 +252,44 @@ impl SchemaResult {
         } else {
             self.fused_size as f64 / self.type_stats.avg_size
         }
+    }
+
+    /// Assemble the full structured run report: the recorder's counters,
+    /// gauges, histograms, spans and trace, plus this result's
+    /// per-stage task timings (`map` and `reduce.local_fold`, each with
+    /// per-task queue-wait vs execute split) and headline values.
+    ///
+    /// Pass the same recorder the job ran with; a disabled recorder
+    /// still yields the stage timings and headline values.
+    pub fn run_report(&self, recorder: &Recorder) -> RunReport {
+        let mut report = recorder.snapshot();
+        report.counters.insert("records".to_string(), self.records);
+        report.stages.push(self.map_metrics.stage_report("map"));
+        report
+            .stages
+            .push(self.reduce_metrics.stage_report("reduce.local_fold"));
+        report
+            .values
+            .insert("wall_seconds".to_string(), self.wall.as_secs_f64());
+        report
+            .values
+            .insert("map_seconds".to_string(), self.map_time.as_secs_f64());
+        report
+            .values
+            .insert("reduce_seconds".to_string(), self.reduce_time.as_secs_f64());
+        report
+            .values
+            .insert("fused_size".to_string(), self.fused_size as f64);
+        report
+            .values
+            .insert("compaction_ratio".to_string(), self.compaction_ratio());
+        report
+            .meta
+            .insert("partitions".to_string(), self.partitions.to_string());
+        report
+            .meta
+            .insert("schema".to_string(), self.schema.to_string());
+        report
     }
 }
 
@@ -300,6 +372,63 @@ mod tests {
 
         let bad = "{\"a\":1}\nnot json\n";
         assert!(SchemaJob::new().run_ndjson(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn recorded_run_produces_a_full_report() {
+        let rec = Recorder::enabled();
+        let r = SchemaJob::new()
+            .partitions(2)
+            .recorder(rec.clone())
+            .run_values(values());
+        let report = r.run_report(&rec);
+
+        assert_eq!(report.counters["records"], 4);
+        assert_eq!(report.counters["infer.types"], 4);
+        // 4 records in 2 partitions: 2 fuses in the local folds, then 1
+        // combining the two partials.
+        assert_eq!(report.counters["fuse.calls"], 3);
+        assert_eq!(report.histograms["fuse.union_width"].count, 3);
+        assert_eq!(report.histograms["infer.record_width"].count, 4);
+        assert!(report.gauges["infer.max_depth"] >= 2);
+        assert!(report.spans.contains_key("pipeline.map"));
+        assert!(report.spans.contains_key("pipeline.reduce"));
+        assert!(report.spans.contains_key("reduce.level.0"));
+
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["map", "reduce.local_fold"]);
+        for stage in &report.stages {
+            assert_eq!(stage.tasks.len(), 2, "one task per partition");
+        }
+        assert!(report.values.contains_key("wall_seconds"));
+
+        // The report serializes, and the trace is non-empty Chrome JSON.
+        let json = report.to_json();
+        assert!(json.contains("\"fuse.calls\""));
+        assert!(rec.chrome_trace_json().contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn disabled_recorder_report_still_has_stages_and_records() {
+        let r = SchemaJob::new().partitions(2).run_values(values());
+        let report = r.run_report(&Recorder::disabled());
+        assert_eq!(report.counters["records"], 4);
+        assert_eq!(report.stages.len(), 2);
+        assert!(report.histograms.is_empty());
+    }
+
+    #[test]
+    fn recorded_ndjson_counts_io() {
+        let data = "{\"a\":1}\n{\"a\":\"x\"}\n";
+        let rec = Recorder::enabled();
+        let r = SchemaJob::new()
+            .recorder(rec.clone())
+            .run_ndjson(data.as_bytes())
+            .unwrap();
+        let report = r.run_report(&rec);
+        assert_eq!(report.counters["json.bytes"], data.len() as u64);
+        assert_eq!(report.counters["json.records"], 2);
+        assert!(report.spans.contains_key("pipeline.read"));
     }
 
     #[test]

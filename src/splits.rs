@@ -20,6 +20,7 @@ use std::path::Path;
 use typefuse_engine::Runtime;
 use typefuse_infer::{streaming, Incremental};
 use typefuse_json::{Error, ErrorKind, Position};
+use typefuse_obs::{span, Recorder};
 use typefuse_types::Type;
 
 /// A byte range `[start, end)` of the input file.
@@ -113,9 +114,23 @@ pub struct FileSchema {
 /// splits, using streaming inference (no value trees; memory stays
 /// O(schema) per split).
 pub fn infer_file_schema(path: &Path, runtime: &Runtime) -> Result<FileSchema, Error> {
+    infer_file_schema_recorded(path, runtime, &Recorder::disabled())
+}
+
+/// [`infer_file_schema`] with observability: counts `streaming.splits`
+/// and per-split `json.bytes` / `json.records`, and wraps each split in
+/// a `split.N` span so the trace shows how evenly the byte ranges load
+/// the workers. A disabled recorder costs nothing.
+pub fn infer_file_schema_recorded(
+    path: &Path,
+    runtime: &Runtime,
+    rec: &Recorder,
+) -> Result<FileSchema, Error> {
     let len = std::fs::metadata(path).map_err(io_error)?.len();
     let splits = plan_splits(len, runtime.workers() * 4);
-    let (accs, _) = runtime.run_indexed(&splits, |_, &split| {
+    rec.add("streaming.splits", splits.len() as u64);
+    let (accs, _) = runtime.run_indexed(&splits, |i, &split| {
+        let _span = span!(rec, "split", i);
         let mut acc = Incremental::new();
         let result = read_split(path, split, |offset, line| {
             let ty = streaming::infer_type_from_str(line).map_err(|e| {
@@ -129,9 +144,11 @@ pub fn infer_file_schema(path: &Path, runtime: &Runtime) -> Result<FileSchema, E
                     },
                 )
             })?;
+            rec.add("json.records", 1);
             acc.absorb_type(ty);
             Ok(())
         });
+        rec.add("json.bytes", split.end - split.start);
         result.map(|()| acc)
     });
     let mut total = Incremental::new();
@@ -139,6 +156,7 @@ pub fn infer_file_schema(path: &Path, runtime: &Runtime) -> Result<FileSchema, E
     for acc in accs {
         total.merge(&acc?);
     }
+    rec.add("records", total.count());
     Ok(FileSchema {
         schema: total.schema().clone(),
         records: total.count(),
@@ -236,6 +254,26 @@ mod tests {
         assert_eq!(from_file.schema, in_memory.schema);
         assert_eq!(from_file.records, in_memory.records);
         assert!(from_file.splits >= 1);
+    }
+
+    #[test]
+    fn recorded_file_inference_counts_splits_and_records() {
+        let contents: String = (0..40).map(|i| format!("{{\"n\":{i}}}\n")).collect();
+        let path = temp_file("recorded.ndjson", &contents);
+        let rec = Recorder::enabled();
+        let fs = infer_file_schema_recorded(&path, &Runtime::new(2), &rec).unwrap();
+        let report = rec.snapshot();
+        assert_eq!(report.counters["streaming.splits"], fs.splits as u64);
+        assert_eq!(report.counters["json.records"], 40);
+        assert_eq!(report.counters["records"], 40);
+        assert_eq!(report.counters["json.bytes"], contents.len() as u64);
+        // One span per split, named split.0 .. split.N-1.
+        let split_spans = report
+            .spans
+            .keys()
+            .filter(|k| k.starts_with("split."))
+            .count();
+        assert_eq!(split_spans, fs.splits);
     }
 
     #[test]

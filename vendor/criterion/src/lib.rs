@@ -1,0 +1,298 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the group/bencher API surface the workspace's benches
+//! use, with a deliberately simple measurement loop: warm up for the
+//! configured `warm_up_time`, then time batches of iterations until
+//! `measurement_time` elapses or `sample_size` samples are taken, and
+//! print mean time per iteration (plus throughput when configured).
+//! There is no statistical analysis, outlier detection, or HTML report
+//! — the numbers are honest wall-clock means, good enough for the
+//! relative comparisons the bench harness makes in CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness entry point; also the per-group configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id.0, None, &mut f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(self.criterion, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (accepted for API compatibility; output is
+    /// flushed per benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by the parameter it varies over.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Identify a benchmark by a function name and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements (records, rows) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up: also calibrates how many iterations fit in one sample.
+    let warm_deadline = Instant::now() + config.warm_up_time;
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    while Instant::now() < warm_deadline {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        warm_elapsed += b.elapsed;
+    }
+    let per_iter = warm_elapsed
+        .checked_div(warm_iters.max(1) as u32)
+        .unwrap_or(Duration::ZERO);
+    let sample_budget = config.measurement_time.as_nanos() / config.sample_size.max(1) as u128;
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (sample_budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let deadline = Instant::now() + config.measurement_time;
+    let mut total_iters: u64 = 0;
+    let mut total_elapsed = Duration::ZERO;
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters += iters_per_sample;
+        total_elapsed += b.elapsed;
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    let mean = total_elapsed
+        .checked_div(total_iters.max(1) as u32)
+        .unwrap_or(Duration::ZERO);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            " ({:.3e} elem/s)",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+        Throughput::Bytes(n) => format!(
+            " ({:.3e} B/s)",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    });
+    println!(
+        "{label:<50} time: {mean:>12?}  ({total_iters} iters){}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Define a benchmark group function. Supports the
+/// `name = ...; config = ...; targets = ...` form and the positional
+/// shorthand.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Benchmark binaries receive harness flags (e.g. `--bench`)
+            // from cargo; this stub has no filtering, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_round_trip() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(10));
+            group.bench_function(BenchmarkId::from_parameter(42), |b| {
+                b.iter(|| black_box(2 + 2))
+            });
+            group.bench_with_input("with_input", &7u64, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            group.finish();
+        }
+        c.bench_function("standalone", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+}

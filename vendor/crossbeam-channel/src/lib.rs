@@ -1,0 +1,232 @@
+//! Offline stub of `crossbeam-channel`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *subset* of the crossbeam-channel API it actually uses:
+//! an unbounded multi-producer multi-consumer FIFO channel with blocking
+//! `recv`. The implementation is a `Mutex<VecDeque>` + `Condvar`, which
+//! is slower than the real lock-free channel under heavy contention but
+//! semantically identical for the work-queue pattern in
+//! `typefuse-engine::Runtime` (a burst of sends followed by draining
+//! receives).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Create an unbounded FIFO channel, returning the sending and receiving
+/// halves. Both halves are cloneable (MPMC).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Channel {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Channel<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    chan: Arc<Channel<T>>,
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    chan: Arc<Channel<T>>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Append a message to the queue. Fails only when every receiver has
+    /// been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake every blocked receiver so it can observe disconnection.
+            self.chan.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message is available or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.chan.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Pop a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.chan.state.lock().unwrap();
+        match state.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.state.lock().unwrap().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn multi_consumer_drains_everything_exactly_once() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(42u64).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

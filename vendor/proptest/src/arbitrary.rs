@@ -1,0 +1,71 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait for types with a
+//! canonical full-range strategy.
+
+use crate::strategy::BoxedStrategy;
+use rand::Rng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The full-range strategy for this type.
+    fn arbitrary_strategy() -> BoxedStrategy<Self>;
+}
+
+/// Strategy over the entire value space of `A`.
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    A::arbitrary_strategy()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_strategy() -> BoxedStrategy<Self> {
+        BoxedStrategy::new(|rng| rng.gen())
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_strategy() -> BoxedStrategy<Self> {
+                BoxedStrategy::new(|rng| {
+                    let bits: u64 = rng.gen();
+                    bits as $t
+                })
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_strategy() -> BoxedStrategy<Self> {
+        // Finite doubles over a wide range; NaN/inf would make
+        // round-trip properties vacuously fail on comparison.
+        BoxedStrategy::new(|rng| rng.gen_range(-1.0e12..1.0e12))
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary_strategy() -> BoxedStrategy<Self> {
+        BoxedStrategy::new(|rng| crate::sample::Index::new(rng.gen()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn any_covers_signed_range() {
+        let mut rng = crate::test_runner::rng_for_test("any_signed");
+        let s = any::<i32>();
+        let mut saw_negative = false;
+        let mut saw_positive = false;
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            saw_negative |= v < 0;
+            saw_positive |= v > 0;
+        }
+        assert!(saw_negative && saw_positive);
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of proptest's API the workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`/`prop_recursive`/
+//! `boxed`, tuple/`Vec`/range/regex-literal strategies,
+//! `prop::collection::vec`, `prop::sample::{select, Index}`, `any`,
+//! and the `proptest!`/`prop_oneof!`/`prop_assert!` macros.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **No shrinking.** A failing case panics with the failure message
+//!   and the case number; it is not minimised. Failures reproduce
+//!   exactly because sampling is deterministic (seeded per test name).
+//! * **Sampling, not value trees.** A strategy here is just "a way to
+//!   draw a value from an RNG"; the real crate's lazy value-tree
+//!   machinery is unnecessary without shrinking.
+//! * **Regex literals** support the subset used by the workspace:
+//!   character classes, `\PC`, and `{m,n}` repetition.
+//!
+//! Default cases per property: 64, overridable with the
+//! `PROPTEST_CASES` environment variable or
+//! `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror: `prop::collection::vec`, `prop::sample::select`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Weighted choice between boxed strategies of a common value type.
+///
+/// Arms: either all `weight => strategy` or all bare `strategy`
+/// (uniform weights). Trailing commas allowed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; on failure the current
+/// case returns an error (reported with the case number) instead of
+/// unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Assert two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]`, then any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a
+/// time, threading the config expression through.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __cases = __config.resolved_cases();
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for __case in 0..__cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                )+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} for `{}` failed: {}",
+                        __case + 1,
+                        __cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn oneof_weights_bias_sampling() {
+        let s = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = crate::test_runner::rng_for_test("weights");
+        let ones = (0..1000).filter(|_| s.sample(&mut rng) == 1).count();
+        assert!(ones > 800, "ones = {ones}");
+    }
+
+    #[test]
+    fn ranges_and_collections_compose() {
+        let s = prop::collection::vec((0usize..5, Just("x")), 1..4);
+        let mut rng = crate::test_runner::rng_for_test("compose");
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|(n, x)| *n < 5 && *x == "x"));
+        }
+    }
+
+    #[test]
+    fn regex_literal_strategies() {
+        let mut rng = crate::test_runner::rng_for_test("regex");
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}".sample(&mut rng);
+            assert!((1..=3).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let p = "[ -~]{0,12}".sample(&mut rng);
+            assert!(p.chars().count() <= 12);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+            let u = "\\PC{0,8}".sample(&mut rng);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::rng_for_test("recursive");
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = s.sample(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node, "recursion never taken");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_round_trip((a, b) in (0i64..100, 0i64..100), tail in "[a-z]{0,4}") {
+            prop_assert!(a + b >= a);
+            prop_assert_eq!(tail.len(), tail.len());
+            prop_assert_ne!(a - 1, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            // No #[test] attribute: defined inside a test fn and called
+            // directly below.
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,200 @@
+//! Sampler for the regex-literal strategy subset.
+//!
+//! Supported syntax — exactly what the workspace's string strategies
+//! use: literal characters, character classes (`[a-z]`, `[ -~]`,
+//! multiple ranges/chars per class), the `\PC` "any non-control
+//! character" escape, and `{n}` / `{m,n}` repetition suffixes.
+//! Unsupported constructs panic with the offending pattern, so a typo
+//! fails loudly instead of silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// One repeatable unit of a pattern.
+struct Atom {
+    /// Inclusive char ranges to draw from, uniform over total width.
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+/// Draw a string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(pick(&atom.ranges, rng));
+        }
+    }
+    out
+}
+
+fn pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+        .sum();
+    let mut offset = rng.gen_range(0..total);
+    for (lo, hi) in ranges {
+        let width = *hi as u32 - *lo as u32 + 1;
+        if offset < width {
+            return char::from_u32(*lo as u32 + offset).expect("class ranges avoid surrogates");
+        }
+        offset -= width;
+    }
+    unreachable!("offset exceeded class width")
+}
+
+/// Ranges for `\PC`: everything printable, spanning 1- to 4-byte UTF-8
+/// so parser round-trip properties exercise every encoding width.
+const NON_CONTROL: &[(char, char)] = &[
+    (' ', '~'),   // ASCII printable
+    ('¡', 'ÿ'),   // Latin-1 supplement (2-byte)
+    ('Ա', 'Ֆ'),   // Armenian (2-byte)
+    ('ぁ', 'ん'), // Hiragana (3-byte)
+    ('𝐀', '𝐙'),   // Mathematical bold capitals (4-byte)
+];
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => NON_CONTROL.to_vec(),
+                    other => panic!("unsupported \\P category {other:?} in pattern {pattern:?}"),
+                },
+                Some('n') => vec![('\n', '\n')],
+                Some('t') => vec![('\t', '\t')],
+                Some('r') => vec![('\r', '\r')],
+                Some('d') => vec![('0', '9')],
+                Some(lit @ ('\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '+' | '*' | '?')) => {
+                    vec![(lit, lit)]
+                }
+                other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+            },
+            '.' => vec![(' ', '~')],
+            '{' | '}' | '*' | '+' | '?' | '|' | '(' | ')' => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            lit => vec![(lit, lit)],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            parse_repeat(&mut chars, pattern)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let lo = match chars.next() {
+            Some(']') if !ranges.is_empty() => return ranges,
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in class in pattern {pattern:?}")),
+            Some(c) => c,
+            None => panic!("unterminated character class in pattern {pattern:?}"),
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            match chars.next() {
+                // Trailing '-' before ']' is a literal dash.
+                Some(']') => {
+                    ranges.push((lo, lo));
+                    ranges.push(('-', '-'));
+                    return ranges;
+                }
+                Some(hi) => {
+                    assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+                    ranges.push((lo, hi));
+                }
+                None => panic!("unterminated character class in pattern {pattern:?}"),
+            }
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (u32, u32) {
+    let mut first = String::new();
+    let mut second = None;
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(',') => second = Some(String::new()),
+            Some(d) if d.is_ascii_digit() => match &mut second {
+                Some(s) => s.push(d),
+                None => first.push(d),
+            },
+            other => panic!("bad repetition {other:?} in pattern {pattern:?}"),
+        }
+    }
+    let min: u32 = first
+        .parse()
+        .unwrap_or_else(|_| panic!("bad repetition bound in pattern {pattern:?}"));
+    let max = match second {
+        None => min,
+        Some(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition bound in pattern {pattern:?}")),
+    };
+    assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn class_with_literal_space_range() {
+        let mut rng = rng_for_test("space_class");
+        for _ in 0..100 {
+            let s = sample("[ -~]{0,12}", &mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut rng = rng_for_test("exact");
+        let s = sample("k_[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("k_"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn non_control_spans_utf8_widths() {
+        let mut rng = rng_for_test("pc");
+        let mut widths = std::collections::HashSet::new();
+        for _ in 0..500 {
+            for c in sample("\\PC{0,16}", &mut rng).chars() {
+                assert!(!c.is_control());
+                widths.insert(c.len_utf8());
+            }
+        }
+        assert_eq!(widths.len(), 4, "saw widths {widths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_is_rejected() {
+        sample("a|b", &mut rng_for_test("alt"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Sampling helpers: `select` from a fixed list and the [`Index`]
+//! abstract-index type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy choosing uniformly from a fixed list of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty list");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// An index into a collection whose size is unknown at generation time;
+/// resolve with [`Index::index`] once the size is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wrap raw randomness (used by `any::<Index>()`).
+    pub fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolve against a concrete collection size. Panics when
+    /// `size == 0`, matching the real crate.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_draws_every_option() {
+        let s = select(vec![1, 2, 3]);
+        let mut rng = crate::test_runner::rng_for_test("select");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        for raw in [0, 1, 7, u64::MAX] {
+            assert!(Index::new(raw).index(13) < 13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn index_panics_on_zero() {
+        Index::new(5).index(0);
+    }
+}

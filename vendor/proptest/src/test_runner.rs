@@ -1,0 +1,94 @@
+//! Test configuration, failure type, and the deterministic RNG used by
+//! the `proptest!` macro.
+
+use rand::SeedableRng;
+
+/// RNG threaded through every strategy. An alias of the vendored
+/// `rand::rngs::StdRng`; seeded per test from the test's name so runs
+/// are reproducible without a persisted seed file.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Build the RNG for a named property test.
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms,
+    // unlike `DefaultHasher` which is documented as unstable.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// `cases`, unless overridden by the `PROPTEST_CASES` environment
+    /// variable.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert!` inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let a: u64 = rng_for_test("x").gen_range(0..u64::MAX);
+        let b: u64 = rng_for_test("x").gen_range(0..u64::MAX);
+        let c: u64 = rng_for_test("y").gen_range(0..u64::MAX);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn default_cases() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(512).cases, 512);
+    }
+}

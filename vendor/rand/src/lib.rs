@@ -1,0 +1,291 @@
+//! Offline stub of `rand`.
+//!
+//! Implements exactly the surface `typefuse-datagen` consumes:
+//! [`Rng::gen_range`] over integer and float ranges, [`Rng::gen_bool`],
+//! [`Rng::gen`] for `bool`/`f64`, and [`SeedableRng::seed_from_u64`] on
+//! [`rngs::StdRng`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — deterministic across platforms, which is all the
+//! synthetic dataset profiles need (they never promised byte-for-byte
+//! parity with upstream `rand`, only self-consistent seeds).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level 64-bit generator.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// Panics when `p` is outside `[0, 1]`, like the real crate.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value of a [`Standard`]-distributed type (`bool`, `f64`,
+    /// and the unsigned word types).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable generators (the `seed_from_u64` entry point only).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Map 64 random bits to `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types sampleable uniformly from their "standard" distribution.
+pub trait Standard {
+    /// Draw one sample.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges a value of type `T` can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample; panics on an empty range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over an interval.
+///
+/// The blanket [`SampleRange`] impls below are deliberately generic
+/// over `T: SampleUniform` (one impl per range kind, like the real
+/// crate) so that integer literals in `gen_range(0..n)` unify with the
+/// surrounding usage type instead of falling back to `i32`.
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Uniform sample from `[start, end)`.
+    fn sample_half_open<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform sample from `[start, end]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Uniform `u64` in `[0, bound)` by rejection of the biased tail.
+fn bounded_u64<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                let off = bounded_u64(rng, span);
+                ((start as $wide).wrapping_add(off as $wide)) as $t
+            }
+            fn sample_inclusive<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = bounded_u64(rng, span + 1);
+                ((start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+        start + unit_f64(rng.next_u64()) * (end - start)
+    }
+    fn sample_inclusive<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+        start + unit_f64(rng.next_u64()) * (end - start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+        f64::sample_half_open(rng, start as f64, end as f64) as f32
+    }
+    fn sample_inclusive<R: RngCore>(rng: &mut R, start: Self, end: Self) -> Self {
+        f64::sample_inclusive(rng, start as f64, end as f64) as f32
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The stub's standard generator: xoshiro256** with SplitMix64
+    /// seeding. Fast, 256-bit state, passes BigCrush — more than enough
+    /// for synthetic test data.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(0..7);
+            assert!(v < 7);
+            let v: i64 = r.gen_range(-1_000_000..1_000_000);
+            assert!((-1_000_000..1_000_000).contains(&v));
+            let v: u32 = r.gen_range(1..=12);
+            assert!((1..=12).contains(&v));
+            let v: f64 = r.gen_range(-1.0e6..1.0e6);
+            assert!((-1.0e6..1.0e6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut r = rng();
+        assert_eq!(r.gen_range(3..=3u8), 3);
+    }
+
+    #[test]
+    fn gen_bool_edges_and_rough_frequency() {
+        let mut r = rng();
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn standard_samples() {
+        let mut r = rng();
+        let _: bool = r.gen();
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}
