@@ -1,0 +1,70 @@
+//! The two Map routes head to head: tree inference (parse each line into
+//! a `Value`, then Figure 4) versus the event fast path (fold the token
+//! stream straight into the type). Both run through the full
+//! `SchemaJob::run(Source::ndjson(..))` pipeline, so the comparison
+//! includes reading, partitioning, Map and Reduce — the numbers are
+//! records/s of the whole ingest, not just the inference kernel.
+//!
+//! Every measurement first asserts the two routes produce byte-identical
+//! schemas on the profile, so a run of this bench doubles as the
+//! differential check CI's bench-smoke job relies on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use typefuse::pipeline::{MapPath, SchemaJob, Source};
+use typefuse_datagen::{DatasetProfile, Profile};
+
+fn corpus(profile: Profile, n: usize) -> String {
+    let values: Vec<_> = profile.generate(7, n).collect();
+    let mut text = Vec::new();
+    typefuse_json::ndjson::write_ndjson(&mut text, &values).unwrap();
+    String::from_utf8(text).unwrap()
+}
+
+fn job(path: MapPath) -> SchemaJob {
+    SchemaJob::new().map_path(path).without_type_stats()
+}
+
+fn run(path: MapPath, text: &str) -> typefuse_types::Type {
+    job(path)
+        .run(Source::ndjson(text.as_bytes()))
+        .expect("generated corpus is valid NDJSON")
+        .schema
+}
+
+fn bench_value_vs_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_vs_events");
+    for profile in Profile::ALL {
+        let n = 200usize;
+        let text = corpus(profile, n);
+
+        // Differential guard: identical schemas before anything is timed.
+        let via_events = run(MapPath::Events, &text);
+        let via_values = run(MapPath::Values, &text);
+        assert_eq!(
+            via_events, via_values,
+            "map routes disagree on {profile}: {via_events} vs {via_values}"
+        );
+
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, path) in [("events", MapPath::Events), ("value", MapPath::Values)] {
+            group.bench_function(BenchmarkId::new(label, profile), |b| {
+                b.iter(|| run(path, black_box(&text)).size())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_value_vs_events
+}
+criterion_main!(benches);

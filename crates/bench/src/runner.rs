@@ -5,9 +5,10 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
+use typefuse::pipeline::MapPath;
 use typefuse_datagen::{DatasetProfile, Profile};
 use typefuse_engine::{ReducePlan, Runtime};
-use typefuse_infer::{fuse_into, fuse_with, infer_type, FuseConfig};
+use typefuse_infer::{fuse_into, fuse_with, infer_type, streaming, FuseConfig};
 use typefuse_types::Type;
 
 /// Configuration of one scale run.
@@ -25,6 +26,12 @@ pub struct ScaleConfig {
     pub workers: usize,
     /// Fusion configuration.
     pub fuse_config: FuseConfig,
+    /// Map route. The runner generates value trees natively, so
+    /// [`MapPath::Values`] (the default here) infers them directly;
+    /// [`MapPath::Events`] serializes each record and folds the token
+    /// stream instead, timing the full text-to-type route — this is
+    /// what the `value_vs_events` bench compares.
+    pub map_path: MapPath,
     /// Also serialize every record to count dataset bytes (Table 1).
     /// Costs roughly as much as parsing; off for the type-statistics
     /// tables.
@@ -42,8 +49,15 @@ impl ScaleConfig {
             partitions: (workers * 4).max(1),
             workers,
             fuse_config: FuseConfig::default(),
+            map_path: MapPath::Values,
             measure_bytes: false,
         }
+    }
+
+    /// Builder: set the Map route (see [`ScaleConfig::map_path`]).
+    pub fn map_path(mut self, path: MapPath) -> Self {
+        self.map_path = path;
+        self
     }
 
     /// Builder: set the worker count (and leave partitions to the caller).
@@ -213,12 +227,31 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
         let mut acc = PartitionAcc::empty();
         for index in start..end {
             let value = config.profile.record(config.seed, index);
-            if config.measure_bytes {
-                acc.bytes += typefuse_json::to_string(&value).len() as u64 + 1;
-            }
-            let t0 = Instant::now();
-            let ty = infer_type(&value);
-            acc.infer_time += t0.elapsed();
+            let ty = match config.map_path {
+                MapPath::Values => {
+                    if config.measure_bytes {
+                        acc.bytes += typefuse_json::to_string(&value).len() as u64 + 1;
+                    }
+                    let t0 = Instant::now();
+                    let ty = infer_type(&value);
+                    acc.infer_time += t0.elapsed();
+                    ty
+                }
+                MapPath::Events => {
+                    // Serialization is setup, not measurement: the timed
+                    // section is the text-to-type fold (tokenize + infer),
+                    // the work an NDJSON ingest would do per line.
+                    let line = typefuse_json::to_string(&value);
+                    if config.measure_bytes {
+                        acc.bytes += line.len() as u64 + 1;
+                    }
+                    let t0 = Instant::now();
+                    let ty = streaming::infer_type_from_str(&line)
+                        .expect("generated records serialize to valid JSON");
+                    acc.infer_time += t0.elapsed();
+                    ty
+                }
+            };
 
             let size = ty.size();
             acc.min_size = acc.min_size.min(size);
@@ -304,6 +337,21 @@ mod tests {
         assert_eq!(streamed.min_size, materialised.type_stats.min_size);
         assert_eq!(streamed.max_size, materialised.type_stats.max_size);
         assert!((streamed.avg_size - materialised.type_stats.avg_size).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_route_matches_value_route() {
+        for profile in [Profile::GitHub, Profile::NYTimes] {
+            let via_values = run_scale(&ScaleConfig::new(profile, 150).partitions(5));
+            let via_events = run_scale(
+                &ScaleConfig::new(profile, 150)
+                    .partitions(5)
+                    .map_path(MapPath::Events),
+            );
+            assert_eq!(via_events.schema, via_values.schema, "{profile}");
+            assert_eq!(via_events.distinct_types, via_values.distinct_types);
+            assert_eq!(via_events.records, via_values.records);
+        }
     }
 
     #[test]

@@ -4,9 +4,9 @@ use crate::args::ArgStream;
 use crate::{CliError, CliResult};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
-use typefuse::pipeline::SchemaJob;
-use typefuse_engine::ReducePlan;
-use typefuse_infer::{ArrayFusion, CountingFuser, FuseConfig};
+use typefuse::pipeline::{MapPath, SchemaJob, Source};
+use typefuse_engine::{Dataset, ReducePlan};
+use typefuse_infer::{ArrayFusion, Counting, CountingFuser, FuseConfig};
 use typefuse_json::{NdjsonReader, Value};
 use typefuse_obs::Recorder;
 use typefuse_types::export::to_json_schema_document;
@@ -20,6 +20,16 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         .unwrap_or_else(|| "pretty".to_string());
     let stats = args.flag("--stats");
     let counting = args.flag("--counting");
+    let map_path = match args.option("--map-path")?.as_deref() {
+        None => None,
+        Some("events") => Some(MapPath::Events),
+        Some("value") | Some("values") => Some(MapPath::Values),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown map path `{other}` (expected events or value)"
+            )))
+        }
+    };
     let positional_arrays = args.flag("--positional-arrays");
     let sequential_reduce = args.flag("--sequential-reduce");
     let streaming = args.flag("--streaming");
@@ -36,6 +46,12 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         Recorder::disabled()
     };
     let heartbeat = progress.then(|| Heartbeat::start(recorder.clone()));
+
+    if counting && map_path == Some(MapPath::Events) {
+        return Err(CliError::usage(
+            "--counting reads record trees and needs the value path; drop --map-path events",
+        ));
+    }
 
     if streaming {
         if stats || counting {
@@ -55,17 +71,15 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         return Ok(());
     }
 
-    let values = {
-        let _span = recorder.span("pipeline.read");
-        read_values(input.as_deref(), &recorder)?
-    };
-
     let mut job = SchemaJob::new().recorder(recorder.clone());
     if let Some(w) = workers {
         job = job.workers(w);
     }
     if let Some(p) = partitions {
         job = job.partitions(p);
+    }
+    if let Some(path) = map_path {
+        job = job.map_path(path);
     }
     if positional_arrays {
         job = job.fuse_config(FuseConfig {
@@ -79,19 +93,30 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         job = job.without_type_stats();
     }
 
-    // Path statistics, if requested. The counting fuser already computes
-    // the fused schema, so the main pipeline run is skipped when nothing
-    // else (type statistics, metrics, a trace) requires it.
-    let counted = counting.then(|| {
-        let mut cf = CountingFuser::new();
-        for v in &values {
-            cf.absorb(v);
-        }
-        cf.finish()
-    });
-
-    let need_pipeline = counted.is_none() || stats || observing;
-    let result = need_pipeline.then(|| job.run_values(values));
+    // Path statistics need the record trees, so `--counting` forces the
+    // value route: values are read once, the counting strategy runs on
+    // the engine's trait-driven reduce, and the timed pipeline reuses
+    // the same dataset only when something else (type statistics, a
+    // metrics report) requires it. Without `--counting` the input
+    // streams straight through the job's Map route (`--map-path`,
+    // events by default).
+    let (result, counted) = if counting {
+        let values = {
+            let _span = recorder.span("pipeline.read");
+            read_values(input.as_deref(), &recorder)?
+        };
+        let dataset = Dataset::from_vec(values, job.partitions);
+        let (acc, _) = dataset.fuse_values(&job.runtime, job.reduce_plan, &Counting, &recorder);
+        let counted = acc.unwrap_or_else(CountingFuser::new).finish();
+        let need_pipeline = stats || observing;
+        (
+            need_pipeline.then(|| job.run_dataset(&dataset)),
+            Some(counted),
+        )
+    } else {
+        let reader = open_input(input.as_deref())?;
+        (Some(job.run(Source::ndjson(reader))?), None)
+    };
     let schema = match (&counted, &result) {
         // The counting fuser's schema and the pipeline's are identical;
         // prefer the counted one so `--counting` output is self-consistent.
@@ -295,6 +320,18 @@ fn run_streaming(
     }
     recorder.add("records", acc.count());
     Ok(acc.into_schema())
+}
+
+/// Open NDJSON input (file path, `-`, or absent = stdin) as a buffered
+/// reader for [`Source::ndjson`].
+fn open_input(input: Option<&str>) -> Result<Box<dyn BufRead>, CliError> {
+    let reader: Box<dyn Read> = match input {
+        None | Some("-") => Box::new(io::stdin()),
+        Some(path) => Box::new(
+            File::open(path).map_err(|e| CliError::runtime(format!("cannot open {path}: {e}")))?,
+        ),
+    };
+    Ok(Box::new(BufReader::new(reader)))
 }
 
 /// Read NDJSON from a file path or stdin (`-` or absent), counting

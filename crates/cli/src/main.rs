@@ -67,6 +67,9 @@ COMMANDS:
         --format F         text | pretty | json-schema  (default: pretty)
         --stats            print type statistics (Tables 2-5 columns)
         --counting         print per-path presence statistics
+        --map-path P       events | value: Map phase folds parser events
+                           directly into types (default) or materialises
+                           value trees first (differential testing)
         --positional-arrays  keep aligned positional arrays (ablation)
         --sequential-reduce  fold partials sequentially instead of tree
         --streaming          constant-memory single pass (no value trees)

@@ -1,0 +1,216 @@
+//! Trait-driven Reduce phase: the engine's reduce written once against
+//! [`Fuser`].
+//!
+//! Before this module every caller (pipeline, CLI, bench runner) wired
+//! its own closures into [`Dataset::reduce`] for each fusion strategy —
+//! plain [`FuseConfig`](typefuse_infer::FuseConfig) fusion, recorded
+//! fusion, path counting. The [`Fuser`] trait captures the common shape
+//! (identity / absorb / merge / extract), and this module provides the
+//! two dataset entry points everything now goes through:
+//!
+//! * [`Dataset::reduce_fused`] — over already inferred types
+//!   (the event fast path produces these directly);
+//! * [`Dataset::fuse_values`] — over raw values, using the strategy's
+//!   `absorb_value` (which the counting fuser overrides to see paths).
+//!
+//! Both run partition-local folds on the [`Runtime`], drop identity
+//! partials (empty partitions — the `ε` of Theorem 5.4), and combine the
+//! rest with [`ReducePlan::combine_recorded`], so reduce topology,
+//! per-level spans and fan-in histograms work identically for every
+//! strategy.
+
+use crate::dataset::Dataset;
+use crate::metrics::StageMetrics;
+use crate::reduce::ReducePlan;
+use crate::runtime::Runtime;
+use typefuse_infer::Fuser;
+use typefuse_json::Value;
+use typefuse_obs::Recorder;
+use typefuse_types::Type;
+
+/// Fold one partition into a strategy accumulator.
+fn fold_partition<T, F, A>(fuser: &F, part: &[T], absorb: A) -> F::Acc
+where
+    F: Fuser,
+    A: Fn(&F, &mut F::Acc, &T),
+{
+    let mut acc = fuser.empty();
+    for item in part {
+        absorb(fuser, &mut acc, item);
+    }
+    acc
+}
+
+/// Combine per-partition partials under `plan`, dropping identities.
+fn combine_partials<F: Fuser>(
+    rt: &Runtime,
+    plan: ReducePlan,
+    fuser: &F,
+    partials: Vec<F::Acc>,
+    rec: &Recorder,
+) -> Option<F::Acc> {
+    let partials: Vec<F::Acc> = partials
+        .into_iter()
+        .filter(|acc| !fuser.is_empty_acc(acc))
+        .collect();
+    plan.combine_recorded(
+        rt,
+        partials,
+        |a, b| {
+            let mut merged = a.clone();
+            fuser.merge(&mut merged, b);
+            merged
+        },
+        rec,
+    )
+}
+
+impl Dataset<Type> {
+    /// Reduce a dataset of inferred types to one fused schema with the
+    /// given strategy. Returns `None` for an empty dataset (the paper's
+    /// fusion has no bottom-free answer for zero records).
+    pub fn reduce_fused<F: Fuser>(
+        &self,
+        rt: &Runtime,
+        plan: ReducePlan,
+        fuser: &F,
+        rec: &Recorder,
+    ) -> (Option<Type>, StageMetrics) {
+        let (partials, metrics) = rt.run_indexed(self.partitions(), |_, part: &Vec<Type>| {
+            fold_partition(fuser, part, |f, acc, ty| f.absorb_type(acc, ty))
+        });
+        let fused =
+            combine_partials(rt, plan, fuser, partials, rec).map(|acc| fuser.finish_schema(acc));
+        (fused, metrics)
+    }
+}
+
+impl Dataset<Value> {
+    /// Map + Reduce in one pass: fold raw values partition-locally with
+    /// the strategy's `absorb_value`, then combine. Used by strategies
+    /// that need the value itself (path counting) and by callers that
+    /// never materialise a type-per-record dataset.
+    pub fn fuse_values<F: Fuser>(
+        &self,
+        rt: &Runtime,
+        plan: ReducePlan,
+        fuser: &F,
+        rec: &Recorder,
+    ) -> (Option<F::Acc>, StageMetrics) {
+        let (partials, metrics) = rt.run_indexed(self.partitions(), |_, part: &Vec<Value>| {
+            fold_partition(fuser, part, |f, acc, v| f.absorb_value(acc, v))
+        });
+        (combine_partials(rt, plan, fuser, partials, rec), metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typefuse_infer::{fuse_all, infer_type, Counting, FuseConfig, RecordedFuser};
+    use typefuse_json::json;
+
+    fn values() -> Vec<Value> {
+        vec![
+            json!({"a": 1, "b": "x"}),
+            json!({"a": null}),
+            json!({"a": 1, "c": [true]}),
+            json!({"a": "s"}),
+        ]
+    }
+
+    #[test]
+    fn reduce_fused_matches_fuse_all() {
+        let rt = Runtime::new(4);
+        let types: Vec<Type> = values().iter().map(infer_type).collect();
+        let expected = fuse_all(&types);
+        for parts in 1..=5 {
+            let d = Dataset::from_vec(types.clone(), parts);
+            let (fused, _) = d.reduce_fused(
+                &rt,
+                ReducePlan::default(),
+                &FuseConfig::default(),
+                &Recorder::disabled(),
+            );
+            assert_eq!(fused, Some(expected.clone()), "{parts} partitions");
+        }
+    }
+
+    #[test]
+    fn empty_partitions_are_identity() {
+        let rt = Runtime::new(2);
+        let ty = infer_type(&json!({"k": 0}));
+        let d = Dataset::from_partitions(vec![vec![], vec![ty.clone()], vec![]]);
+        let (fused, _) = d.reduce_fused(
+            &rt,
+            ReducePlan::default(),
+            &FuseConfig::default(),
+            &Recorder::disabled(),
+        );
+        assert_eq!(fused, Some(ty));
+    }
+
+    #[test]
+    fn empty_dataset_reduces_to_none() {
+        let rt = Runtime::sequential();
+        let d: Dataset<Type> = Dataset::from_partitions(vec![vec![], vec![]]);
+        let (fused, _) = d.reduce_fused(
+            &rt,
+            ReducePlan::default(),
+            &FuseConfig::default(),
+            &Recorder::disabled(),
+        );
+        assert_eq!(fused, None);
+    }
+
+    #[test]
+    fn recorded_fuser_counts_fusions_not_moves() {
+        let rt = Runtime::new(2);
+        let rec = Recorder::enabled();
+        let types: Vec<Type> = values().iter().map(infer_type).collect();
+        let d = Dataset::from_vec(types.clone(), 2);
+        let fuser = RecordedFuser::new(FuseConfig::default(), rec.clone());
+        let (fused, _) = d.reduce_fused(&rt, ReducePlan::default(), &fuser, &rec);
+        assert_eq!(fused, Some(fuse_all(&types)));
+        // 4 records in 2 partitions: one in-partition fusion each (the
+        // first absorb is a move into ε), plus one cross-partition merge.
+        assert_eq!(rec.counter_value("fuse.calls"), 3);
+    }
+
+    #[test]
+    fn fuse_values_with_counting_strategy() {
+        let rt = Runtime::new(4);
+        let d = Dataset::from_vec(values(), 3);
+        let (acc, _) = d.fuse_values(&rt, ReducePlan::default(), &Counting, &Recorder::disabled());
+        let cs = acc.expect("non-empty").finish();
+        assert_eq!(cs.total, 4);
+        assert_eq!(cs.path_counts["$.a"], 4);
+        assert_eq!(cs.path_counts["$.b"], 1);
+        let types: Vec<Type> = values().iter().map(infer_type).collect();
+        assert_eq!(cs.schema, fuse_all(&types));
+    }
+
+    #[test]
+    fn fuse_values_partition_invariant() {
+        let rt = Runtime::new(4);
+        let vals = values();
+        let baseline = {
+            let d = Dataset::from_vec(vals.clone(), 1);
+            d.fuse_values(
+                &rt,
+                ReducePlan::Sequential,
+                &FuseConfig::default(),
+                &Recorder::disabled(),
+            )
+            .0
+        };
+        for parts in 2..=5 {
+            for plan in [ReducePlan::Sequential, ReducePlan::Tree { arity: 2 }] {
+                let d = Dataset::from_vec(vals.clone(), parts);
+                let (fused, _) =
+                    d.fuse_values(&rt, plan, &FuseConfig::default(), &Recorder::disabled());
+                assert_eq!(fused, baseline, "{parts} partitions, {plan:?}");
+            }
+        }
+    }
+}

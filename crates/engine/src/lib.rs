@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod fused;
 pub mod metrics;
 pub mod reduce;
 pub mod runtime;

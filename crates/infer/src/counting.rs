@@ -10,6 +10,7 @@
 //! `$.delete` appears in 0.1% of tweets, immediately exposing the
 //! tweet/delete split of the Twitter dataset.
 
+use crate::fuser::Fuser;
 use crate::incremental::Incremental;
 use std::collections::HashMap;
 use typefuse_json::Value;
@@ -97,6 +98,14 @@ impl CountingFuser {
         }
     }
 
+    /// Absorb an already inferred type. Path statistics need the value
+    /// itself, so this counts the record in `total` but contributes no
+    /// path counts — prefer [`CountingFuser::absorb`] whenever the value
+    /// is at hand.
+    pub fn absorb_type(&mut self, ty: &Type) {
+        self.inner.absorb_type(ty.clone());
+    }
+
     /// Merge another accumulator (partition-wise processing).
     pub fn merge(&mut self, other: &CountingFuser) {
         self.inner.merge(&other.inner);
@@ -117,6 +126,41 @@ impl CountingFuser {
             schema: self.inner.into_schema(),
             path_counts: self.path_counts,
         }
+    }
+}
+
+/// The counting strategy as a pluggable [`Fuser`]: the accumulator is a
+/// [`CountingFuser`], values are absorbed with their paths, and merging
+/// adds counts. This is what lets the engine's trait-driven reduce run
+/// path statistics with the same topology code as plain fusion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counting;
+
+impl Fuser for Counting {
+    type Acc = CountingFuser;
+
+    fn empty(&self) -> CountingFuser {
+        CountingFuser::new()
+    }
+
+    fn absorb_type(&self, acc: &mut CountingFuser, ty: &Type) {
+        acc.absorb_type(ty);
+    }
+
+    fn absorb_value(&self, acc: &mut CountingFuser, value: &Value) {
+        acc.absorb(value);
+    }
+
+    fn merge(&self, acc: &mut CountingFuser, other: &CountingFuser) {
+        acc.merge(other);
+    }
+
+    fn is_empty_acc(&self, acc: &CountingFuser) -> bool {
+        acc.count() == 0
+    }
+
+    fn finish_schema(&self, acc: CountingFuser) -> Type {
+        acc.finish().schema
     }
 }
 

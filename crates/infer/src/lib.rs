@@ -29,6 +29,7 @@
 pub mod counting;
 mod fuse;
 pub mod fuse_inplace;
+pub mod fuser;
 pub mod incremental;
 pub mod infer;
 pub mod maplike;
@@ -36,9 +37,10 @@ pub mod obs;
 mod project;
 pub mod streaming;
 
-pub use counting::{CountedField, CountedSchema, CountingFuser};
+pub use counting::{CountedField, CountedSchema, Counting, CountingFuser};
 pub use fuse::{collapse, fuse, fuse_all, fuse_with, kinds_present, ArrayFusion, FuseConfig};
 pub use fuse_inplace::fuse_into;
+pub use fuser::{Fuser, RecordedFuser};
 pub use incremental::Incremental;
 pub use infer::infer_type;
 pub use maplike::{find_map_like, MapLikeConfig, MapLikeSite};

@@ -26,7 +26,7 @@ use crate::{fuse_with, infer_type, FuseConfig};
 
 /// Width of a type at its top level: the number of union addends, or 1
 /// for any non-union type (`Bottom` counts as 0 — no value inhabits it).
-fn union_width(t: &Type) -> u64 {
+pub(crate) fn union_width(t: &Type) -> u64 {
     match t {
         Type::Bottom => 0,
         Type::Union(u) => u.addends().len() as u64,

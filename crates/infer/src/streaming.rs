@@ -9,6 +9,7 @@
 
 use typefuse_json::events::{Event, EventParser};
 use typefuse_json::{ErrorKind, ParserOptions, Result};
+use typefuse_obs::Recorder;
 use typefuse_types::{ArrayType, Field, RecordType, Type};
 
 /// Infer the type of one complete JSON text without materialising the
@@ -40,79 +41,152 @@ pub fn infer_with_options(input: &[u8], options: ParserOptions) -> Result<Type> 
     Ok(ty)
 }
 
-enum Frame {
-    Record {
-        fields: Vec<Field>,
-        key: Option<String>,
-    },
-    Array {
-        elems: Vec<Type>,
-    },
+/// [`infer_with_options`] plus per-record metrics for the event fast
+/// path. With an enabled recorder it counts:
+///
+/// | name                 | kind      | meaning                                  |
+/// |----------------------|-----------|------------------------------------------|
+/// | `infer.events`       | counter   | parse events folded                      |
+/// | `infer.frames`       | histogram | peak frame-stack depth per record        |
+/// | `infer.types`        | counter   | records folded to types (Map phase)      |
+/// | `infer.record_width` | histogram | field count of each top-level record     |
+/// | `infer.max_depth`    | gauge     | deepest inferred type seen (max-merged)  |
+///
+/// `infer.types` / `infer.record_width` / `infer.max_depth` mirror the
+/// value-path metrics of [`crate::obs::infer_type_recorded`], so run
+/// reports from either Map-phase route are directly comparable. A
+/// disabled recorder makes this identical to [`infer_with_options`].
+pub fn infer_with_options_recorded(
+    input: &[u8],
+    options: ParserOptions,
+    rec: &Recorder,
+) -> Result<Type> {
+    if !rec.is_enabled() {
+        return infer_with_options(input, options);
+    }
+    let mut parser = EventParser::with_options(input, options);
+    let mut stats = FoldStats::default();
+    let ty = fold_events(&mut parser, Some(&mut stats))?;
+    parser.finish()?;
+    rec.add("infer.events", stats.events);
+    rec.record("infer.frames", stats.peak_frames);
+    rec.add("infer.types", 1);
+    if let Type::Record(r) = &ty {
+        rec.record("infer.record_width", r.len() as u64);
+    }
+    rec.gauge_max("infer.max_depth", ty.depth() as u64);
+    Ok(ty)
+}
+
+/// [`infer_type_from_str`] with the metrics of
+/// [`infer_with_options_recorded`].
+pub fn infer_type_from_str_recorded(text: &str, rec: &Recorder) -> Result<Type> {
+    infer_with_options_recorded(text.as_bytes(), ParserOptions::default(), rec)
+}
+
+/// Per-record fold statistics (only collected with an enabled recorder).
+#[derive(Debug, Default)]
+struct FoldStats {
+    events: u64,
+    peak_frames: u64,
 }
 
 /// Fold one value's worth of events into its inferred type.
 pub fn infer_from_events(events: &mut EventParser<'_>) -> Result<Type> {
-    let mut stack: Vec<Frame> = Vec::new();
-    loop {
-        let event = match events.next() {
-            Some(e) => e?,
-            None => {
-                return Err(typefuse_json::Error::at(
-                    ErrorKind::UnexpectedEof,
-                    events.source_position(),
-                ))
+    fold_events(events, None)
+}
+
+fn fold_events(events: &mut EventParser<'_>, mut stats: Option<&mut FoldStats>) -> Result<Type> {
+    // In strict mode (the default) the parser rejects duplicate keys, so
+    // every completed field can be pushed without looking back; only the
+    // lenient mode needs last-wins overwrite semantics.
+    let dedup_keys = events.options().allow_duplicate_keys;
+    let first = next_or_eof(events, &mut stats)?;
+    fold_value(events, first, &mut stats, dedup_keys, 0)
+}
+
+fn next_or_eof<'a>(
+    events: &mut EventParser<'a>,
+    stats: &mut Option<&mut FoldStats>,
+) -> Result<Event<'a>> {
+    match events.next_event()? {
+        Some(e) => {
+            if let Some(s) = stats.as_deref_mut() {
+                s.events += 1;
             }
-        };
-        let completed: Option<Type> = match event {
-            Event::Null => Some(Type::Null),
-            Event::Bool(_) => Some(Type::Bool),
-            Event::Number(_) => Some(Type::Num),
-            Event::String(_) => Some(Type::Str),
-            Event::ObjectStart => {
-                stack.push(Frame::Record {
-                    fields: Vec::new(),
-                    key: None,
-                });
-                None
-            }
-            Event::ArrayStart => {
-                stack.push(Frame::Array { elems: Vec::new() });
-                None
-            }
-            Event::Key(k) => {
-                match stack.last_mut() {
-                    Some(Frame::Record { key, .. }) => *key = Some(k),
-                    _ => unreachable!("Key outside object"),
-                }
-                None
-            }
-            Event::ObjectEnd => match stack.pop() {
-                Some(Frame::Record { fields, .. }) => Some(Type::Record(
-                    RecordType::new(fields).expect("parser enforces key uniqueness"),
-                )),
-                _ => unreachable!("unbalanced ObjectEnd"),
-            },
-            Event::ArrayEnd => match stack.pop() {
-                Some(Frame::Array { elems }) => Some(Type::Array(ArrayType::new(elems))),
-                _ => unreachable!("unbalanced ArrayEnd"),
-            },
-        };
-        if let Some(ty) = completed {
-            match stack.last_mut() {
-                None => return Ok(ty),
-                Some(Frame::Array { elems }) => elems.push(ty),
-                Some(Frame::Record { fields, key }) => {
-                    let name = key.take().expect("value follows a key");
-                    // Under lenient options the parser admits duplicate
-                    // keys; keep last-wins semantics like the tree parser.
-                    match fields.iter_mut().find(|f| f.name == name) {
-                        Some(existing) => existing.ty = ty,
-                        None => fields.push(Field::required(name, ty)),
-                    }
-                }
-            }
+            Ok(e)
         }
+        None => Err(typefuse_json::Error::at(
+            ErrorKind::UnexpectedEof,
+            events.source_position(),
+        )),
     }
+}
+
+/// Fold the value whose first event is `event`. Recursion mirrors the
+/// tree inferrer's shape, so the frame "stack" is the machine stack;
+/// `depth` counts enclosing containers for the `infer.frames` metric.
+/// Recursion depth is bounded by the parser's `max_depth` option.
+fn fold_value<'a>(
+    events: &mut EventParser<'a>,
+    event: Event<'a>,
+    stats: &mut Option<&mut FoldStats>,
+    dedup_keys: bool,
+    depth: u64,
+) -> Result<Type> {
+    Ok(match event {
+        Event::Null => Type::Null,
+        Event::Bool(_) => Type::Bool,
+        Event::Number(_) => Type::Num,
+        Event::String(_) => Type::Str,
+        Event::ObjectStart => {
+            if let Some(s) = stats.as_deref_mut() {
+                s.peak_frames = s.peak_frames.max(depth + 1);
+            }
+            // Unlike the tree route there is no size hint; 8 covers most
+            // real-world records without a mid-object regrow.
+            let mut fields: Vec<Field> = Vec::with_capacity(8);
+            loop {
+                match next_or_eof(events, stats)? {
+                    Event::ObjectEnd => break,
+                    Event::Key(name) => {
+                        let first = next_or_eof(events, stats)?;
+                        let ty = fold_value(events, first, stats, dedup_keys, depth + 1)?;
+                        // Under lenient options the parser admits
+                        // duplicate keys; keep last-wins semantics like
+                        // the tree parser.
+                        if dedup_keys {
+                            if let Some(existing) =
+                                fields.iter_mut().find(|f| f.name == name.as_ref())
+                            {
+                                existing.ty = ty;
+                                continue;
+                            }
+                        }
+                        fields.push(Field::required(name.into_owned(), ty));
+                    }
+                    _ => unreachable!("parser yields only Key or ObjectEnd inside an object"),
+                }
+            }
+            Type::Record(RecordType::new(fields).expect("parser enforces key uniqueness"))
+        }
+        Event::ArrayStart => {
+            if let Some(s) = stats.as_deref_mut() {
+                s.peak_frames = s.peak_frames.max(depth + 1);
+            }
+            let mut elems: Vec<Type> = Vec::new();
+            loop {
+                match next_or_eof(events, stats)? {
+                    Event::ArrayEnd => break,
+                    e => elems.push(fold_value(events, e, stats, dedup_keys, depth + 1)?),
+                }
+            }
+            Type::Array(ArrayType::new(elems))
+        }
+        Event::Key(_) | Event::ObjectEnd | Event::ArrayEnd => {
+            unreachable!("parser yields structurally balanced events")
+        }
+    })
 }
 
 #[cfg(test)]
@@ -157,6 +231,35 @@ mod tests {
         // Last binding wins in lenient mode, but the *type* records the
         // surviving field once.
         assert_eq!(t.to_string(), "{a: Str}");
+    }
+
+    #[test]
+    fn recorded_fold_matches_and_counts() {
+        let rec = Recorder::enabled();
+        let text = r#"{"a": 1, "b": ["x", {"c": null}]}"#;
+        let ty = infer_type_from_str_recorded(text, &rec).unwrap();
+        assert_eq!(ty, infer_type_from_str(text).unwrap());
+        let report = rec.snapshot();
+        // ObjectStart, Key a, 1, Key b, ArrayStart, "x", ObjectStart,
+        // Key c, null, ObjectEnd, ArrayEnd, ObjectEnd = 12 events.
+        assert_eq!(report.counters["infer.events"], 12);
+        assert_eq!(report.counters["infer.types"], 1);
+        let frames = &report.histograms["infer.frames"];
+        assert_eq!(frames.count, 1);
+        assert_eq!(frames.sum, 3, "outer object, array, inner object");
+        assert_eq!(report.histograms["infer.record_width"].sum, 2);
+        assert_eq!(report.gauges["infer.max_depth"], ty.depth() as u64);
+    }
+
+    #[test]
+    fn disabled_recorder_fold_is_identical() {
+        let rec = Recorder::disabled();
+        let text = r#"[{"k": [1, 2]}, null]"#;
+        assert_eq!(
+            infer_type_from_str_recorded(text, &rec).unwrap(),
+            infer_type_from_str(text).unwrap()
+        );
+        assert!(rec.snapshot().counters.is_empty());
     }
 
     #[test]

@@ -15,11 +15,17 @@ use crate::error::{Error, ErrorKind, Position, Result};
 use crate::number::Number;
 use crate::parse::{Parser, ParserOptions};
 use crate::value::{Map, Value};
-use std::collections::HashSet;
+use std::borrow::Cow;
 
 /// One parse event.
+///
+/// Strings and keys borrow from the input whenever they contain no
+/// escape sequences (the overwhelmingly common case), so consumers that
+/// discard string contents — type inference folds `String` straight to
+/// `Str` — never pay for an allocation. Call
+/// [`Cow::into_owned`] when the text must outlive the input.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Event {
+pub enum Event<'a> {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -27,11 +33,11 @@ pub enum Event {
     /// A number.
     Number(Number),
     /// A string value.
-    String(String),
+    String(Cow<'a, str>),
     /// `{` — an object begins.
     ObjectStart,
     /// An object key; always followed by that key's value events.
-    Key(String),
+    Key(Cow<'a, str>),
     /// `}`.
     ObjectEnd,
     /// `[`.
@@ -66,7 +72,14 @@ enum State {
 pub struct EventParser<'a> {
     parser: Parser<'a>,
     stack: Vec<Container>,
-    seen_keys: Vec<HashSet<String>>,
+    /// Keys of every open object, flattened; a linear scan over the
+    /// current object's suffix mirrors the tree parser's
+    /// `Map::contains_key`, and borrowed keys make the retained copies
+    /// allocation-free. One buffer for the whole record keeps it to a
+    /// single growth chain instead of an alloc/free per object.
+    seen_keys: Vec<Cow<'a, str>>,
+    /// Index into `seen_keys` where each open object's keys begin.
+    seen_starts: Vec<usize>,
     state: State,
     options: ParserOptions,
     failed: bool,
@@ -84,6 +97,7 @@ impl<'a> EventParser<'a> {
             parser: Parser::with_options(input, options.clone()),
             stack: Vec::new(),
             seen_keys: Vec::new(),
+            seen_starts: Vec::new(),
             state: State::AwaitValue { allow_end: false },
             options,
             failed: false,
@@ -93,6 +107,11 @@ impl<'a> EventParser<'a> {
     /// Whether the top-level value has been fully consumed.
     pub fn is_done(&self) -> bool {
         matches!(self.state, State::Done)
+    }
+
+    /// The options this parser runs with.
+    pub fn options(&self) -> &ParserOptions {
+        &self.options
     }
 
     /// Current input position (for stream chaining and error reports).
@@ -123,7 +142,7 @@ impl<'a> EventParser<'a> {
             ));
         }
         if c == Container::Object {
-            self.seen_keys.push(HashSet::new());
+            self.seen_starts.push(self.seen_keys.len());
         }
         Ok(())
     }
@@ -131,7 +150,8 @@ impl<'a> EventParser<'a> {
     fn pop_container(&mut self) -> Option<Container> {
         let c = self.stack.pop();
         if c == Some(Container::Object) {
-            self.seen_keys.pop();
+            let start = self.seen_starts.pop().expect("object start recorded");
+            self.seen_keys.truncate(start);
         }
         self.state = if self.stack.is_empty() {
             State::Done
@@ -141,7 +161,11 @@ impl<'a> EventParser<'a> {
         c
     }
 
-    fn next_event(&mut self) -> Result<Option<Event>> {
+    /// Pull the next event directly, without the [`Iterator`] adapter's
+    /// per-call fuse check and `Option<Result>` rewrap. `Ok(None)` means
+    /// the top-level value is complete. The hot path of the event fold.
+    #[inline]
+    pub fn next_event(&mut self) -> Result<Option<Event<'a>>> {
         loop {
             match self.state {
                 State::Done => return Ok(None),
@@ -186,10 +210,17 @@ impl<'a> EventParser<'a> {
                         }
                         Some(b'"') => {
                             let key_start = self.parser.position();
-                            let key = self.parser.parse_string_public()?;
-                            let keys = self.seen_keys.last_mut().expect("inside an object");
-                            if !keys.insert(key.clone()) && !self.options.allow_duplicate_keys {
-                                return Err(Error::at(ErrorKind::DuplicateKey(key), key_start));
+                            let key = self.parser.parse_string_raw()?;
+                            let start = *self.seen_starts.last().expect("inside an object");
+                            if self.seen_keys[start..].contains(&key) {
+                                if !self.options.allow_duplicate_keys {
+                                    return Err(Error::at(
+                                        ErrorKind::DuplicateKey(key.into_owned()),
+                                        key_start,
+                                    ));
+                                }
+                            } else {
+                                self.seen_keys.push(key.clone());
                             }
                             self.parser.skip_ws_public();
                             match self.parser.bump_public() {
@@ -269,8 +300,8 @@ impl<'a> EventParser<'a> {
     }
 }
 
-impl Iterator for EventParser<'_> {
-    type Item = Result<Event>;
+impl<'a> Iterator for EventParser<'a> {
+    type Item = Result<Event<'a>>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
@@ -290,12 +321,12 @@ impl Iterator for EventParser<'_> {
 /// Rebuild a [`Value`] from an event stream — used by tests to prove the
 /// two parsers agree, and handy for consumers that filter events before
 /// materialising.
-pub fn build_value<I: Iterator<Item = Result<Event>>>(events: &mut I) -> Result<Value> {
-    enum Frame {
-        Object(Map, Option<String>),
+pub fn build_value<'a, I: Iterator<Item = Result<Event<'a>>>>(events: &mut I) -> Result<Value> {
+    enum Frame<'a> {
+        Object(Map, Option<Cow<'a, str>>),
         Array(Vec<Value>),
     }
-    let mut stack: Vec<Frame> = Vec::new();
+    let mut stack: Vec<Frame<'a>> = Vec::new();
     loop {
         let event = match events.next() {
             Some(e) => e?,
@@ -305,7 +336,7 @@ pub fn build_value<I: Iterator<Item = Result<Event>>>(events: &mut I) -> Result<
             Event::Null => Some(Value::Null),
             Event::Bool(b) => Some(Value::Bool(b)),
             Event::Number(n) => Some(Value::Number(n)),
-            Event::String(s) => Some(Value::String(s)),
+            Event::String(s) => Some(Value::String(s.into_owned())),
             Event::ObjectStart => {
                 stack.push(Frame::Object(Map::new(), None));
                 None
@@ -338,7 +369,7 @@ pub fn build_value<I: Iterator<Item = Result<Event>>>(events: &mut I) -> Result<
                     let key = pending.take().expect("value follows a key");
                     // Duplicate keys were already policed by the parser;
                     // `insert` keeps last-wins semantics for lenient mode.
-                    map.insert(key, value);
+                    map.insert(key.into_owned(), value);
                 }
             }
         }
@@ -350,7 +381,7 @@ mod tests {
     use super::*;
     use crate::parse_value;
 
-    fn events_of(text: &str) -> Vec<Event> {
+    fn events_of(text: &str) -> Vec<Event<'_>> {
         EventParser::new(text.as_bytes())
             .collect::<Result<Vec<_>>>()
             .unwrap()

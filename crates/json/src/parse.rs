@@ -14,6 +14,7 @@
 use crate::error::{Error, ErrorKind, Position, Result, Span};
 use crate::number;
 use crate::value::{Map, Value};
+use std::borrow::Cow;
 
 /// Knobs for the parser.
 #[derive(Debug, Clone)]
@@ -120,28 +121,91 @@ impl<'a> Parser<'a> {
         self.pos >= self.input.len()
     }
 
-    /// Parse a string token (event-parser hook); cursor must be on `"`.
-    pub(crate) fn parse_string_public(&mut self) -> Result<String> {
-        if self.peek() != Some(b'"') {
-            return Err(self.err_here(ErrorKind::ExpectedKey));
+    /// Parse a string token, borrowing from the input when it contains no
+    /// escapes (event-parser hook); cursor must be on `"`.
+    ///
+    /// This is the event fast path's edge over the tree parser: string
+    /// *contents* are only copied when an escape forces unescaping, so a
+    /// type fold that discards them never pays for the allocation.
+    #[inline]
+    pub(crate) fn parse_string_raw(&mut self) -> Result<Cow<'a, str>> {
+        let start = self.position();
+        self.bump(); // opening quote
+        let run_start = self.pos;
+        // Fast path: scan for the closing quote; no escape means the raw
+        // slice is the string.
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let raw = &self.input[run_start..self.pos];
+                    self.pos += 1; // closing quote (never a newline)
+                    return match std::str::from_utf8(raw) {
+                        Ok(s) => Ok(Cow::Borrowed(s)),
+                        Err(_) => Err(self.err_span(ErrorKind::InvalidUtf8, start)),
+                    };
+                }
+                Some(b'\\') => break,
+                Some(0x00..=0x1f) => return Err(self.err_here(ErrorKind::ControlCharacterInString)),
+                Some(_) => self.pos += 1,
+                None => return Err(self.err_here(ErrorKind::UnexpectedEof)),
+            }
         }
-        self.parse_string()
+        // Slow path: an escape — copy the clean prefix and continue with
+        // the unescaping loop of `parse_string`.
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&self.input[run_start..self.pos]);
+        self.pos += 1; // the backslash
+        self.parse_escape(start)?;
+        loop {
+            let run = self.pos;
+            while let Some(&b) = self.input.get(self.pos) {
+                match b {
+                    b'"' | b'\\' => break,
+                    0x00..=0x1f => return Err(self.err_here(ErrorKind::ControlCharacterInString)),
+                    _ => self.pos += 1,
+                }
+            }
+            self.scratch.extend_from_slice(&self.input[run..self.pos]);
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => self.parse_escape(start)?,
+                Some(_) => unreachable!("loop breaks only on quote or backslash"),
+                None => return Err(self.err_here(ErrorKind::UnexpectedEof)),
+            }
+        }
+        match std::str::from_utf8(&self.scratch) {
+            Ok(s) => Ok(Cow::Owned(s.to_owned())),
+            Err(_) => Err(self.err_span(ErrorKind::InvalidUtf8, start)),
+        }
     }
 
     /// Parse a scalar value (literal, number or string) into an event
     /// (event-parser hook). The cursor must not be on `{` or `[`.
-    pub(crate) fn parse_scalar_public(&mut self) -> Result<crate::events::Event> {
+    pub(crate) fn parse_scalar_public(&mut self) -> Result<crate::events::Event<'a>> {
         use crate::events::Event;
-        let value = self.parse_value_inner()?;
-        Ok(match value {
-            Value::Null => Event::Null,
-            Value::Bool(b) => Event::Bool(b),
-            Value::Number(n) => Event::Number(n),
-            Value::String(s) => Event::String(s),
-            Value::Array(_) | Value::Object(_) => {
-                unreachable!("parse_scalar_public called on a container")
+        match self.peek() {
+            None => Err(self.err_here(ErrorKind::UnexpectedEof)),
+            Some(b'"') => Ok(Event::String(self.parse_string_raw()?)),
+            Some(b'n') => {
+                self.parse_literal(b"null", Value::Null)?;
+                Ok(Event::Null)
             }
-        })
+            Some(b't') => {
+                self.parse_literal(b"true", Value::Bool(true))?;
+                Ok(Event::Bool(true))
+            }
+            Some(b'f') => {
+                self.parse_literal(b"false", Value::Bool(false))?;
+                Ok(Event::Bool(false))
+            }
+            Some(b'-' | b'0'..=b'9') => match self.parse_number()? {
+                Value::Number(n) => Ok(Event::Number(n)),
+                _ => unreachable!("parse_number returns a number"),
+            },
+            Some(b'{' | b'[') => unreachable!("parse_scalar_public called on a container"),
+            Some(b) => Err(self.err_here(ErrorKind::UnexpectedByte(b))),
+        }
     }
 
     fn err_here(&self, kind: ErrorKind) -> Error {

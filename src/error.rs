@@ -1,0 +1,93 @@
+//! The façade crate's unified error type.
+//!
+//! The pipeline entry points used to leak `typefuse_json::Error` (which
+//! smuggled I/O failures through `ErrorKind::Io(String)`); the CLI then
+//! re-wrapped both into its own error. [`Error`] consolidates the two
+//! failure modes every ingestion path actually has — the input could not
+//! be *read*, or a record could not be *parsed* — so `SchemaJob::run`,
+//! the split reader and the CLI all speak one type.
+
+use std::fmt;
+
+use typefuse_json::Span;
+
+/// Any failure of a pipeline run: I/O on the input, or a malformed
+/// record.
+#[derive(Debug)]
+pub enum Error {
+    /// A record failed to parse. The inner error's position is anchored
+    /// to the input (line number for NDJSON streams, byte offset for
+    /// file splits).
+    Parse(typefuse_json::Error),
+    /// The input could not be read.
+    Io(std::io::Error),
+}
+
+impl Error {
+    /// The input span of a parse error (`None` for I/O errors).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Error::Parse(e) => Some(e.span()),
+            Error::Io(_) => None,
+        }
+    }
+
+    /// Whether this is an I/O (read) failure.
+    pub fn is_io(&self) -> bool {
+        matches!(self, Error::Io(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::Io(e) => write!(f, "input error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<typefuse_json::Error> for Error {
+    fn from(e: typefuse_json::Error) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use typefuse_json::parse_value;
+
+    #[test]
+    fn parse_errors_keep_their_span() {
+        let inner = parse_value("{oops").unwrap_err();
+        let span = inner.span();
+        let err = Error::from(inner);
+        assert_eq!(err.span(), Some(span));
+        assert!(!err.is_io());
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn io_errors_have_no_span() {
+        let err = Error::from(std::io::Error::other("disk on fire"));
+        assert!(err.is_io());
+        assert_eq!(err.span(), None);
+        assert!(err.to_string().contains("disk on fire"));
+    }
+}

@@ -37,8 +37,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod pipeline;
 pub mod splits;
+
+pub use error::Error;
 
 pub use typefuse_datagen as datagen;
 pub use typefuse_engine as engine;
@@ -51,7 +54,8 @@ pub use typefuse_types as types;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use crate::pipeline::{SchemaJob, SchemaResult};
+    pub use crate::error::Error;
+    pub use crate::pipeline::{MapPath, SchemaJob, SchemaResult, Source};
     pub use typefuse_datagen::{DatasetProfile, Profile};
     pub use typefuse_engine::{Dataset, ReducePlan, Runtime};
     pub use typefuse_infer::{fuse, infer_type, Incremental};

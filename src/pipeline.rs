@@ -2,26 +2,93 @@
 //! onto the execution engine, plus the measurements its evaluation
 //! reports.
 //!
-//! ```
-//! use typefuse::pipeline::SchemaJob;
-//! use typefuse::prelude::*;
+//! Every ingestion route goes through one entry point,
+//! [`SchemaJob::run`], fed by a [`Source`]:
 //!
-//! let values: Vec<Value> = ["{\"a\":1}", "{\"a\":\"x\",\"b\":null}"]
-//!     .iter().map(|s| parse_value(s).unwrap()).collect();
-//! let result = SchemaJob::new().run_values(values);
+//! ```
+//! use typefuse::pipeline::{SchemaJob, Source};
+//!
+//! let data = "{\"a\":1}\n{\"a\":\"x\",\"b\":null}\n";
+//! let result = SchemaJob::new().run(Source::ndjson(data.as_bytes())).unwrap();
 //! assert_eq!(result.schema.to_string(), "{a: Num + Str, b: Null?}");
 //! assert_eq!(result.records, 2);
 //! ```
+//!
+//! For text sources the Map phase defaults to the **event fast path**
+//! ([`MapPath::Events`]): each line folds straight from the token stream
+//! into its Figure 4 type via
+//! [`streaming::infer_type_from_str`](typefuse_infer::streaming), never
+//! allocating the intermediate [`Value`] tree. The classic tree route
+//! stays available as [`MapPath::Values`] for differential testing —
+//! both produce byte-identical schemas (property-tested).
+//!
+//! The legacy entry points ([`SchemaJob::run_values`],
+//! [`SchemaJob::run_dataset`], [`SchemaJob::run_ndjson`]) remain as thin
+//! wrappers over `run`.
 
 use std::collections::HashSet;
 use std::io::BufRead;
 use std::time::{Duration, Instant};
 
+use crate::error::Error;
 use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics};
-use typefuse_infer::{fuse_with_recorded, infer_type_recorded, FuseConfig};
+use typefuse_infer::{infer_type_recorded, streaming, FuseConfig, RecordedFuser};
 use typefuse_json::{NdjsonReader, Value};
 use typefuse_obs::{Recorder, RunReport};
 use typefuse_types::Type;
+
+/// An input for [`SchemaJob::run`]: where the records come from.
+///
+/// The variants differ in what the Map phase can see. Text sources
+/// ([`Source::Ndjson`]) support both Map routes; value sources are
+/// already trees, so they always use tree inference.
+pub enum Source<'a> {
+    /// In-memory values, partitioned by the job's `partitions` setting.
+    Values(Vec<Value>),
+    /// An already partitioned dataset (borrowed; partitioning is kept).
+    Dataset(&'a Dataset<Value>),
+    /// An NDJSON byte stream: one record per non-blank line.
+    Ndjson(Box<dyn BufRead + 'a>),
+}
+
+impl<'a> Source<'a> {
+    /// An NDJSON stream source.
+    pub fn ndjson<R: BufRead + 'a>(reader: R) -> Self {
+        Source::Ndjson(Box::new(reader))
+    }
+
+    /// An in-memory value source.
+    pub fn values(values: Vec<Value>) -> Self {
+        Source::Values(values)
+    }
+
+    /// A borrowed, already partitioned dataset source.
+    pub fn dataset(dataset: &'a Dataset<Value>) -> Self {
+        Source::Dataset(dataset)
+    }
+}
+
+impl std::fmt::Debug for Source<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Source::Values(v) => f.debug_tuple("Values").field(&v.len()).finish(),
+            Source::Dataset(d) => f.debug_tuple("Dataset").field(&d.count()).finish(),
+            Source::Ndjson(_) => f.write_str("Ndjson(..)"),
+        }
+    }
+}
+
+/// Which Map-phase route text sources take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapPath {
+    /// Fold parser events straight into types — no `Value` trees. The
+    /// default.
+    #[default]
+    Events,
+    /// Parse each line into a [`Value`], then infer (the paper's literal
+    /// two-step reading). Kept for differential testing.
+    Values,
+}
 
 /// Configuration of a schema-inference run.
 #[derive(Debug, Clone)]
@@ -34,6 +101,8 @@ pub struct SchemaJob {
     pub reduce_plan: ReducePlan,
     /// Fusion configuration (array strategy).
     pub fuse_config: FuseConfig,
+    /// Map-phase route for text sources (default: [`MapPath::Events`]).
+    pub map_path: MapPath,
     /// Whether to collect per-record type statistics (distinct types,
     /// min/max/avg sizes — the Tables 2–5 columns). Costs one hash-set
     /// insert per record.
@@ -60,6 +129,7 @@ impl SchemaJob {
             partitions,
             reduce_plan: ReducePlan::default(),
             fuse_config: FuseConfig::default(),
+            map_path: MapPath::default(),
             collect_type_stats: true,
             recorder: Recorder::disabled(),
         }
@@ -89,6 +159,12 @@ impl SchemaJob {
         self
     }
 
+    /// Set the Map-phase route for text sources.
+    pub fn map_path(mut self, path: MapPath) -> Self {
+        self.map_path = path;
+        self
+    }
+
     /// Disable per-record type statistics for maximum throughput.
     pub fn without_type_stats(mut self) -> Self {
         self.collect_type_stats = false;
@@ -103,24 +179,129 @@ impl SchemaJob {
         self
     }
 
+    /// Run the pipeline over any [`Source`].
+    ///
+    /// In-memory sources cannot fail; NDJSON sources fail on the first
+    /// unreadable chunk ([`Error::Io`]) or malformed record
+    /// ([`Error::Parse`], anchored at its 1-based line number).
+    pub fn run(&self, source: Source<'_>) -> Result<SchemaResult, Error> {
+        match source {
+            Source::Values(values) => {
+                Ok(self.run_value_dataset(&Dataset::from_vec(values, self.partitions)))
+            }
+            Source::Dataset(dataset) => Ok(self.run_value_dataset(dataset)),
+            Source::Ndjson(reader) => match self.map_path {
+                MapPath::Events => self.run_lines_events(reader),
+                MapPath::Values => {
+                    let values: Result<Vec<Value>, typefuse_json::Error> = {
+                        let _span = self.recorder.span("pipeline.read");
+                        NdjsonReader::new(reader)
+                            .with_recorder(self.recorder.clone())
+                            .collect()
+                    };
+                    Ok(self.run_value_dataset(&Dataset::from_vec(values?, self.partitions)))
+                }
+            },
+        }
+    }
+
     /// Run over an in-memory value collection.
     pub fn run_values(&self, values: Vec<Value>) -> SchemaResult {
-        let dataset = Dataset::from_vec(values, self.partitions);
-        self.run_dataset(&dataset)
+        self.run(Source::Values(values))
+            .expect("in-memory sources cannot fail")
     }
 
     /// Run over an already partitioned dataset.
     pub fn run_dataset(&self, dataset: &Dataset<Value>) -> SchemaResult {
+        self.run(Source::Dataset(dataset))
+            .expect("in-memory sources cannot fail")
+    }
+
+    /// Run over an NDJSON stream, failing on the first malformed record.
+    /// With an enabled recorder, reading counts `json.bytes` /
+    /// `json.lines` / `json.records` under a `pipeline.read` span.
+    pub fn run_ndjson<R: BufRead>(&self, reader: R) -> Result<SchemaResult, Error> {
+        self.run(Source::ndjson(reader))
+    }
+
+    /// The tree Map phase: infer one type per materialised value
+    /// (Figure 4), then hand off to the shared Reduce tail.
+    fn run_value_dataset(&self, dataset: &Dataset<Value>) -> SchemaResult {
         let wall_start = Instant::now();
         let rec = &self.recorder;
-
-        // ---- Map phase: infer one type per value (Figure 4). ----------
         let map_start = Instant::now();
         let (types, map_metrics) = {
             let _span = rec.span("pipeline.map");
             dataset.map_metered(&self.runtime, |v| infer_type_recorded(v, rec))
         };
+        self.finish(
+            types,
+            dataset.count() as u64,
+            wall_start,
+            map_start.elapsed(),
+            map_metrics,
+        )
+    }
+
+    /// The event Map phase: fold each line's token stream straight into
+    /// its type — no `Value` trees. Counters mirror the tree route
+    /// (`json.bytes` / `json.lines` at read time, `json.records` /
+    /// `json.parse_errors` at parse time) so run reports stay
+    /// comparable; the event fold additionally counts `infer.events`
+    /// and the `infer.frames` histogram.
+    fn run_lines_events(&self, reader: Box<dyn BufRead + '_>) -> Result<SchemaResult, Error> {
+        let wall_start = Instant::now();
+        let rec = &self.recorder;
+        let lines: Vec<(u32, String)> = {
+            let _span = rec.span("pipeline.read");
+            read_lines(reader, rec)?
+        };
+        let records = lines.len() as u64;
+        let dataset = Dataset::from_vec(lines, self.partitions);
+
+        let map_start = Instant::now();
+        let (typed, map_metrics) = {
+            let _span = rec.span("pipeline.map");
+            dataset.map_metered(&self.runtime, |(line_no, text)| {
+                streaming::infer_type_from_str_recorded(text, rec).map_err(|e| (*line_no, e))
+            })
+        };
         let map_time = map_start.elapsed();
+
+        // Surface the earliest failure in input order, re-anchored at its
+        // line like the NDJSON reader does for the tree route.
+        let mut types: Vec<Type> = Vec::with_capacity(typed.count());
+        for outcome in typed.collect() {
+            match outcome {
+                Ok(ty) => types.push(ty),
+                Err((line, e)) => {
+                    rec.add("json.parse_errors", 1);
+                    let mut pos = e.span().start;
+                    pos.line = line;
+                    return Err(Error::Parse(typefuse_json::Error::at(
+                        e.kind().clone(),
+                        pos,
+                    )));
+                }
+            }
+        }
+        rec.add("json.records", records);
+        let types = Dataset::from_vec(types, self.partitions);
+        Ok(self.finish(types, records, wall_start, map_time, map_metrics))
+    }
+
+    /// The shared tail of every route: type statistics, trait-driven
+    /// Reduce (Figure 6 via [`RecordedFuser`] on the engine's
+    /// `reduce_fused`), and result assembly.
+    fn finish(
+        &self,
+        types: Dataset<Type>,
+        records: u64,
+        wall_start: Instant,
+        map_time: Duration,
+        map_metrics: StageMetrics,
+    ) -> SchemaResult {
+        let rec = &self.recorder;
 
         // ---- Type statistics (the Tables 2–5 columns). ----------------
         let type_stats = {
@@ -134,26 +315,21 @@ impl SchemaJob {
         };
 
         // ---- Reduce phase: fuse (Figure 6). ----------------------------
-        let cfg = self.fuse_config;
+        let fuser = RecordedFuser::new(self.fuse_config, rec.clone());
         let reduce_start = Instant::now();
         let (fused, reduce_metrics) = {
             let _span = rec.span("pipeline.reduce");
-            types.reduce_recorded(
-                &self.runtime,
-                self.reduce_plan,
-                |a, b| fuse_with_recorded(cfg, a, b, rec),
-                rec,
-            )
+            types.reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
         };
         let reduce_time = reduce_start.elapsed();
 
-        rec.add("records", dataset.count() as u64);
+        rec.add("records", records);
         let schema = fused.unwrap_or(Type::Bottom);
         SchemaResult {
             fused_size: schema.size(),
             schema,
-            records: dataset.count() as u64,
-            partitions: dataset.num_partitions(),
+            records,
+            partitions: types.num_partitions(),
             type_stats,
             map_time,
             reduce_time,
@@ -162,18 +338,31 @@ impl SchemaJob {
             reduce_metrics,
         }
     }
+}
 
-    /// Run over an NDJSON stream, failing on the first malformed record.
-    /// With an enabled recorder, reading counts `json.bytes` /
-    /// `json.lines` / `json.records` under a `pipeline.read` span.
-    pub fn run_ndjson<R: BufRead>(&self, reader: R) -> Result<SchemaResult, typefuse_json::Error> {
-        let values: Result<Vec<Value>, _> = {
-            let _span = self.recorder.span("pipeline.read");
-            NdjsonReader::new(reader)
-                .with_recorder(self.recorder.clone())
-                .collect()
-        };
-        Ok(self.run_values(values?))
+/// Read an NDJSON stream into `(line_no, trimmed_line)` pairs, skipping
+/// blanks, with the same byte/line accounting as
+/// [`NdjsonReader`](typefuse_json::NdjsonReader).
+fn read_lines(
+    mut reader: Box<dyn BufRead + '_>,
+    rec: &Recorder,
+) -> Result<Vec<(u32, String)>, Error> {
+    let mut lines = Vec::new();
+    let mut buf = String::new();
+    let mut line_no: u32 = 0;
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Ok(lines);
+        }
+        rec.add("json.bytes", n as u64);
+        line_no += 1;
+        rec.add("json.lines", 1);
+        let trimmed = buf.trim();
+        if !trimmed.is_empty() {
+            lines.push((line_no, trimmed.to_string()));
+        }
     }
 }
 
@@ -307,6 +496,12 @@ mod tests {
         ]
     }
 
+    fn as_ndjson(values: &[Value]) -> String {
+        let mut buf = Vec::new();
+        typefuse_json::ndjson::write_ndjson(&mut buf, values).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
     #[test]
     fn end_to_end_schema() {
         let r = SchemaJob::new().partitions(2).run_values(values());
@@ -375,6 +570,44 @@ mod tests {
     }
 
     #[test]
+    fn map_paths_agree_on_every_source_shape() {
+        let data = as_ndjson(&values());
+        let via_events = SchemaJob::new()
+            .map_path(MapPath::Events)
+            .run_ndjson(data.as_bytes())
+            .unwrap();
+        let via_values = SchemaJob::new()
+            .map_path(MapPath::Values)
+            .run_ndjson(data.as_bytes())
+            .unwrap();
+        let in_memory = SchemaJob::new().run_values(values());
+        assert_eq!(via_events.schema, via_values.schema);
+        assert_eq!(via_events.schema, in_memory.schema);
+        assert_eq!(via_events.records, 4);
+        assert_eq!(via_events.type_stats, via_values.type_stats);
+    }
+
+    #[test]
+    fn events_path_errors_carry_line_numbers() {
+        let bad = "{\"a\":1}\n\n{broken\n";
+        let err = SchemaJob::new().run_ndjson(bad.as_bytes()).unwrap_err();
+        match err {
+            Error::Parse(e) => assert_eq!(e.span().start.line, 3),
+            Error::Io(e) => panic!("unexpected io error: {e}"),
+        }
+    }
+
+    #[test]
+    fn events_path_reports_earliest_bad_line() {
+        let bad = "{\"ok\":1}\n{bad1\n{\"ok\":2}\n{bad2\n";
+        let err = SchemaJob::new()
+            .partitions(4)
+            .run_ndjson(bad.as_bytes())
+            .unwrap_err();
+        assert_eq!(err.span().unwrap().start.line, 2);
+    }
+
+    #[test]
     fn recorded_run_produces_a_full_report() {
         let rec = Recorder::enabled();
         let r = SchemaJob::new()
@@ -409,6 +642,29 @@ mod tests {
     }
 
     #[test]
+    fn recorded_events_run_mirrors_the_value_report() {
+        let data = as_ndjson(&values());
+        let rec = Recorder::enabled();
+        let r = SchemaJob::new()
+            .partitions(2)
+            .recorder(rec.clone())
+            .run_ndjson(data.as_bytes())
+            .unwrap();
+        let report = r.run_report(&rec);
+        // Same Map/Reduce metric names as the tree route...
+        assert_eq!(report.counters["records"], 4);
+        assert_eq!(report.counters["infer.types"], 4);
+        assert_eq!(report.counters["fuse.calls"], 3);
+        assert_eq!(report.histograms["infer.record_width"].count, 4);
+        // ...plus the event-fold extras.
+        assert!(report.counters["infer.events"] > 0);
+        assert_eq!(report.histograms["infer.frames"].count, 4);
+        assert!(report.spans.contains_key("pipeline.read"));
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["map", "reduce.local_fold"]);
+    }
+
+    #[test]
     fn disabled_recorder_report_still_has_stages_and_records() {
         let r = SchemaJob::new().partitions(2).run_values(values());
         let report = r.run_report(&Recorder::disabled());
@@ -420,15 +676,19 @@ mod tests {
     #[test]
     fn recorded_ndjson_counts_io() {
         let data = "{\"a\":1}\n{\"a\":\"x\"}\n";
-        let rec = Recorder::enabled();
-        let r = SchemaJob::new()
-            .recorder(rec.clone())
-            .run_ndjson(data.as_bytes())
-            .unwrap();
-        let report = r.run_report(&rec);
-        assert_eq!(report.counters["json.bytes"], data.len() as u64);
-        assert_eq!(report.counters["json.records"], 2);
-        assert!(report.spans.contains_key("pipeline.read"));
+        for path in [MapPath::Events, MapPath::Values] {
+            let rec = Recorder::enabled();
+            let r = SchemaJob::new()
+                .map_path(path)
+                .recorder(rec.clone())
+                .run_ndjson(data.as_bytes())
+                .unwrap();
+            let report = r.run_report(&rec);
+            assert_eq!(report.counters["json.bytes"], data.len() as u64, "{path:?}");
+            assert_eq!(report.counters["json.lines"], 2, "{path:?}");
+            assert_eq!(report.counters["json.records"], 2, "{path:?}");
+            assert!(report.spans.contains_key("pipeline.read"), "{path:?}");
+        }
     }
 
     #[test]

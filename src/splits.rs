@@ -17,9 +17,10 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::path::Path;
 
+use crate::error::Error;
 use typefuse_engine::Runtime;
 use typefuse_infer::{streaming, Incremental};
-use typefuse_json::{Error, ErrorKind, Position};
+use typefuse_json::Position;
 use typefuse_obs::{span, Recorder};
 use typefuse_types::Type;
 
@@ -63,25 +64,23 @@ pub fn read_split(
     split: Split,
     mut on_line: impl FnMut(u64, &str) -> Result<(), Error>,
 ) -> Result<(), Error> {
-    let file = File::open(path).map_err(io_error)?;
+    let file = File::open(path)?;
     let mut reader = BufReader::new(file);
     let mut pos = split.start;
     if split.start > 0 {
-        reader
-            .seek(SeekFrom::Start(split.start - 1))
-            .map_err(io_error)?;
+        reader.seek(SeekFrom::Start(split.start - 1))?;
         // Skip the (possibly empty) remainder of the previous line. If
         // the byte before our range is itself a newline, the line starts
         // exactly at `start` and belongs to us: read_until consumes just
         // that newline byte.
         let mut skipped = Vec::new();
-        let n = reader.read_until(b'\n', &mut skipped).map_err(io_error)? as u64;
+        let n = reader.read_until(b'\n', &mut skipped)? as u64;
         pos = split.start - 1 + n;
     }
     let mut line = String::new();
     while pos < split.end {
         line.clear();
-        let n = reader.read_line(&mut line).map_err(io_error)? as u64;
+        let n = reader.read_line(&mut line)? as u64;
         if n == 0 {
             break; // EOF
         }
@@ -93,10 +92,6 @@ pub fn read_split(
         }
     }
     Ok(())
-}
-
-fn io_error(e: std::io::Error) -> Error {
-    Error::at(ErrorKind::Io(e.to_string()), Position::start())
 }
 
 /// Outcome of [`infer_file_schema`].
@@ -126,7 +121,7 @@ pub fn infer_file_schema_recorded(
     runtime: &Runtime,
     rec: &Recorder,
 ) -> Result<FileSchema, Error> {
-    let len = std::fs::metadata(path).map_err(io_error)?.len();
+    let len = std::fs::metadata(path)?.len();
     let splits = plan_splits(len, runtime.workers() * 4);
     rec.add("streaming.splits", splits.len() as u64);
     let (accs, _) = runtime.run_indexed(&splits, |i, &split| {
@@ -135,14 +130,14 @@ pub fn infer_file_schema_recorded(
         let result = read_split(path, split, |offset, line| {
             let ty = streaming::infer_type_from_str(line).map_err(|e| {
                 // Re-anchor at the file offset for actionable messages.
-                Error::at(
+                Error::Parse(typefuse_json::Error::at(
                     e.kind().clone(),
                     Position {
                         offset: offset as usize + e.span().start.offset,
                         line: 1,
                         column: (e.span().start.offset + 1) as u32,
                     },
-                )
+                ))
             })?;
             rec.add("json.records", 1);
             acc.absorb_type(ty);
@@ -282,11 +277,8 @@ mod tests {
         let path = temp_file("bad.ndjson", contents);
         let err = infer_file_schema(&path, &Runtime::sequential()).unwrap_err();
         // The bad record starts at byte 9; the offending byte is inside it.
-        assert!(
-            err.span().start.offset >= 9,
-            "offset {}",
-            err.span().start.offset
-        );
+        let span = err.span().expect("parse error carries a span");
+        assert!(span.start.offset >= 9, "offset {}", span.start.offset);
     }
 
     #[test]
@@ -308,6 +300,6 @@ mod tests {
             &Runtime::sequential(),
         )
         .unwrap_err();
-        assert!(matches!(err.kind(), ErrorKind::Io(_)));
+        assert!(err.is_io());
     }
 }

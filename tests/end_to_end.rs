@@ -148,6 +148,55 @@ fn ndjson_files_round_trip_through_the_pipeline() {
 }
 
 #[test]
+fn map_paths_are_byte_identical_on_every_profile() {
+    // The acceptance bar for the event fast path: on all four workload
+    // profiles, the default event route and the tree route produce
+    // byte-identical schemas and the same statistics.
+    for profile in Profile::ALL {
+        let values: Vec<Value> = profile.generate(SEED, 200).collect();
+        let mut ndjson = Vec::new();
+        typefuse::json::ndjson::write_ndjson(&mut ndjson, &values).unwrap();
+
+        let via_events = SchemaJob::new()
+            .map_path(MapPath::Events)
+            .run_ndjson(&ndjson[..])
+            .unwrap();
+        let via_values = SchemaJob::new()
+            .map_path(MapPath::Values)
+            .run_ndjson(&ndjson[..])
+            .unwrap();
+        assert_eq!(
+            via_events.schema.to_string(),
+            via_values.schema.to_string(),
+            "{profile}: schemas must render identically"
+        );
+        assert_eq!(via_events.schema, via_values.schema, "{profile}");
+        assert_eq!(via_events.records, via_values.records, "{profile}");
+        assert_eq!(via_events.type_stats, via_values.type_stats, "{profile}");
+        assert_eq!(via_events.fused_size, via_values.fused_size, "{profile}");
+    }
+}
+
+#[test]
+fn source_api_routes_agree() {
+    // One job, three sources: values, a pre-partitioned dataset, and an
+    // NDJSON stream all land on the same schema.
+    let values: Vec<Value> = Profile::Twitter.generate(SEED, 120).collect();
+    let mut ndjson = Vec::new();
+    typefuse::json::ndjson::write_ndjson(&mut ndjson, &values).unwrap();
+    let job = SchemaJob::new().partitions(6);
+
+    let via_values = job.run(Source::values(values.clone())).unwrap();
+    let dataset = Dataset::from_vec(values, 6);
+    let via_dataset = job.run(Source::dataset(&dataset)).unwrap();
+    let via_ndjson = job.run(Source::ndjson(&ndjson[..])).unwrap();
+
+    assert_eq!(via_values.schema, via_dataset.schema);
+    assert_eq!(via_values.schema, via_ndjson.schema);
+    assert_eq!(via_ndjson.records, via_values.records);
+}
+
+#[test]
 fn mixed_profile_stream_fuses_into_a_union_free_top_record() {
     // Records from different sources still fuse into one record type
     // (all profiles emit records, so the top level is a single record
