@@ -6,6 +6,7 @@
 
 use crate::args::ArgStream;
 use crate::{CliError, CliResult};
+use typefuse_obs::Recorder;
 use typefuse_types::parse_type;
 
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
@@ -14,21 +15,33 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         .option("--schema")?
         .ok_or_else(|| CliError::usage("check requires --schema FILE"))?;
     let max_errors: usize = args.parsed_option("--max-errors")?.unwrap_or(10);
+    let metrics_json = args.option("--metrics-json")?;
     args.finish()?;
+
+    let recorder = if metrics_json.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
 
     let schema_text = std::fs::read_to_string(&schema_path)
         .map_err(|e| CliError::runtime(format!("cannot read {schema_path}: {e}")))?;
     let schema = parse_type(schema_text.trim())
         .map_err(|e| CliError::runtime(format!("invalid schema: {e}")))?;
 
-    let values =
-        crate::cmd_infer::read_values(input.as_deref(), &typefuse_obs::Recorder::disabled())?;
+    let values = {
+        let _span = recorder.span("check.read");
+        crate::cmd_infer::read_values(input.as_deref(), &recorder)?
+    };
     let mut failures = 0usize;
-    for (i, v) in values.iter().enumerate() {
-        if !schema.admits(v) {
-            failures += 1;
-            if failures <= max_errors {
-                eprintln!("record {}: not admitted by the schema", i + 1);
+    {
+        let _span = recorder.span("check.admit");
+        for (i, v) in values.iter().enumerate() {
+            if !schema.admits(v) {
+                failures += 1;
+                if failures <= max_errors {
+                    eprintln!("record {}: not admitted by the schema", i + 1);
+                }
             }
         }
     }
@@ -40,6 +53,15 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         values.len() - failures,
         values.len()
     );
+
+    if let Some(path) = metrics_json {
+        recorder.add("records", values.len() as u64);
+        recorder.add("check.failures", failures as u64);
+        recorder.add("check.conforming", (values.len() - failures) as u64);
+        std::fs::write(&path, recorder.snapshot().to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    }
+
     if failures > 0 {
         return Err(CliError::runtime(format!(
             "{failures} records do not conform"

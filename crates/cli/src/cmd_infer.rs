@@ -34,6 +34,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let sequential_reduce = args.flag("--sequential-reduce");
     let streaming = args.flag("--streaming");
     let maplike = args.flag("--maplike");
+    let profile_json = args.option("--profile-json")?;
     let metrics_json = args.option("--metrics-json")?;
     let trace_json = args.option("--trace-json")?;
     let progress = args.flag("--progress");
@@ -50,6 +51,12 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     if counting && map_path == Some(MapPath::Events) {
         return Err(CliError::usage(
             "--counting reads record trees and needs the value path; drop --map-path events",
+        ));
+    }
+    if profile_json.is_some() && (streaming || counting || stats) {
+        return Err(CliError::usage(
+            "--profile-json runs its own fused pass and is incompatible with \
+             --streaming/--counting/--stats (the profile report supersedes them)",
         ));
     }
 
@@ -91,6 +98,40 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     }
     if !stats {
         job = job.without_type_stats();
+    }
+
+    // The profiled route replaces the plain pipeline entirely: one
+    // fused Map+Reduce pass produces the schema, the per-path profile
+    // report (provenance lines, kind/length/numeric statistics) and the
+    // run report. Output is byte-identical for any worker/partition
+    // count and either --map-path (CI diffs it).
+    if let Some(profile_path) = profile_json {
+        let reader = open_input(input.as_deref())?;
+        let outcome = job.run_profiled(Source::ndjson(reader));
+        if let Some(hb) = heartbeat {
+            hb.finish();
+        }
+        let profiled = outcome?;
+        if maplike {
+            println!(
+                "{}",
+                typefuse_infer::maplike::summarize(
+                    &profiled.profile.schema,
+                    typefuse_infer::MapLikeConfig::default()
+                )
+            );
+        } else {
+            print_schema(&profiled.profile.schema, &format)?;
+        }
+        std::fs::write(&profile_path, profiled.profile.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {profile_path}: {e}")))?;
+        write_observability(
+            &profiled.run_report(&recorder),
+            &recorder,
+            &metrics_json,
+            &trace_json,
+        )?;
+        return Ok(());
     }
 
     // Path statistics need the record trees, so `--counting` forces the
@@ -324,7 +365,7 @@ fn run_streaming(
 
 /// Open NDJSON input (file path, `-`, or absent = stdin) as a buffered
 /// reader for [`Source::ndjson`].
-fn open_input(input: Option<&str>) -> Result<Box<dyn BufRead>, CliError> {
+pub(crate) fn open_input(input: Option<&str>) -> Result<Box<dyn BufRead>, CliError> {
     let reader: Box<dyn Read> = match input {
         None | Some("-") => Box::new(io::stdin()),
         Some(path) => Box::new(

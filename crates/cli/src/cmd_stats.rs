@@ -1,21 +1,40 @@
 //! `typefuse stats` — Table-1-style dataset statistics.
 
 use crate::args::ArgStream;
-use crate::CliResult;
+use crate::{CliError, CliResult};
 use typefuse_datagen::stats::DatasetStats;
+use typefuse_obs::Recorder;
 
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let input = args.next_positional();
+    let metrics_json = args.option("--metrics-json")?;
     args.finish()?;
 
-    let values =
-        crate::cmd_infer::read_values(input.as_deref(), &typefuse_obs::Recorder::disabled())?;
-    let stats = DatasetStats::measure(&values);
+    let recorder = if metrics_json.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let values = {
+        let _span = recorder.span("stats.read");
+        crate::cmd_infer::read_values(input.as_deref(), &recorder)?
+    };
+    let stats = {
+        let _span = recorder.span("stats.measure");
+        DatasetStats::measure(&values)
+    };
 
     println!("records     {}", stats.records);
     println!("bytes       {} ({})", stats.bytes, stats.human_bytes());
     println!("max depth   {}", stats.max_depth);
     println!("avg depth   {:.2}", stats.avg_depth());
     println!("avg nodes   {:.1}", stats.avg_nodes());
+
+    if let Some(path) = metrics_json {
+        recorder.add("records", stats.records);
+        recorder.gauge_max("stats.max_depth", stats.max_depth as u64);
+        std::fs::write(&path, recorder.snapshot().to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+    }
     Ok(())
 }

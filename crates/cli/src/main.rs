@@ -13,6 +13,7 @@
 mod args;
 mod cmd_check;
 mod cmd_diff;
+mod cmd_explain;
 mod cmd_generate;
 mod cmd_infer;
 mod cmd_query;
@@ -74,11 +75,25 @@ COMMANDS:
         --sequential-reduce  fold partials sequentially instead of tree
         --streaming          constant-memory single pass (no value trees)
         --maplike            summarise ids-as-keys records as {<key>: T}
+        --profile-json F     run the profiled pipeline and write the
+                             per-path dataset profile (presence, kinds,
+                             length histograms, provenance lines) to F;
+                             byte-identical for any --workers/--map-path
         --metrics-json F     write a structured run report (counters,
                              histograms, per-task timings) as JSON to F
         --trace-json F       write a Chrome trace to F (load in Perfetto
                              or chrome://tracing)
         --progress           heartbeat on stderr: records/s and bytes/s
+
+    explain PATH         why the fused schema looks that way at PATH
+                         (e.g. `.user.url` or `$.kw[].rank`): fused type,
+                         presence ratio, which line introduced each union
+                         branch, which line demoted the field to optional
+        --dataset F        NDJSON input (default: stdin)
+        --top N            also list the top-N paths by presence (default 10)
+        --workers N        worker threads (provenance is thread-invariant)
+        --partitions N     dataset partitions
+        --map-path P       events | value
 
     generate             emit a synthetic dataset as NDJSON on stdout
         --profile P        github | twitter | wikidata | nytimes (required)
@@ -86,10 +101,12 @@ COMMANDS:
         --seed S           generator seed (default: 42)
 
     stats [FILE|-]       dataset statistics (records, bytes, depth)
+        --metrics-json F   write read/measure metrics as JSON to F
 
     check [FILE|-]       validate records against a schema
         --schema FILE      schema in typefuse notation (required)
         --max-errors N     stop after N failures (default: 10)
+        --metrics-json F   write conformance metrics as JSON to F
 
     diff OLD NEW         structural drift between two NDJSON datasets
         --schemas          treat OLD/NEW as schema files instead of data
@@ -125,6 +142,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "infer" => cmd_infer::run(&mut args),
+        "explain" => cmd_explain::run(&mut args),
         "generate" => cmd_generate::run(&mut args),
         "stats" => cmd_stats::run(&mut args),
         "check" => cmd_check::run(&mut args),

@@ -580,3 +580,183 @@ fn progress_flag_is_accepted() {
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     assert!(stdout(&out).contains("{a: Num}"));
 }
+
+// ---- profiling & explain (data-plane observability) ---------------------
+
+/// Synthetic dataset with one missing key and one mixed-type field at
+/// exactly known lines: `b` is absent starting at line 2, and `a`'s
+/// `Str` branch is introduced at line 4.
+const PROVENANCE_DATA: &str = "\
+{\"a\":1,\"b\":true}\n\
+{\"a\":2}\n\
+{\"a\":3,\"b\":false}\n\
+{\"a\":\"x\",\"b\":true}\n";
+
+#[test]
+fn explain_reports_exact_provenance_lines() {
+    let mut expected = None;
+    for workers in ["1", "4"] {
+        let out = typefuse(
+            &["explain", ".a", "--workers", workers, "--partitions", "3"],
+            Some(PROVENANCE_DATA),
+        );
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("$.a: Num + Str"), "stdout: {text}");
+        assert!(
+            text.contains("present in 4/4 records (100.0%), first seen at line 1"),
+            "stdout: {text}"
+        );
+        assert!(text.contains("required:"), "stdout: {text}");
+        assert!(
+            text.contains("branch Num: introduced at line 1 (3 occurrences)"),
+            "stdout: {text}"
+        );
+        assert!(
+            text.contains("branch Str: introduced at line 4 (1 occurrence)"),
+            "stdout: {text}"
+        );
+        // Thread count cannot change the output.
+        match &expected {
+            None => expected = Some(text),
+            Some(prev) => assert_eq!(&text, prev, "workers={workers} differs"),
+        }
+    }
+}
+
+#[test]
+fn explain_reports_the_demoting_line() {
+    for workers in ["1", "4"] {
+        let out = typefuse(
+            &["explain", "$.b", "--workers", workers],
+            Some(PROVENANCE_DATA),
+        );
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("$.b: Bool"), "stdout: {text}");
+        assert!(
+            text.contains("optional: missing at line 2"),
+            "workers={workers}, stdout: {text}"
+        );
+        assert!(text.contains("(optional)"), "stdout: {text}");
+    }
+}
+
+#[test]
+fn explain_rejects_bad_and_missing_paths() {
+    let out = typefuse(&["explain", "$..broken"], Some(PROVENANCE_DATA));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("malformed path"));
+
+    let out = typefuse(&["explain", ".nope"], Some(PROVENANCE_DATA));
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("does not occur"));
+}
+
+#[test]
+fn explain_requires_a_path() {
+    let out = typefuse(&["explain"], Some("{}\n"));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("requires a path"));
+}
+
+#[test]
+fn profile_json_is_identical_across_workers_and_map_paths() {
+    let dir = std::env::temp_dir();
+    let mut reports = Vec::new();
+    for (i, (workers, map_path)) in [
+        ("1", "events"),
+        ("4", "events"),
+        ("1", "value"),
+        ("4", "value"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let path = dir.join(format!(
+            "typefuse-test-profile-{}-{i}.json",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap();
+        let out = typefuse(
+            &[
+                "infer",
+                "-",
+                "--format",
+                "text",
+                "--workers",
+                workers,
+                "--partitions",
+                "3",
+                "--map-path",
+                map_path,
+                "--profile-json",
+                path_str,
+            ],
+            Some(PROVENANCE_DATA),
+        );
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert_eq!(stdout(&out).trim(), "{a: Num + Str, b: Bool?}");
+        reports.push(std::fs::read_to_string(&path).expect("profile written"));
+        let _ = std::fs::remove_file(&path);
+    }
+    for report in &reports[1..] {
+        assert_eq!(report, &reports[0], "profile JSON must be byte-identical");
+    }
+    assert!(
+        reports[0].contains("\"first_absent_line\":2"),
+        "{}",
+        reports[0]
+    );
+    assert!(reports[0].contains("\"records\":4"));
+}
+
+#[test]
+fn profile_json_conflicts_with_streaming_counting_stats() {
+    for extra in ["--streaming", "--counting", "--stats"] {
+        let out = typefuse(
+            &["infer", "-", "--profile-json", "/tmp/unused.json", extra],
+            Some("{}\n"),
+        );
+        assert_eq!(out.status.code(), Some(2), "{extra}");
+        assert!(stderr(&out).contains("incompatible"), "{extra}");
+    }
+}
+
+#[test]
+fn stats_and_check_write_metrics_json() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+
+    let stats_path = dir.join(format!("typefuse-test-stats-{pid}.json"));
+    let out = typefuse(
+        &["stats", "-", "--metrics-json", stats_path.to_str().unwrap()],
+        Some("{\"a\":1}\n{\"a\":2}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let metrics = std::fs::read_to_string(&stats_path).expect("metrics written");
+    let _ = std::fs::remove_file(&stats_path);
+    assert!(metrics.contains("\"records\":2"), "{metrics}");
+    assert!(metrics.contains("stats.read"), "{metrics}");
+
+    let schema_path = dir.join(format!("typefuse-test-schema-{pid}.txt"));
+    std::fs::write(&schema_path, "{a: Num}").unwrap();
+    let check_path = dir.join(format!("typefuse-test-check-{pid}.json"));
+    let out = typefuse(
+        &[
+            "check",
+            "-",
+            "--schema",
+            schema_path.to_str().unwrap(),
+            "--metrics-json",
+            check_path.to_str().unwrap(),
+        ],
+        Some("{\"a\":1}\n{\"a\":2}\n"),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let metrics = std::fs::read_to_string(&check_path).expect("metrics written");
+    let _ = std::fs::remove_file(&schema_path);
+    let _ = std::fs::remove_file(&check_path);
+    assert!(metrics.contains("\"check.conforming\":2"), "{metrics}");
+    assert!(metrics.contains("\"check.failures\":0"), "{metrics}");
+}

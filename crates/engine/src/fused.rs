@@ -65,6 +65,32 @@ fn combine_partials<F: Fuser>(
     )
 }
 
+impl<T: Send + Sync> Dataset<T> {
+    /// The fully generic reduce: fold every partition with a
+    /// caller-supplied absorb step, then combine the non-identity
+    /// partials under `plan`. [`Dataset::reduce_fused`] and
+    /// [`Dataset::fuse_values`] are thin wrappers; callers with richer
+    /// items — e.g. the profiled pipeline's `(line, text)` pairs, where
+    /// absorb needs the input line for provenance — use this directly.
+    pub fn reduce_items<F, A>(
+        &self,
+        rt: &Runtime,
+        plan: ReducePlan,
+        fuser: &F,
+        rec: &Recorder,
+        absorb: A,
+    ) -> (Option<F::Acc>, StageMetrics)
+    where
+        F: Fuser,
+        A: Fn(&F, &mut F::Acc, &T) + Sync,
+    {
+        let (partials, metrics) = rt.run_indexed(self.partitions(), |_, part: &Vec<T>| {
+            fold_partition(fuser, part, &absorb)
+        });
+        (combine_partials(rt, plan, fuser, partials, rec), metrics)
+    }
+}
+
 impl Dataset<Type> {
     /// Reduce a dataset of inferred types to one fused schema with the
     /// given strategy. Returns `None` for an empty dataset (the paper's
@@ -76,12 +102,9 @@ impl Dataset<Type> {
         fuser: &F,
         rec: &Recorder,
     ) -> (Option<Type>, StageMetrics) {
-        let (partials, metrics) = rt.run_indexed(self.partitions(), |_, part: &Vec<Type>| {
-            fold_partition(fuser, part, |f, acc, ty| f.absorb_type(acc, ty))
-        });
-        let fused =
-            combine_partials(rt, plan, fuser, partials, rec).map(|acc| fuser.finish_schema(acc));
-        (fused, metrics)
+        let (acc, metrics) =
+            self.reduce_items(rt, plan, fuser, rec, |f, acc, ty| f.absorb_type(acc, ty));
+        (acc.map(|acc| fuser.finish_schema(acc)), metrics)
     }
 }
 
@@ -97,10 +120,7 @@ impl Dataset<Value> {
         fuser: &F,
         rec: &Recorder,
     ) -> (Option<F::Acc>, StageMetrics) {
-        let (partials, metrics) = rt.run_indexed(self.partitions(), |_, part: &Vec<Value>| {
-            fold_partition(fuser, part, |f, acc, v| f.absorb_value(acc, v))
-        });
-        (combine_partials(rt, plan, fuser, partials, rec), metrics)
+        self.reduce_items(rt, plan, fuser, rec, |f, acc, v| f.absorb_value(acc, v))
     }
 }
 
@@ -188,6 +208,49 @@ mod tests {
         assert_eq!(cs.path_counts["$.b"], 1);
         let types: Vec<Type> = values().iter().map(infer_type).collect();
         assert_eq!(cs.schema, fuse_all(&types));
+    }
+
+    #[test]
+    fn reduce_items_profiles_with_line_provenance() {
+        use typefuse_infer::Profiling;
+        let lines: Vec<(u64, Value)> = values()
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64 + 1, v))
+            .collect();
+        let fuser = Profiling::default();
+        let baseline = {
+            let d = Dataset::from_vec(lines.clone(), 1);
+            d.reduce_items(
+                &Runtime::sequential(),
+                ReducePlan::Sequential,
+                &fuser,
+                &Recorder::disabled(),
+                |_, acc, (line, v): &(u64, Value)| acc.absorb_value_at(*line, v),
+            )
+            .0
+            .expect("non-empty")
+            .finish()
+        };
+        // b appears only at line 1, so line 2 demoted it.
+        assert_eq!(baseline.get("$.b").unwrap().first_absent_line, Some(2));
+        assert_eq!(baseline.get("$.a").unwrap().first_absent_line, None);
+        let rt = Runtime::new(4);
+        for parts in 2..=5 {
+            for plan in [ReducePlan::Sequential, ReducePlan::Tree { arity: 2 }] {
+                let d = Dataset::from_vec(lines.clone(), parts);
+                let (acc, _) = d.reduce_items(
+                    &rt,
+                    plan,
+                    &fuser,
+                    &Recorder::disabled(),
+                    |_, acc, (line, v): &(u64, Value)| acc.absorb_value_at(*line, v),
+                );
+                let profile = acc.expect("non-empty").finish();
+                assert_eq!(profile, baseline, "{parts} partitions, {plan:?}");
+                assert_eq!(profile.to_json(), baseline.to_json());
+            }
+        }
     }
 
     #[test]

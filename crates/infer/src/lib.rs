@@ -21,7 +21,11 @@
 //! * [`Incremental`] — the incremental schema maintenance sketched in
 //!   Section 7 ("fusion is incremental by essence");
 //! * [`counting`] — the statistics enrichment named as future work in
-//!   Section 7: a fused schema annotated with per-field presence counts.
+//!   Section 7: a fused schema annotated with per-field presence counts;
+//! * [`profile`] — the full data-plane profiler: per-path presence,
+//!   kind histograms, length/numeric statistics and provenance lines
+//!   (which input line introduced each union branch, which one demoted a
+//!   field to optional), mergeable with the same monoid laws as fusion.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod incremental;
 pub mod infer;
 pub mod maplike;
 pub mod obs;
+pub mod profile;
 mod project;
 pub mod streaming;
 
@@ -45,4 +50,5 @@ pub use incremental::Incremental;
 pub use infer::infer_type;
 pub use maplike::{find_map_like, MapLikeConfig, MapLikeSite};
 pub use obs::{fuse_with_recorded, infer_type_recorded};
+pub use profile::{PathProfile, ProfileAcc, ProfileReport, Profiling};
 pub use project::project;

@@ -1,0 +1,144 @@
+//! Property tests for the profiling accumulator's monoid laws.
+//!
+//! The profiler rides the same parallel reduce as fusion, so its merge
+//! must satisfy the same algebra (the profile analogue of Theorems
+//! 5.4/5.5), and the two Map routes must observe identically:
+//!
+//! * **commutativity** — `merge(a, b) = merge(b, a)`;
+//! * **associativity** — `merge(merge(a, b), c) = merge(a, merge(b, c))`;
+//! * **identity** — merging an empty accumulator changes nothing;
+//! * **partition invariance** — any split of the input into contiguous
+//!   partitions, merged in any association, equals sequential
+//!   absorption (this is what makes provenance lines exact under
+//!   `--workers N`);
+//! * **route equivalence** — the event fold and the tree walk produce
+//!   byte-identical profiles for the same lines.
+//!
+//! Equality is checked on the finished [`ProfileReport`] (structural)
+//! and on its serialized JSON (byte-level, what CI diffs).
+
+use proptest::prelude::*;
+use typefuse_infer::{ProfileAcc, ProfileReport};
+use typefuse_json::Value;
+use typefuse_types::testkit::arb_value;
+
+/// Absorb `values` as records numbered from `first_line`.
+fn acc_from(first_line: u64, values: &[Value]) -> ProfileAcc {
+    let mut acc = ProfileAcc::new();
+    for (i, v) in values.iter().enumerate() {
+        acc.absorb_value_at(first_line + i as u64, v);
+    }
+    acc
+}
+
+fn merged(a: &ProfileAcc, b: &ProfileAcc) -> ProfileAcc {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn finish(acc: &ProfileAcc) -> ProfileReport {
+    acc.clone().finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(arb_value(), 0..8),
+        b in prop::collection::vec(arb_value(), 0..8),
+    ) {
+        // Distinct line ranges, as partitions of one input would have.
+        let a = acc_from(1, &a);
+        let b = acc_from(100, &b);
+        let ab = finish(&merged(&a, &b));
+        let ba = finish(&merged(&b, &a));
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(arb_value(), 0..6),
+        b in prop::collection::vec(arb_value(), 0..6),
+        c in prop::collection::vec(arb_value(), 0..6),
+    ) {
+        let a = acc_from(1, &a);
+        let b = acc_from(100, &b);
+        let c = acc_from(200, &c);
+        let left = finish(&merged(&merged(&a, &b), &c));
+        let right = finish(&merged(&a, &merged(&b, &c)));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.to_json(), right.to_json());
+    }
+
+    #[test]
+    fn empty_acc_is_identity(values in prop::collection::vec(arb_value(), 0..8)) {
+        let acc = acc_from(1, &values);
+        let empty = ProfileAcc::new();
+        prop_assert_eq!(finish(&merged(&acc, &empty)), finish(&acc));
+        prop_assert_eq!(finish(&merged(&empty, &acc)), finish(&acc));
+    }
+
+    #[test]
+    fn partitioned_merge_equals_sequential(
+        values in prop::collection::vec(arb_value(), 1..14),
+        raw_splits in prop::collection::vec(0usize..14, 0..3),
+    ) {
+        let sequential = finish(&acc_from(1, &values));
+        // Split the record stream at arbitrary (deduped, sorted)
+        // boundaries, preserving each record's global line number.
+        let mut splits: Vec<usize> = raw_splits
+            .into_iter()
+            .map(|s| s % (values.len() + 1))
+            .collect();
+        splits.sort_unstable();
+        splits.dedup();
+        splits.push(values.len());
+        let mut parts: Vec<ProfileAcc> = Vec::new();
+        let mut start = 0usize;
+        for end in splits {
+            if end > start {
+                parts.push(acc_from(start as u64 + 1, &values[start..end]));
+                start = end;
+            }
+        }
+        let mut combined = ProfileAcc::new();
+        for part in &parts {
+            combined.merge(part);
+        }
+        let combined = finish(&combined);
+        prop_assert_eq!(&combined, &sequential);
+        prop_assert_eq!(combined.to_json(), sequential.to_json());
+    }
+
+    #[test]
+    fn event_and_value_routes_produce_identical_profiles(
+        values in prop::collection::vec(arb_value(), 1..10),
+    ) {
+        let mut via_events = ProfileAcc::new();
+        let mut via_values = ProfileAcc::new();
+        for (i, v) in values.iter().enumerate() {
+            let line = i as u64 + 1;
+            let text = v.to_string();
+            via_events.absorb_line(line, &text);
+            via_values.absorb_line_as_value(line, &text);
+        }
+        let a = finish(&via_events);
+        let b = finish(&via_values);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn profiled_schema_matches_plain_fusion(
+        values in prop::collection::vec(arb_value(), 1..10),
+    ) {
+        use typefuse_infer::{fuse_all, infer_type};
+        let types: Vec<_> = values.iter().map(infer_type).collect();
+        let profile = finish(&acc_from(1, &values));
+        prop_assert_eq!(profile.schema, fuse_all(&types));
+        prop_assert_eq!(profile.records, values.len() as u64);
+    }
+}

@@ -83,6 +83,99 @@ impl HistogramCore {
     }
 }
 
+/// A plain, mergeable log₂ histogram for embedding inside data-plane
+/// accumulators (per-path profiles, partition-local statistics).
+///
+/// Unlike the recorder-owned [`Histogram`] handle this is a value type:
+/// no atomics, no sharing, `Clone`/`PartialEq`, and a by-`&mut`
+/// [`record`](LogHistogram::record). It uses the same bucket layout as
+/// the recorder histograms ([`bucket_index`] / [`bucket_bounds`]), so
+/// both convert to the same
+/// [`HistogramReport`](crate::HistogramReport) shape. Merging is
+/// bucket-wise and moment-wise addition with min/max comparison —
+/// associative and commutative, which is what lets accumulators
+/// carrying these merge in any partition order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (the merge identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold `other` in. Associative and commutative with
+    /// [`LogHistogram::new`] as identity.
+    pub fn merge_from(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Snapshot as a [`HistogramReport`](crate::HistogramReport) —
+    /// identical shape to the recorder histograms, so the same
+    /// serialization and quantile estimation apply.
+    pub fn report(&self) -> crate::HistogramReport {
+        crate::HistogramReport {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(i, &n)| {
+                    let (lo, hi) = bucket_bounds(i);
+                    crate::BucketCount { lo, hi, count: n }
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Hot-loop handle to a named histogram; no-op when the recorder that
 /// produced it is disabled.
 #[derive(Debug, Clone)]
@@ -147,6 +240,44 @@ mod tests {
             expected_lo = hi + 1;
         }
         panic!("buckets never reached u64::MAX");
+    }
+
+    #[test]
+    fn log_histogram_records_and_merges() {
+        let mut a = LogHistogram::new();
+        assert!(a.is_empty());
+        for v in [0, 1, 5, 1000] {
+            a.record(v);
+        }
+        let mut b = LogHistogram::new();
+        b.record(7);
+
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+
+        let mut with_identity = ab.clone();
+        with_identity.merge_from(&LogHistogram::new());
+        assert_eq!(with_identity, ab, "empty is the identity");
+
+        let report = ab.report();
+        assert_eq!(report.count, 5);
+        assert_eq!(report.sum, 1013);
+        assert_eq!(report.min, 0);
+        assert_eq!(report.max, 1000);
+        assert_eq!(
+            report.buckets.iter().map(|b| b.count).sum::<u64>(),
+            report.count
+        );
+    }
+
+    #[test]
+    fn empty_log_histogram_reports_zero_min() {
+        let report = LogHistogram::new().report();
+        assert_eq!((report.count, report.min, report.max), (0, 0, 0));
+        assert!(report.buckets.is_empty());
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! Minimal JSON writer used by [`crate::report`] and [`crate::trace`].
+//! Minimal JSON writer used by [`crate::report`], [`crate::trace`] and
+//! downstream report emitters (e.g. the profiler's dataset report).
 //!
 //! This crate must not depend on anything (including the workspace's
 //! own `typefuse-json`, which sits *above* it in the dependency graph
 //! once instrumented), so serialization is a small comma-tracking
-//! string builder with correct string escaping.
+//! string builder with correct string escaping. The writer is public so
+//! reports built elsewhere serialize with the exact same number and
+//! float formatting as [`RunReport`](crate::RunReport) —
+//! byte-determinism of those reports rests on this single formatter.
 
 /// Streaming JSON writer over a growing `String`.
 ///
@@ -11,7 +15,7 @@
 /// `begin_*`/`end_*`, keys only inside objects); the writer handles
 /// commas and escaping.
 #[derive(Debug, Default)]
-pub(crate) struct JsonWriter {
+pub struct JsonWriter {
     out: String,
     /// Whether the next value at the current nesting level needs a
     /// leading comma, one entry per open container.
@@ -19,7 +23,8 @@ pub(crate) struct JsonWriter {
 }
 
 impl JsonWriter {
-    pub(crate) fn new() -> Self {
+    /// A writer with empty output.
+    pub fn new() -> Self {
         JsonWriter::default()
     }
 
@@ -32,30 +37,34 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn begin_object(&mut self) {
+    /// Open a `{`.
+    pub fn begin_object(&mut self) {
         self.before_value();
         self.out.push('{');
         self.needs_comma.push(false);
     }
 
-    pub(crate) fn end_object(&mut self) {
+    /// Close the current object.
+    pub fn end_object(&mut self) {
         self.needs_comma.pop();
         self.out.push('}');
     }
 
-    pub(crate) fn begin_array(&mut self) {
+    /// Open a `[`.
+    pub fn begin_array(&mut self) {
         self.before_value();
         self.out.push('[');
         self.needs_comma.push(false);
     }
 
-    pub(crate) fn end_array(&mut self) {
+    /// Close the current array.
+    pub fn end_array(&mut self) {
         self.needs_comma.pop();
         self.out.push(']');
     }
 
     /// Write an object key; the following call writes its value.
-    pub(crate) fn key(&mut self, key: &str) {
+    pub fn key(&mut self, key: &str) {
         self.before_value();
         push_escaped(&mut self.out, key);
         self.out.push(':');
@@ -65,19 +74,27 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn string(&mut self, value: &str) {
+    /// Write an escaped string value.
+    pub fn string(&mut self, value: &str) {
         self.before_value();
         push_escaped(&mut self.out, value);
     }
 
-    pub(crate) fn number(&mut self, value: u64) {
+    /// Write a boolean literal.
+    pub fn bool_value(&mut self, value: bool) {
+        self.before_value();
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Write an unsigned integer value.
+    pub fn number(&mut self, value: u64) {
         self.before_value();
         self.out.push_str(&value.to_string());
     }
 
     /// Write a float; non-finite values become `null` since JSON has no
     /// representation for them.
-    pub(crate) fn float(&mut self, value: f64) {
+    pub fn float(&mut self, value: f64) {
         self.before_value();
         if value.is_finite() {
             let mut text = format!("{value}");
@@ -91,7 +108,8 @@ impl JsonWriter {
         }
     }
 
-    pub(crate) fn finish(self) -> String {
+    /// Consume the writer, returning the JSON text.
+    pub fn finish(self) -> String {
         debug_assert!(self.needs_comma.is_empty(), "unclosed JSON container");
         self.out
     }

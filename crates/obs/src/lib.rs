@@ -46,9 +46,10 @@ pub mod report;
 pub mod span;
 pub mod trace;
 
-pub(crate) mod json;
+pub mod json;
 
-pub use histogram::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+pub use histogram::{bucket_bounds, bucket_index, Histogram, LogHistogram, BUCKETS};
+pub use json::JsonWriter;
 pub use recorder::{Counter, Gauge, Recorder};
 pub use report::{BucketCount, HistogramReport, RunReport, SpanReport, StageReport, TaskReport};
 pub use span::SpanGuard;

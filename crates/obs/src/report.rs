@@ -72,6 +72,86 @@ impl HistogramReport {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), 0.0 when empty.
+    ///
+    /// The log₂ buckets only bound each sample within a factor of two,
+    /// so the estimate interpolates linearly inside the bucket holding
+    /// the target rank and is clamped to the exact `[min, max]` the
+    /// histogram tracked. For a single-bucket histogram this collapses
+    /// to the true value range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for bucket in &self.buckets {
+            let n = bucket.count as f64;
+            if cum + n >= target {
+                let frac = if n == 0.0 {
+                    0.0
+                } else {
+                    ((target - cum) / n).clamp(0.0, 1.0)
+                };
+                let estimate = bucket.lo as f64 + frac * (bucket.hi - bucket.lo) as f64;
+                return estimate.clamp(self.min as f64, self.max as f64);
+            }
+            cum += n;
+        }
+        self.max as f64
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Write this histogram as a JSON object into `w` (the shape used
+    /// by [`RunReport::to_json`] and the profiler's report).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("count");
+        w.number(self.count);
+        w.key("sum");
+        w.number(self.sum);
+        w.key("min");
+        w.number(self.min);
+        w.key("max");
+        w.number(self.max);
+        w.key("mean");
+        w.float(self.mean());
+        w.key("p50");
+        w.float(self.p50());
+        w.key("p90");
+        w.float(self.p90());
+        w.key("p99");
+        w.float(self.p99());
+        w.key("buckets");
+        w.begin_array();
+        for bucket in &self.buckets {
+            w.begin_object();
+            w.key("lo");
+            w.number(bucket.lo);
+            w.key("hi");
+            w.number(bucket.hi);
+            w.key("count");
+            w.number(bucket.count);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
 }
 
 /// Aggregate statistics for one span name.
@@ -159,31 +239,7 @@ impl RunReport {
         w.begin_object();
         for (name, hist) in &self.histograms {
             w.key(name);
-            w.begin_object();
-            w.key("count");
-            w.number(hist.count);
-            w.key("sum");
-            w.number(hist.sum);
-            w.key("min");
-            w.number(hist.min);
-            w.key("max");
-            w.number(hist.max);
-            w.key("mean");
-            w.float(hist.mean());
-            w.key("buckets");
-            w.begin_array();
-            for bucket in &hist.buckets {
-                w.begin_object();
-                w.key("lo");
-                w.number(bucket.lo);
-                w.key("hi");
-                w.number(bucket.hi);
-                w.key("count");
-                w.number(bucket.count);
-                w.end_object();
-            }
-            w.end_array();
-            w.end_object();
+            hist.write_json(&mut w);
         }
         w.end_object();
 
@@ -245,6 +301,43 @@ impl RunReport {
 
         w.end_object();
         w.finish()
+    }
+
+    /// Human-readable summary: one line per counter, gauge and span,
+    /// and one per histogram with its mean and estimated p50/p90/p99.
+    /// The structured counterpart is [`RunReport::to_json`].
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter    {name:<24} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge      {name:<24} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram  {name:<24} n {}  min {}  max {}  mean {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}",
+                hist.count,
+                hist.min,
+                hist.max,
+                hist.mean(),
+                hist.p50(),
+                hist.p90(),
+                hist.p99(),
+            );
+        }
+        for (name, span) in &self.spans {
+            let _ = writeln!(
+                out,
+                "span       {name:<24} n {}  total {:.3}ms  max {:.3}ms",
+                span.count,
+                span.total_ns as f64 / 1e6,
+                span.max_ns as f64 / 1e6,
+            );
+        }
+        out
     }
 }
 
@@ -325,5 +418,106 @@ mod tests {
     #[test]
     fn mean_handles_empty() {
         assert_eq!(HistogramReport::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_handle_empty() {
+        let h = HistogramReport::default();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse_to_that_value() {
+        // One sample of 5 lands in bucket [4, 7]; clamping to the exact
+        // min/max recovers the value for every quantile.
+        let mut h = HistogramReport {
+            count: 1,
+            sum: 5,
+            min: 5,
+            max: 5,
+            buckets: vec![BucketCount {
+                lo: 4,
+                hi: 7,
+                count: 1,
+            }],
+        };
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 5.0, "q = {q}");
+        }
+        // Two spread buckets: the quantiles are ordered and bounded.
+        h.count = 100;
+        h.min = 1;
+        h.max = 1000;
+        h.buckets = vec![
+            BucketCount {
+                lo: 1,
+                hi: 1,
+                count: 90,
+            },
+            BucketCount {
+                lo: 512,
+                hi: 1023,
+                count: 10,
+            },
+        ];
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+        assert_eq!(h.p50(), 1.0);
+        assert!(h.p99() >= 512.0 && h.p99() <= 1000.0);
+    }
+
+    #[test]
+    fn json_includes_quantile_estimates() {
+        let mut report = RunReport::default();
+        report.histograms.insert(
+            "lat".into(),
+            HistogramReport {
+                count: 1,
+                sum: 5,
+                min: 5,
+                max: 5,
+                buckets: vec![BucketCount {
+                    lo: 4,
+                    hi: 7,
+                    count: 1,
+                }],
+            },
+        );
+        let json = report.to_json();
+        for needle in [r#""p50":5.0"#, r#""p90":5.0"#, r#""p99":5.0"#] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn text_summary_lists_metrics_with_quantiles() {
+        let mut report = RunReport::default();
+        report.counters.insert("records".into(), 4);
+        report.histograms.insert(
+            "infer.record_width".into(),
+            HistogramReport {
+                count: 1,
+                sum: 2,
+                min: 2,
+                max: 2,
+                buckets: vec![BucketCount {
+                    lo: 2,
+                    hi: 3,
+                    count: 1,
+                }],
+            },
+        );
+        report.spans.insert(
+            "pipeline.map".into(),
+            SpanReport {
+                count: 1,
+                total_ns: 1_000_000,
+                max_ns: 1_000_000,
+            },
+        );
+        let text = report.to_text();
+        assert!(text.contains("counter    records"));
+        assert!(text.contains("p50 2.0"), "{text}");
+        assert!(text.contains("span       pipeline.map"));
     }
 }

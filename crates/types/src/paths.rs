@@ -37,6 +37,92 @@ pub fn render_path(steps: &[PathStep]) -> String {
     s
 }
 
+/// Parse a rendered path (`$`, `$.a.b[].c`) back into steps.
+///
+/// The inverse of [`render_path`] for the paths the inference pipeline
+/// emits; field names are taken verbatim between separators, so names
+/// containing `.` or `[]` — which the rendering cannot distinguish
+/// anyway — parse as nested steps. A leading `$` is optional, so
+/// `.user.url` works as CLI shorthand. Returns `None` for syntactically
+/// empty segments (`$..a`, a trailing `.`).
+pub fn parse_path(text: &str) -> Option<Vec<PathStep>> {
+    let mut rest = text.strip_prefix('$').unwrap_or(text);
+    let mut steps = Vec::new();
+    while !rest.is_empty() {
+        if let Some(r) = rest.strip_prefix("[]") {
+            steps.push(PathStep::Item);
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix('.') {
+            let end = r
+                .char_indices()
+                .find(|&(i, c)| c == '.' || r[i..].starts_with("[]"))
+                .map(|(i, _)| i)
+                .unwrap_or(r.len());
+            if end == 0 {
+                return None;
+            }
+            steps.push(PathStep::Field(r[..end].to_string()));
+            rest = &r[end..];
+        } else {
+            return None;
+        }
+    }
+    Some(steps)
+}
+
+/// All subtrees of `t` reachable by following `steps`.
+///
+/// Unions are transparent: a [`PathStep::Field`] descends through the
+/// record addend, a [`PathStep::Item`] through the array or star
+/// addend(s) — mirroring how [`type_paths`] accumulates union paths.
+/// Positional arrays contribute every element type, so the result is a
+/// list; an unreachable path yields an empty one. The caller decides
+/// how to combine multiple candidates (e.g. fuse them).
+pub fn types_at_path<'a>(t: &'a Type, steps: &[PathStep]) -> Vec<&'a Type> {
+    let mut frontier = vec![t];
+    for step in steps {
+        let mut next: Vec<&Type> = Vec::new();
+        for t in frontier {
+            descend(t, step, &mut next);
+        }
+        // Dedup structurally, keeping first-seen order (kind-unique
+        // unions make real fan-out small, so the quadratic scan is
+        // irrelevant; pointer-based orderings would not be
+        // deterministic).
+        let mut deduped: Vec<&Type> = Vec::with_capacity(next.len());
+        for t in next {
+            if !deduped.contains(&t) {
+                deduped.push(t);
+            }
+        }
+        frontier = deduped;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    frontier
+}
+
+fn descend<'a>(t: &'a Type, step: &PathStep, out: &mut Vec<&'a Type>) {
+    match (t, step) {
+        (Type::Record(rt), PathStep::Field(name)) => {
+            if let Some(f) = rt.field(name) {
+                out.push(&f.ty);
+            }
+        }
+        (Type::Array(at), PathStep::Item) => out.extend(at.elems()),
+        (Type::Star(body), PathStep::Item) if !matches!(body.as_ref(), Type::Bottom) => {
+            out.push(body);
+        }
+        (Type::Union(u), step) => {
+            for addend in u.addends() {
+                descend(addend, step, out);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// All paths traversable in a type (rendered). Unions contribute the
 /// paths of all their addends; optionality does not restrict
 /// traversability.
@@ -196,5 +282,48 @@ mod tests {
     fn non_covering_detected() {
         let t = parse_type("{a: Num}").unwrap();
         assert!(!covers_value_paths(&t, &json!({"z": 1})));
+    }
+
+    #[test]
+    fn parse_path_round_trips_rendered_paths() {
+        for text in ["$", "$.a", "$.a.b", "$.kw[].rank", "$[]", "$[][].x"] {
+            let steps = parse_path(text).unwrap();
+            assert_eq!(render_path(&steps), text, "round trip of {text}");
+        }
+        // CLI shorthand: the leading `$` may be dropped.
+        assert_eq!(
+            parse_path(".user.url").unwrap(),
+            parse_path("$.user.url").unwrap()
+        );
+        assert!(parse_path("$..a").is_none());
+        assert!(parse_path("$.").is_none());
+        assert!(parse_path("a").is_none());
+    }
+
+    #[test]
+    fn types_at_path_navigates_records_arrays_and_unions() {
+        let t = parse_type("{a: Null + Num, b: {c: [Str*]}, d: [Num, Bool]}").unwrap();
+        let at = |p: &str| {
+            types_at_path(&t, &parse_path(p).unwrap())
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(at("$.a"), ["Null + Num"]);
+        assert_eq!(at("$.b.c"), ["[Str*]"]);
+        assert_eq!(at("$.b.c[]"), ["Str"]);
+        assert_eq!(at("$.d[]"), ["Num", "Bool"], "positional arrays fan out");
+        assert!(at("$.missing").is_empty());
+        assert_eq!(at("$"), [t.to_string()]);
+
+        // Field access through a union's record addend.
+        let u = parse_type("Num + {x: Str?}").unwrap();
+        assert_eq!(
+            types_at_path(&u, &parse_path("$.x").unwrap())
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>(),
+            ["Str"]
+        );
     }
 }

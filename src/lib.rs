@@ -55,10 +55,10 @@ pub use typefuse_types as types;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use crate::error::Error;
-    pub use crate::pipeline::{MapPath, SchemaJob, SchemaResult, Source};
+    pub use crate::pipeline::{MapPath, ProfiledResult, SchemaJob, SchemaResult, Source};
     pub use typefuse_datagen::{DatasetProfile, Profile};
     pub use typefuse_engine::{Dataset, ReducePlan, Runtime};
-    pub use typefuse_infer::{fuse, infer_type, Incremental};
+    pub use typefuse_infer::{fuse, infer_type, Incremental, ProfileReport, Profiling};
     pub use typefuse_json::{parse_value, NdjsonReader, Value};
     pub use typefuse_obs::{Recorder, RunReport};
     pub use typefuse_query::Pipeline;

@@ -32,7 +32,9 @@ use std::time::{Duration, Instant};
 
 use crate::error::Error;
 use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics};
-use typefuse_infer::{infer_type_recorded, streaming, FuseConfig, RecordedFuser};
+use typefuse_infer::{
+    infer_type_recorded, streaming, FuseConfig, ProfileAcc, ProfileReport, Profiling, RecordedFuser,
+};
 use typefuse_json::{NdjsonReader, Value};
 use typefuse_obs::{Recorder, RunReport};
 use typefuse_types::Type;
@@ -222,6 +224,156 @@ impl SchemaJob {
     /// `json.lines` / `json.records` under a `pipeline.read` span.
     pub fn run_ndjson<R: BufRead>(&self, reader: R) -> Result<SchemaResult, Error> {
         self.run(Source::ndjson(reader))
+    }
+
+    /// Run the **profiled** pipeline over any [`Source`]: one fused
+    /// Map+Reduce pass with the [`Profiling`] strategy, producing a
+    /// [`ProfileReport`] — the fused schema plus per-path presence
+    /// counts, kind/length/numeric statistics and provenance lines.
+    ///
+    /// Records are numbered by their 1-based input line (NDJSON) or
+    /// ordinal (in-memory sources), and those numbers survive the
+    /// parallel reduce unchanged: every provenance aggregate is a
+    /// minimum, so the profile — and its serialized report — is
+    /// byte-identical for any worker count, partitioning, reduce plan
+    /// and Map route (`job.map_path` picks the event fold or the tree
+    /// walk for text sources; both observe identically).
+    ///
+    /// Parse failures are carried *through* the reduce as mergeable
+    /// accumulator state, so the reported error is the earliest bad
+    /// line in input order, exactly like [`SchemaJob::run`].
+    pub fn run_profiled(&self, source: Source<'_>) -> Result<ProfiledResult, Error> {
+        let wall_start = Instant::now();
+        let rec = &self.recorder;
+        let fuser = Profiling {
+            config: self.fuse_config,
+        };
+        match source {
+            Source::Values(values) => {
+                let numbered: Vec<(u64, Value)> = values
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as u64 + 1, v))
+                    .collect();
+                let dataset = Dataset::from_vec(numbered, self.partitions);
+                let (acc, fold_metrics) = {
+                    let _span = rec.span("pipeline.profile");
+                    dataset.reduce_items(
+                        &self.runtime,
+                        self.reduce_plan,
+                        &fuser,
+                        rec,
+                        |_, acc, (line, v): &(u64, Value)| acc.absorb_value_at(*line, v),
+                    )
+                };
+                self.finish_profiled(
+                    acc,
+                    dataset.num_partitions(),
+                    fold_metrics,
+                    wall_start,
+                    false,
+                )
+            }
+            Source::Dataset(dataset) => {
+                // Keep the caller's partitioning; number records by their
+                // global iteration order so 1 partition and N agree.
+                let mut ordinal = 0u64;
+                let parts: Vec<Vec<(u64, &Value)>> = dataset
+                    .partitions()
+                    .iter()
+                    .map(|part| {
+                        part.iter()
+                            .map(|v| {
+                                ordinal += 1;
+                                (ordinal, v)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let numbered = Dataset::from_partitions(parts);
+                let (acc, fold_metrics) = {
+                    let _span = rec.span("pipeline.profile");
+                    numbered.reduce_items(
+                        &self.runtime,
+                        self.reduce_plan,
+                        &fuser,
+                        rec,
+                        |_, acc, (line, v): &(u64, &Value)| acc.absorb_value_at(*line, v),
+                    )
+                };
+                self.finish_profiled(
+                    acc,
+                    numbered.num_partitions(),
+                    fold_metrics,
+                    wall_start,
+                    false,
+                )
+            }
+            Source::Ndjson(reader) => {
+                let lines: Vec<(u32, String)> = {
+                    let _span = rec.span("pipeline.read");
+                    read_lines(reader, rec)?
+                };
+                let dataset = Dataset::from_vec(lines, self.partitions);
+                let map_path = self.map_path;
+                let (acc, fold_metrics) = {
+                    let _span = rec.span("pipeline.profile");
+                    dataset.reduce_items(
+                        &self.runtime,
+                        self.reduce_plan,
+                        &fuser,
+                        rec,
+                        move |_, acc, (line, text): &(u32, String)| match map_path {
+                            MapPath::Events => acc.absorb_line(u64::from(*line), text),
+                            MapPath::Values => acc.absorb_line_as_value(u64::from(*line), text),
+                        },
+                    )
+                };
+                self.finish_profiled(
+                    acc,
+                    dataset.num_partitions(),
+                    fold_metrics,
+                    wall_start,
+                    true,
+                )
+            }
+        }
+    }
+
+    /// Shared tail of the profiled routes: surface the earliest parse
+    /// error (re-anchored at its input line) or finish the profile.
+    fn finish_profiled(
+        &self,
+        acc: Option<ProfileAcc>,
+        partitions: usize,
+        fold_metrics: StageMetrics,
+        wall_start: Instant,
+        count_json_records: bool,
+    ) -> Result<ProfiledResult, Error> {
+        let rec = &self.recorder;
+        let acc = acc.unwrap_or_else(|| ProfileAcc::with_config(self.fuse_config));
+        if let Some((line, e)) = acc.first_error() {
+            rec.add("json.parse_errors", 1);
+            let mut pos = e.span().start;
+            pos.line = line as u32;
+            return Err(Error::Parse(typefuse_json::Error::at(
+                e.kind().clone(),
+                pos,
+            )));
+        }
+        let profile = acc.finish();
+        let records = profile.records;
+        if count_json_records {
+            rec.add("json.records", records);
+        }
+        rec.add("records", records);
+        Ok(ProfiledResult {
+            profile,
+            records,
+            partitions,
+            wall: wall_start.elapsed(),
+            fold_metrics,
+        })
     }
 
     /// The tree Map phase: infer one type per materialised value
@@ -482,6 +634,48 @@ impl SchemaResult {
     }
 }
 
+/// The outcome of a profiled run ([`SchemaJob::run_profiled`]).
+#[derive(Debug, Clone)]
+pub struct ProfiledResult {
+    /// The per-path profile, including the fused schema.
+    pub profile: ProfileReport,
+    /// Number of input records.
+    pub records: u64,
+    /// Partitions processed.
+    pub partitions: usize,
+    /// Total wall time.
+    pub wall: Duration,
+    /// Per-partition metrics of the profiled fold.
+    pub fold_metrics: StageMetrics,
+}
+
+impl ProfiledResult {
+    /// Assemble a structured run report for this profiled run, mirroring
+    /// [`SchemaResult::run_report`]: recorder state plus the fold's
+    /// per-task timings and headline values.
+    pub fn run_report(&self, recorder: &Recorder) -> RunReport {
+        let mut report = recorder.snapshot();
+        report.counters.insert("records".to_string(), self.records);
+        report
+            .stages
+            .push(self.fold_metrics.stage_report("profile.local_fold"));
+        report
+            .values
+            .insert("wall_seconds".to_string(), self.wall.as_secs_f64());
+        report.values.insert(
+            "profiled_paths".to_string(),
+            self.profile.paths.len() as f64,
+        );
+        report
+            .meta
+            .insert("partitions".to_string(), self.partitions.to_string());
+        report
+            .meta
+            .insert("schema".to_string(), self.profile.schema.to_string());
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +883,101 @@ mod tests {
             assert_eq!(report.counters["json.records"], 2, "{path:?}");
             assert!(report.spans.contains_key("pipeline.read"), "{path:?}");
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_schema_and_counts() {
+        let data = as_ndjson(&values());
+        let plain = SchemaJob::new().run_ndjson(data.as_bytes()).unwrap();
+        let profiled = SchemaJob::new()
+            .run_profiled(Source::ndjson(data.as_bytes()))
+            .unwrap();
+        assert_eq!(profiled.profile.schema, plain.schema);
+        assert_eq!(profiled.records, 4);
+        let a = profiled.profile.get("$.a").unwrap();
+        assert_eq!(a.count, 4);
+        // b is present at lines 1, 2 and 4; line 3 demoted it.
+        let b = profiled.profile.get("$.b").unwrap();
+        assert_eq!(b.count, 3);
+        assert_eq!(b.first_absent_line, Some(3));
+        // c's Array branch was introduced at line 3.
+        let c = profiled.profile.get("$.c").unwrap();
+        assert_eq!(c.first_line(), Some(3));
+    }
+
+    #[test]
+    fn profiled_run_is_invariant_across_workers_partitions_and_routes() {
+        let data = as_ndjson(&values());
+        let baseline = SchemaJob::new()
+            .workers(1)
+            .partitions(1)
+            .run_profiled(Source::ndjson(data.as_bytes()))
+            .unwrap()
+            .profile;
+        let baseline_json = baseline.to_json();
+        for workers in [1, 4] {
+            for parts in [1, 3, 7] {
+                for path in [MapPath::Events, MapPath::Values] {
+                    for plan in [ReducePlan::Sequential, ReducePlan::Tree { arity: 2 }] {
+                        let p = SchemaJob::new()
+                            .workers(workers)
+                            .partitions(parts)
+                            .map_path(path)
+                            .reduce_plan(plan)
+                            .run_profiled(Source::ndjson(data.as_bytes()))
+                            .unwrap()
+                            .profile;
+                        assert_eq!(p, baseline, "{workers}w {parts}p {path:?} {plan:?}");
+                        assert_eq!(p.to_json(), baseline_json);
+                    }
+                }
+            }
+        }
+        // In-memory sources number records by ordinal, matching the
+        // NDJSON line numbers of the same records.
+        let via_values = SchemaJob::new()
+            .run_profiled(Source::values(values()))
+            .unwrap()
+            .profile;
+        assert_eq!(via_values.to_json(), baseline_json);
+        let dataset = Dataset::from_vec(values(), 3);
+        let via_dataset = SchemaJob::new()
+            .run_profiled(Source::dataset(&dataset))
+            .unwrap()
+            .profile;
+        assert_eq!(via_dataset.to_json(), baseline_json);
+    }
+
+    #[test]
+    fn profiled_run_reports_earliest_bad_line() {
+        let bad = "{\"ok\":1}\n{bad1\n{\"ok\":2}\n{bad2\n";
+        for path in [MapPath::Events, MapPath::Values] {
+            let err = SchemaJob::new()
+                .partitions(4)
+                .map_path(path)
+                .run_profiled(Source::ndjson(bad.as_bytes()))
+                .unwrap_err();
+            assert_eq!(err.span().unwrap().start.line, 2, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn profiled_run_report_has_fold_stage() {
+        let rec = Recorder::enabled();
+        let r = SchemaJob::new()
+            .partitions(2)
+            .recorder(rec.clone())
+            .run_profiled(Source::values(values()))
+            .unwrap();
+        let report = r.run_report(&rec);
+        assert_eq!(report.counters["records"], 4);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["profile.local_fold"]);
+        assert!(report.spans.contains_key("pipeline.profile"));
+        assert_eq!(
+            report.values["profiled_paths"], 5.0,
+            "$, $.a, $.b, $.c, $.c[]"
+        );
     }
 
     #[test]
