@@ -1,0 +1,77 @@
+//! The Reduce phase head to head: the plain fold (every record's type
+//! fused into the running schema) versus the shape-dedup route (types
+//! hash-consed into ids, each distinct `schema ⊔ shape` step computed
+//! once and replayed from the memo cache).
+//!
+//! Both run the engine's `reduce_fused` over the same pre-inferred
+//! `Dataset<Type>`, so the numbers isolate the Reduce — the Map cost is
+//! identical by construction. GitHub is the high-redundancy profile
+//! (hundreds of records per shape: dedup should win big); Wikidata's
+//! entity records are mostly distinct (the dedup route degenerates to
+//! the plain fold plus interning overhead — the honest lower bound).
+//!
+//! Every measurement first asserts the two routes produce byte-identical
+//! schemas, so a run of this bench doubles as a differential check.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use typefuse_datagen::{DatasetProfile, Profile};
+use typefuse_engine::{Dataset, ReducePlan, Runtime};
+use typefuse_infer::{infer_type, DedupFuser, FuseConfig, Fuser};
+use typefuse_types::Type;
+
+fn inferred(profile: Profile, n: usize) -> Dataset<Type> {
+    let types: Vec<Type> = profile.generate(7, n).map(|v| infer_type(&v)).collect();
+    Dataset::from_vec(types, 16)
+}
+
+fn reduce<F: Fuser>(data: &Dataset<Type>, rt: &Runtime, fuser: &F) -> Type {
+    let rec = typefuse_obs::Recorder::disabled();
+    let (schema, _) = data.reduce_fused(rt, ReducePlan::default(), fuser, &rec);
+    schema.expect("non-empty dataset")
+}
+
+fn bench_dedup_speedup(c: &mut Criterion) {
+    let rt = Runtime::default();
+    let mut group = c.benchmark_group("dedup_speedup");
+    for (profile, n) in [(Profile::GitHub, 100_000), (Profile::Wikidata, 20_000)] {
+        let data = inferred(profile, n);
+
+        // Differential guard: identical schemas before anything is timed.
+        let plain = reduce(&data, &rt, &FuseConfig::default());
+        let dedup = reduce(&data, &rt, &DedupFuser::plain(FuseConfig::default()));
+        assert_eq!(
+            plain, dedup,
+            "reduce routes disagree on {profile}: {plain} vs {dedup}"
+        );
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("plain", profile), |b| {
+            b.iter(|| reduce(black_box(&data), &rt, &FuseConfig::default()).size())
+        });
+        group.bench_function(BenchmarkId::new("dedup", profile), |b| {
+            b.iter(|| {
+                reduce(
+                    black_box(&data),
+                    &rt,
+                    &DedupFuser::plain(FuseConfig::default()),
+                )
+                .size()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dedup_speedup
+}
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use typefuse::pipeline::MapPath;
 use typefuse_datagen::{DatasetProfile, Profile};
 use typefuse_engine::{ReducePlan, Runtime};
-use typefuse_infer::{fuse_into, fuse_with, infer_type, streaming, FuseConfig};
+use typefuse_infer::{fuse_into, fuse_with, infer_type, streaming, DedupAcc, FuseConfig};
 use typefuse_types::Type;
 
 /// Configuration of one scale run.
@@ -36,6 +36,11 @@ pub struct ScaleConfig {
     /// Costs roughly as much as parsing; off for the type-statistics
     /// tables.
     pub measure_bytes: bool,
+    /// Reduce over distinct shapes only (hash-consed interning plus
+    /// memoized fusion) instead of fusing every record's type. The
+    /// schema is byte-identical either way; the fuse-time columns show
+    /// the dedup speedup.
+    pub dedup: bool,
 }
 
 impl ScaleConfig {
@@ -51,6 +56,7 @@ impl ScaleConfig {
             fuse_config: FuseConfig::default(),
             map_path: MapPath::Values,
             measure_bytes: false,
+            dedup: false,
         }
     }
 
@@ -77,6 +83,12 @@ impl ScaleConfig {
         self.measure_bytes = true;
         self
     }
+
+    /// Builder: reduce over distinct shapes (see [`ScaleConfig::dedup`]).
+    pub fn dedup(mut self) -> Self {
+        self.dedup = true;
+        self
+    }
 }
 
 /// Per-partition accumulator: everything Tables 2–8 need, O(1) memory in
@@ -89,13 +101,13 @@ struct PartitionAcc {
     min_size: usize,
     max_size: usize,
     size_sum: u64,
-    schema: Type,
+    schema: SchemaAcc,
     infer_time: Duration,
     fuse_time: Duration,
 }
 
 impl PartitionAcc {
-    fn empty() -> Self {
+    fn empty(dedup: bool) -> Self {
         PartitionAcc {
             records: 0,
             bytes: 0,
@@ -103,9 +115,47 @@ impl PartitionAcc {
             min_size: usize::MAX,
             max_size: 0,
             size_sum: 0,
-            schema: Type::Bottom,
+            schema: if dedup {
+                SchemaAcc::Dedup(Box::new(DedupAcc::new()))
+            } else {
+                SchemaAcc::Plain(Type::Bottom)
+            },
             infer_time: Duration::ZERO,
             fuse_time: Duration::ZERO,
+        }
+    }
+}
+
+/// The per-partition reduce state: the plain running fold, or the
+/// shape-dedup accumulator (interner + per-shape counts + memo cache).
+#[derive(Debug, Clone)]
+enum SchemaAcc {
+    Plain(Type),
+    Dedup(Box<DedupAcc>),
+}
+
+impl SchemaAcc {
+    fn absorb(&mut self, cfg: FuseConfig, ty: &Type) {
+        match self {
+            SchemaAcc::Plain(schema) => fuse_into(cfg, schema, ty),
+            SchemaAcc::Dedup(acc) => acc.absorb_type(cfg, ty),
+        }
+    }
+
+    fn merge(&mut self, cfg: FuseConfig, other: &SchemaAcc) {
+        match (self, other) {
+            (SchemaAcc::Plain(mine), SchemaAcc::Plain(theirs)) => {
+                *mine = fuse_with(cfg, mine, theirs);
+            }
+            (SchemaAcc::Dedup(mine), SchemaAcc::Dedup(theirs)) => mine.merge(cfg, theirs),
+            _ => unreachable!("every partition uses the run's reduce strategy"),
+        }
+    }
+
+    fn schema(&self) -> Type {
+        match self {
+            SchemaAcc::Plain(schema) => schema.clone(),
+            SchemaAcc::Dedup(acc) => acc.schema(),
         }
     }
 }
@@ -224,7 +274,7 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
 
     let cfg = config.fuse_config;
     let (accs, _metrics) = runtime.run_indexed(&ranges, |_, &(start, end)| {
-        let mut acc = PartitionAcc::empty();
+        let mut acc = PartitionAcc::empty(config.dedup);
         for index in start..end {
             let value = config.profile.record(config.seed, index);
             let ty = match config.map_path {
@@ -261,7 +311,7 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
             acc.records += 1;
 
             let t1 = Instant::now();
-            fuse_into(cfg, &mut acc.schema, &ty);
+            acc.schema.absorb(cfg, &ty);
             acc.fuse_time += t1.elapsed();
         }
         acc
@@ -281,7 +331,7 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
 
     // Merge: distinct sets union, min/max/sum fold, schemas fuse (the
     // cheap final step the paper highlights).
-    let mut merged = PartitionAcc::empty();
+    let mut merged = PartitionAcc::empty(config.dedup);
     for acc in accs {
         merged.records += acc.records;
         merged.bytes += acc.bytes;
@@ -292,11 +342,12 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
         merged.infer_time += acc.infer_time;
         merged.fuse_time += acc.fuse_time;
         let t = Instant::now();
-        merged.schema = fuse_with(cfg, &merged.schema, &acc.schema);
+        merged.schema.merge(cfg, &acc.schema);
         merged.fuse_time += t.elapsed();
     }
     let _ = ReducePlan::default(); // topology ablations live in the benches
 
+    let schema = merged.schema.schema();
     ScaleResult {
         records: merged.records,
         bytes: merged.bytes,
@@ -312,8 +363,8 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
         } else {
             merged.size_sum as f64 / merged.records as f64
         },
-        fused_size: merged.schema.size(),
-        schema: merged.schema,
+        fused_size: schema.size(),
+        schema,
         infer_cpu: merged.infer_time,
         fuse_cpu: merged.fuse_time,
         wall: wall_start.elapsed(),
@@ -351,6 +402,18 @@ mod tests {
             assert_eq!(via_events.schema, via_values.schema, "{profile}");
             assert_eq!(via_events.distinct_types, via_values.distinct_types);
             assert_eq!(via_events.records, via_values.records);
+        }
+    }
+
+    #[test]
+    fn dedup_reduce_matches_plain_reduce() {
+        for profile in Profile::ALL {
+            let plain = run_scale(&ScaleConfig::new(profile, 200).partitions(5));
+            let dedup = run_scale(&ScaleConfig::new(profile, 200).partitions(5).dedup());
+            assert_eq!(dedup.schema, plain.schema, "{profile}");
+            assert_eq!(dedup.records, plain.records);
+            assert_eq!(dedup.distinct_types, plain.distinct_types);
+            assert_eq!(dedup.fused_size, plain.fused_size);
         }
     }
 

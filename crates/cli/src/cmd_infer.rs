@@ -4,9 +4,9 @@ use crate::args::ArgStream;
 use crate::{CliError, CliResult};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
-use typefuse::pipeline::{MapPath, SchemaJob, Source};
+use typefuse::pipeline::{dedup_auto_sample, DedupMode, MapPath, SchemaJob, Source};
 use typefuse_engine::{Dataset, ReducePlan};
-use typefuse_infer::{ArrayFusion, Counting, CountingFuser, FuseConfig};
+use typefuse_infer::{ArrayFusion, Counting, CountingFuser, DedupCounting, FuseConfig, Fuser};
 use typefuse_json::{NdjsonReader, Value};
 use typefuse_obs::Recorder;
 use typefuse_types::export::to_json_schema_document;
@@ -27,6 +27,16 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         Some(other) => {
             return Err(CliError::usage(format!(
                 "unknown map path `{other}` (expected events or value)"
+            )))
+        }
+    };
+    let dedup = match args.option("--dedup")?.as_deref() {
+        None | Some("auto") => DedupMode::Auto,
+        Some("on") => DedupMode::On,
+        Some("off") => DedupMode::Off,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown dedup mode `{other}` (expected auto, on or off)"
             )))
         }
     };
@@ -59,6 +69,16 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
              --streaming/--counting/--stats (the profile report supersedes them)",
         ));
     }
+    if dedup == DedupMode::On && profile_json.is_some() {
+        return Err(CliError::usage(
+            "--dedup on has no effect on the profiled pass; drop --profile-json or --dedup",
+        ));
+    }
+    if dedup == DedupMode::On && streaming {
+        return Err(CliError::usage(
+            "--dedup on needs the partitioned reduce; drop --streaming or --dedup",
+        ));
+    }
 
     if streaming {
         if stats || counting {
@@ -78,7 +98,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         return Ok(());
     }
 
-    let mut job = SchemaJob::new().recorder(recorder.clone());
+    let mut job = SchemaJob::new().recorder(recorder.clone()).dedup(dedup);
     if let Some(w) = workers {
         job = job.workers(w);
     }
@@ -147,8 +167,34 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
             read_values(input.as_deref(), &recorder)?
         };
         let dataset = Dataset::from_vec(values, job.partitions);
-        let (acc, _) = dataset.fuse_values(&job.runtime, job.reduce_plan, &Counting, &recorder);
-        let counted = acc.unwrap_or_else(CountingFuser::new).finish();
+        // The counting reduce mirrors the pipeline's dedup routing: On
+        // (or Auto over a redundant sample) rides the shape-dedup
+        // strategy, which counts paths once per distinct shape weighted
+        // by multiplicity; totals and rows are identical either way.
+        let use_dedup = match dedup {
+            DedupMode::On => true,
+            DedupMode::Off => false,
+            DedupMode::Auto => {
+                let sample: Vec<_> = dataset
+                    .iter()
+                    .take(512)
+                    .map(typefuse_infer::infer_type)
+                    .collect();
+                dedup_auto_sample(sample.iter())
+            }
+        };
+        // Dedup counters are not flushed here: whenever they are
+        // observable (--metrics-json/--trace-json/--progress) the timed
+        // pipeline below also runs with the same dedup mode and reports
+        // them once.
+        let counted = if use_dedup {
+            let fuser = DedupCounting::new(job.fuse_config);
+            let (acc, _) = dataset.fuse_values(&job.runtime, job.reduce_plan, &fuser, &recorder);
+            acc.unwrap_or_else(|| fuser.empty()).finish()
+        } else {
+            let (acc, _) = dataset.fuse_values(&job.runtime, job.reduce_plan, &Counting, &recorder);
+            acc.unwrap_or_else(CountingFuser::new).finish()
+        };
         let need_pipeline = stats || observing;
         (
             need_pipeline.then(|| job.run_dataset(&dataset)),

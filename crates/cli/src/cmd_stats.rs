@@ -7,6 +7,7 @@ use typefuse_obs::Recorder;
 
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let input = args.next_positional();
+    let dedup = args.flag("--dedup");
     let metrics_json = args.option("--metrics-json")?;
     args.finish()?;
 
@@ -30,9 +31,35 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     println!("avg depth   {:.2}", stats.avg_depth());
     println!("avg nodes   {:.1}", stats.avg_nodes());
 
+    // `--dedup` measures shape redundancy: how many structurally
+    // distinct Figure-4 types the dataset holds, via the hash-consing
+    // interner. A high records/shape ratio is what makes the
+    // shape-dedup reduce (`infer --dedup`) pay off.
+    let distinct_shapes = dedup.then(|| {
+        let _span = recorder.span("stats.shapes");
+        let mut interner = typefuse_types::TypeInterner::new();
+        let mut shapes = std::collections::HashSet::new();
+        for value in &values {
+            shapes.insert(interner.intern(&typefuse_infer::infer_type(value)));
+        }
+        shapes.len() as u64
+    });
+    if let Some(distinct) = distinct_shapes {
+        println!("shapes      {distinct}");
+        if distinct > 0 {
+            println!(
+                "redundancy  {:.1} records/shape",
+                stats.records as f64 / distinct as f64
+            );
+        }
+    }
+
     if let Some(path) = metrics_json {
         recorder.add("records", stats.records);
         recorder.gauge_max("stats.max_depth", stats.max_depth as u64);
+        if let Some(distinct) = distinct_shapes {
+            recorder.add("infer.distinct_shapes", distinct);
+        }
         std::fs::write(&path, recorder.snapshot().to_json())
             .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
     }

@@ -71,6 +71,11 @@ COMMANDS:
         --map-path P       events | value: Map phase folds parser events
                            directly into types (default) or materialises
                            value trees first (differential testing)
+        --dedup M          auto | on | off: reduce over distinct shapes
+                           only (hash-consed interning + memoized
+                           fusion); auto samples the input and dedups
+                           when shapes repeat. Output is byte-identical
+                           either way (default: auto)
         --positional-arrays  keep aligned positional arrays (ablation)
         --sequential-reduce  fold partials sequentially instead of tree
         --streaming          constant-memory single pass (no value trees)
@@ -101,6 +106,7 @@ COMMANDS:
         --seed S           generator seed (default: 42)
 
     stats [FILE|-]       dataset statistics (records, bytes, depth)
+        --dedup            also count distinct type shapes (redundancy)
         --metrics-json F   write read/measure metrics as JSON to F
 
     check [FILE|-]       validate records against a schema

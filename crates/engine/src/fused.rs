@@ -254,6 +254,62 @@ mod tests {
     }
 
     #[test]
+    fn dedup_fuser_rides_reduce_fused_unchanged() {
+        use typefuse_infer::DedupFuser;
+        let rt = Runtime::new(4);
+        // Repeat the values so shapes actually dedup.
+        let types: Vec<Type> = values().iter().cycle().take(20).map(infer_type).collect();
+        let expected = fuse_all(&types);
+        let fuser = DedupFuser::plain(FuseConfig::default());
+        for parts in 1..=5 {
+            for plan in [ReducePlan::Sequential, ReducePlan::Tree { arity: 2 }] {
+                let d = Dataset::from_vec(types.clone(), parts);
+                let (fused, _) = d.reduce_fused(&rt, plan, &fuser, &Recorder::disabled());
+                assert_eq!(
+                    fused,
+                    Some(expected.clone()),
+                    "{parts} partitions, {plan:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_fuser_emits_cache_and_shape_counters() {
+        use typefuse_infer::DedupFuser;
+        let rt = Runtime::new(2);
+        let rec = Recorder::enabled();
+        let types: Vec<Type> = values().iter().cycle().take(20).map(infer_type).collect();
+        let d = Dataset::from_vec(types, 2);
+        let fuser = DedupFuser::new(FuseConfig::default(), rec.clone());
+        let (fused, _) = d.reduce_fused(&rt, ReducePlan::default(), &fuser, &rec);
+        assert!(fused.is_some());
+        assert_eq!(rec.counter_value("infer.distinct_shapes"), 4);
+        assert!(rec.counter_value("fuse.cache_hits") > 0, "repeats hit");
+        assert!(rec.counter_value("fuse.calls") > 0);
+    }
+
+    #[test]
+    fn dedup_counting_matches_counting_through_fuse_values() {
+        use typefuse_infer::DedupCounting;
+        let rt = Runtime::new(4);
+        let vals: Vec<Value> = values().into_iter().cycle().take(12).collect();
+        let d = Dataset::from_vec(vals, 3);
+        let plan = ReducePlan::default();
+        let (plain, _) = d.fuse_values(&rt, plan, &Counting, &Recorder::disabled());
+        let (dedup, _) = d.fuse_values(
+            &rt,
+            plan,
+            &DedupCounting::new(FuseConfig::default()),
+            &Recorder::disabled(),
+        );
+        let (plain, dedup) = (plain.unwrap().finish(), dedup.unwrap().finish());
+        assert_eq!(plain.total, dedup.total);
+        assert_eq!(plain.schema, dedup.schema);
+        assert_eq!(plain.path_counts, dedup.path_counts);
+    }
+
+    #[test]
     fn fuse_values_partition_invariant() {
         let rt = Runtime::new(4);
         let vals = values();

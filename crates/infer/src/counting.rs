@@ -164,6 +164,55 @@ impl Fuser for Counting {
     }
 }
 
+/// Every record path a value of type `ty` can contain, sorted and
+/// deduplicated.
+///
+/// For a *per-record inferred type* (Figure 4) — no unions, no stars, no
+/// optional fields — this is exactly the path set [`CountingFuser`]
+/// counts for the record itself, which is what lets the shape-dedup
+/// route weight one path walk per distinct shape by its multiplicity
+/// instead of walking every value. On general (fused) types the walk is
+/// a may-contain over-approximation: it descends into every union addend
+/// and star body and does not distinguish optional fields.
+pub fn type_paths(ty: &Type) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_type_paths(ty, "$", &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Mirror of [`collect_paths`] over the type AST: record fields push
+/// their path and recurse, arrays (positional or starred) recurse under
+/// `[]` without pushing, unions recurse into each addend.
+fn collect_type_paths(ty: &Type, prefix: &str, out: &mut Vec<String>) {
+    match ty {
+        Type::Record(rt) => {
+            for field in rt.fields() {
+                let path = format!("{prefix}.{}", field.name);
+                collect_type_paths(&field.ty, &path, out);
+                out.push(path);
+            }
+        }
+        Type::Array(at) => {
+            let path = format!("{prefix}[]");
+            for elem in at.elems() {
+                collect_type_paths(elem, &path, out);
+            }
+        }
+        Type::Star(body) => {
+            let path = format!("{prefix}[]");
+            collect_type_paths(body, &path, out);
+        }
+        Type::Union(u) => {
+            for addend in u.addends() {
+                collect_type_paths(addend, prefix, out);
+            }
+        }
+        Type::Bottom | Type::Null | Type::Bool | Type::Num | Type::Str => {}
+    }
+}
+
 /// Collect every record path present in the value. Each path is recorded
 /// once per value (deduplicated by the caller) so counts read as
 /// "fraction of records containing this path".
@@ -264,5 +313,24 @@ mod tests {
         let cs = CountingFuser::new().finish();
         assert_eq!(cs.total, 0);
         assert!(cs.mandatory_paths().is_empty());
+    }
+
+    #[test]
+    fn type_paths_match_value_paths_on_inferred_types() {
+        let values = [
+            json!({"a": 1, "b": "x"}),
+            json!({"h": {"main": "x"}, "kw": [{"rank": 1}, {"rank": 2}]}),
+            json!({"a": [1, {"b": [2]}], "c": {}}),
+            json!([{"x": null}, 3]),
+            json!(42),
+        ];
+        for v in &values {
+            let mut from_value = Vec::new();
+            collect_paths(v, "$", &mut from_value);
+            from_value.sort_unstable();
+            from_value.dedup();
+            let from_type = type_paths(&crate::infer_type(v));
+            assert_eq!(from_type, from_value, "paths disagree on {v}");
+        }
     }
 }

@@ -66,16 +66,30 @@ pub fn fuse(t1: &Type, t2: &Type) -> Type {
 /// `Fuse(T₁, T₂)` with an explicit [`FuseConfig`].
 pub fn fuse_with(cfg: FuseConfig, t1: &Type, t2: &Type) -> Type {
     // KMatch / KUnmatch via a kind-indexed table: normality guarantees at
-    // most one addend per kind on each side.
-    let mut slots: [Option<Type>; 6] = Default::default();
+    // most one addend per kind on each side. Slots hold borrows until a
+    // same-kind partner shows up, so a KMatch addend is never cloned
+    // (LFuse reads it by reference) and a KUnmatch pass-through addend is
+    // cloned exactly once, at assembly.
+    enum Slot<'a> {
+        Borrowed(&'a Type),
+        Fused(Type),
+    }
+    let mut slots: [Option<Slot>; 6] = Default::default();
     for addend in t1.addends().iter().chain(t2.addends()) {
         let k = addend.kind().expect("union addends are kinded") as usize;
         slots[k] = Some(match slots[k].take() {
-            None => addend.clone(),
-            Some(prev) => lfuse(cfg, &prev, addend),
+            None => Slot::Borrowed(addend),
+            Some(Slot::Borrowed(prev)) => Slot::Fused(lfuse(cfg, prev, addend)),
+            // A third same-kind addend cannot occur on normal inputs
+            // (one per kind per side); fuse defensively all the same.
+            Some(Slot::Fused(prev)) => Slot::Fused(lfuse(cfg, &prev, addend)),
         });
     }
-    Type::union(slots.into_iter().flatten()).expect("one addend per kind by construction")
+    Type::union(slots.into_iter().flatten().map(|slot| match slot {
+        Slot::Borrowed(t) => t.clone(),
+        Slot::Fused(t) => t,
+    }))
+    .expect("one addend per kind by construction")
 }
 
 /// Fold [`fuse`] over a collection of types: the whole Reduce phase on one

@@ -25,12 +25,17 @@
 //! * [`profile`] — the full data-plane profiler: per-path presence,
 //!   kind histograms, length/numeric statistics and provenance lines
 //!   (which input line introduced each union branch, which one demoted a
-//!   field to optional), mergeable with the same monoid laws as fusion.
+//!   field to optional), mergeable with the same monoid laws as fusion;
+//! * [`dedup`] — the shape-dedup Reduce: hash-consed interning plus
+//!   weighted, memoized fusion, which the idempotence/commutativity/
+//!   associativity theorems (5.3–5.5) license to fuse each *distinct*
+//!   shape once instead of every value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counting;
+pub mod dedup;
 mod fuse;
 pub mod fuse_inplace;
 pub mod fuser;
@@ -42,7 +47,8 @@ pub mod profile;
 mod project;
 pub mod streaming;
 
-pub use counting::{CountedField, CountedSchema, Counting, CountingFuser};
+pub use counting::{type_paths, CountedField, CountedSchema, Counting, CountingFuser};
+pub use dedup::{fuse_ids, DedupAcc, DedupCounting, DedupCountingAcc, DedupFuser, FuseCache};
 pub use fuse::{collapse, fuse, fuse_all, fuse_with, kinds_present, ArrayFusion, FuseConfig};
 pub use fuse_inplace::fuse_into;
 pub use fuser::{Fuser, RecordedFuser};

@@ -26,7 +26,10 @@
 //! * [`subtype::is_subtype`] — a sound syntactic subtype check backing
 //!   Definition 4.1 / Theorem 5.2,
 //! * a [printer](mod@print) and [parser](notation) for the paper's schema
-//!   notation, and
+//!   notation,
+//! * a [hash-consing interner](intern) that deduplicates structurally
+//!   equal types into integer [`TypeId`]s — the substrate
+//!   of the shape-dedup reduce, and
 //! * a [JSON Schema exporter](export) for ecosystem interop.
 
 #![forbid(unsafe_code)]
@@ -35,6 +38,7 @@
 pub mod admits;
 pub mod diff;
 pub mod export;
+pub mod intern;
 pub mod kind;
 pub mod notation;
 pub mod paths;
@@ -45,6 +49,7 @@ pub mod summary;
 pub mod testkit;
 mod ty;
 
+pub use intern::{NameId, TypeId, TypeInterner};
 pub use kind::TypeKind;
 pub use notation::parse_type;
 pub use subtype::is_subtype;

@@ -33,7 +33,8 @@ use std::time::{Duration, Instant};
 use crate::error::Error;
 use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics};
 use typefuse_infer::{
-    infer_type_recorded, streaming, FuseConfig, ProfileAcc, ProfileReport, Profiling, RecordedFuser,
+    infer_type_recorded, streaming, DedupFuser, FuseConfig, ProfileAcc, ProfileReport, Profiling,
+    RecordedFuser,
 };
 use typefuse_json::{NdjsonReader, Value};
 use typefuse_obs::{Recorder, RunReport};
@@ -92,6 +93,41 @@ pub enum MapPath {
     Values,
 }
 
+/// Whether the Reduce phase rides the shape-dedup route
+/// ([`DedupFuser`]): hash-consed type interning plus memoized fusion, so
+/// each distinct `schema ⊔ shape` step is computed once and duplicates
+/// replay it O(1). Output is byte-identical to the plain route either
+/// way; the modes only trade constant factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// Sample the first records and dedup when the data looks redundant —
+    /// see [`dedup_auto_sample`]. The default.
+    #[default]
+    Auto,
+    /// Always dedup.
+    On,
+    /// Never dedup (the classic [`RecordedFuser`] reduce).
+    Off,
+}
+
+/// The `--dedup auto` heuristic: inspect up to the first 512 inferred
+/// types and pick the dedup route when at least 64 were seen and at most
+/// half of them are distinct. Tiny inputs and structurally unique
+/// streams (every record its own shape, e.g. Wikidata's ids-as-keys
+/// records) stay on the plain route, where interning would only add
+/// overhead.
+pub fn dedup_auto_sample<'a>(types: impl IntoIterator<Item = &'a Type>) -> bool {
+    const SAMPLE: usize = 512;
+    const MIN_SAMPLE: usize = 64;
+    let mut distinct: HashSet<&Type> = HashSet::new();
+    let mut seen = 0usize;
+    for ty in types.into_iter().take(SAMPLE) {
+        seen += 1;
+        distinct.insert(ty);
+    }
+    seen >= MIN_SAMPLE && distinct.len() * 2 <= seen
+}
+
 /// Configuration of a schema-inference run.
 #[derive(Debug, Clone)]
 pub struct SchemaJob {
@@ -105,6 +141,10 @@ pub struct SchemaJob {
     pub fuse_config: FuseConfig,
     /// Map-phase route for text sources (default: [`MapPath::Events`]).
     pub map_path: MapPath,
+    /// Whether the Reduce phase dedups shapes (default:
+    /// [`DedupMode::Auto`]). Profiled runs ([`SchemaJob::run_profiled`])
+    /// ignore this — they need every raw value for per-path statistics.
+    pub dedup: DedupMode,
     /// Whether to collect per-record type statistics (distinct types,
     /// min/max/avg sizes — the Tables 2–5 columns). Costs one hash-set
     /// insert per record.
@@ -132,6 +172,7 @@ impl SchemaJob {
             reduce_plan: ReducePlan::default(),
             fuse_config: FuseConfig::default(),
             map_path: MapPath::default(),
+            dedup: DedupMode::default(),
             collect_type_stats: true,
             recorder: Recorder::disabled(),
         }
@@ -164,6 +205,12 @@ impl SchemaJob {
     /// Set the Map-phase route for text sources.
     pub fn map_path(mut self, path: MapPath) -> Self {
         self.map_path = path;
+        self
+    }
+
+    /// Set the Reduce-phase dedup mode.
+    pub fn dedup(mut self, mode: DedupMode) -> Self {
+        self.dedup = mode;
         self
     }
 
@@ -443,8 +490,9 @@ impl SchemaJob {
     }
 
     /// The shared tail of every route: type statistics, trait-driven
-    /// Reduce (Figure 6 via [`RecordedFuser`] on the engine's
-    /// `reduce_fused`), and result assembly.
+    /// Reduce (Figure 6 on the engine's `reduce_fused`, via
+    /// [`RecordedFuser`] or — when [`DedupMode`] resolves on — the
+    /// shape-dedup [`DedupFuser`]), and result assembly.
     fn finish(
         &self,
         types: Dataset<Type>,
@@ -467,11 +515,24 @@ impl SchemaJob {
         };
 
         // ---- Reduce phase: fuse (Figure 6). ----------------------------
-        let fuser = RecordedFuser::new(self.fuse_config, rec.clone());
+        // Both routes are Fuser strategies on the same engine reduce and
+        // produce byte-identical schemas; dedup only changes constants.
+        let use_dedup = match self.dedup {
+            DedupMode::On => true,
+            DedupMode::Off => false,
+            DedupMode::Auto => dedup_auto_sample(types.iter()),
+        };
         let reduce_start = Instant::now();
         let (fused, reduce_metrics) = {
             let _span = rec.span("pipeline.reduce");
-            types.reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
+            if use_dedup {
+                rec.add("infer.dedup", 1);
+                let fuser = DedupFuser::new(self.fuse_config, rec.clone());
+                types.reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
+            } else {
+                let fuser = RecordedFuser::new(self.fuse_config, rec.clone());
+                types.reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
+            }
         };
         let reduce_time = reduce_start.elapsed();
 
@@ -978,6 +1039,82 @@ mod tests {
             report.values["profiled_paths"], 5.0,
             "$, $.a, $.b, $.c, $.c[]"
         );
+    }
+
+    #[test]
+    fn dedup_modes_agree_byte_for_byte() {
+        // Enough repetition that Auto resolves on, with an array-bearing
+        // record so positional-array collapse is exercised.
+        let vals: Vec<Value> = values().into_iter().cycle().take(200).collect();
+        let data = as_ndjson(&vals);
+        let baseline = SchemaJob::new()
+            .dedup(DedupMode::Off)
+            .run_ndjson(data.as_bytes())
+            .unwrap();
+        for mode in [DedupMode::On, DedupMode::Auto] {
+            for path in [MapPath::Events, MapPath::Values] {
+                for workers in [1, 4] {
+                    let r = SchemaJob::new()
+                        .dedup(mode)
+                        .map_path(path)
+                        .workers(workers)
+                        .run_ndjson(data.as_bytes())
+                        .unwrap();
+                    assert_eq!(
+                        r.schema.to_string(),
+                        baseline.schema.to_string(),
+                        "{mode:?} {path:?} {workers}w"
+                    );
+                    assert_eq!(r.records, baseline.records);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_dedup_on_redundant_streams_only() {
+        // 200 records, 2 distinct shapes → dedup.
+        let redundant: Vec<Type> = values()
+            .iter()
+            .cycle()
+            .take(200)
+            .map(typefuse_infer::infer_type)
+            .collect();
+        assert!(dedup_auto_sample(
+            redundant.iter().take(2).chain(&redundant)
+        ));
+        // Tiny inputs stay plain regardless of redundancy.
+        assert!(!dedup_auto_sample(redundant.iter().take(10)));
+        // Every shape unique → plain.
+        let unique: Vec<Type> = (0..100)
+            .map(|i| {
+                let v = typefuse_json::parse_value(&format!("{{\"k{i}\": {i}}}")).unwrap();
+                typefuse_infer::infer_type(&v)
+            })
+            .collect();
+        assert!(!dedup_auto_sample(unique.iter()));
+    }
+
+    #[test]
+    fn dedup_run_reports_cache_and_shape_counters() {
+        let vals: Vec<Value> = values().into_iter().cycle().take(200).collect();
+        let rec = Recorder::enabled();
+        let r = SchemaJob::new()
+            .partitions(2)
+            .dedup(DedupMode::On)
+            .recorder(rec.clone())
+            .run_values(vals);
+        let report = r.run_report(&rec);
+        assert_eq!(report.counters["records"], 200);
+        assert_eq!(report.counters["infer.dedup"], 1);
+        assert_eq!(report.counters["infer.distinct_shapes"], 2);
+        assert!(report.counters["fuse.cache_hits"] > 150, "duplicates hit");
+        assert!(report.counters["fuse.calls"] > 0);
+        assert_eq!(
+            report.counters["fuse.calls"],
+            report.counters["fuse.cache_misses"]
+        );
+        assert!(report.spans.contains_key("pipeline.reduce"));
     }
 
     #[test]

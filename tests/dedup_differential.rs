@@ -1,0 +1,101 @@
+//! Route-differential test for the shape-dedup reduce: over every
+//! synthetic profile, the dedup route must be byte-identical to the
+//! plain reduce on both Map paths, and the dedup counting strategy must
+//! reproduce the plain one's totals and per-path rows exactly.
+
+use typefuse::pipeline::{DedupMode, MapPath, SchemaJob, Source};
+use typefuse_datagen::{DatasetProfile, Profile};
+use typefuse_engine::Dataset;
+use typefuse_infer::{Counting, CountingFuser, DedupCounting, FuseConfig, Fuser};
+use typefuse_json::Value;
+use typefuse_obs::Recorder;
+
+const RECORDS: usize = 1000;
+const SEED: u64 = 20170321;
+
+fn dataset(profile: Profile) -> (Vec<Value>, String) {
+    let values: Vec<Value> = profile.generate(SEED, RECORDS).collect();
+    let mut buf = Vec::new();
+    typefuse_json::ndjson::write_ndjson(&mut buf, &values).unwrap();
+    (values, String::from_utf8(buf).unwrap())
+}
+
+#[test]
+fn dedup_event_and_value_routes_are_byte_identical() {
+    for profile in Profile::ALL {
+        let (_, text) = dataset(profile);
+        let baseline = SchemaJob::new()
+            .dedup(DedupMode::Off)
+            .map_path(MapPath::Values)
+            .run(Source::ndjson(text.as_bytes()))
+            .unwrap();
+        for mode in [DedupMode::On, DedupMode::Auto] {
+            for path in [MapPath::Events, MapPath::Values] {
+                let run = SchemaJob::new()
+                    .dedup(mode)
+                    .map_path(path)
+                    .partitions(3)
+                    .run(Source::ndjson(text.as_bytes()))
+                    .unwrap();
+                assert_eq!(
+                    run.schema.to_string(),
+                    baseline.schema.to_string(),
+                    "{profile} {mode:?} {path:?}: schema text diverged"
+                );
+                assert_eq!(run.schema, baseline.schema, "{profile} {mode:?} {path:?}");
+                assert_eq!(run.records, baseline.records, "{profile}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dedup_counting_totals_match_plain_counting() {
+    let recorder = Recorder::disabled();
+    let runtime = typefuse_engine::Runtime::default();
+    let plan = typefuse_engine::ReducePlan::default();
+    for profile in Profile::ALL {
+        let (values, _) = dataset(profile);
+        let data = Dataset::from_vec(values, 4);
+
+        let (acc, _) = data.fuse_values(&runtime, plan, &Counting, &recorder);
+        let plain = acc.unwrap_or_else(CountingFuser::new).finish();
+
+        let fuser = DedupCounting::new(FuseConfig::default());
+        let (acc, _) = data.fuse_values(&runtime, plan, &fuser, &recorder);
+        let dedup = acc.unwrap_or_else(|| fuser.empty()).finish();
+
+        assert_eq!(dedup.total, plain.total, "{profile}");
+        assert_eq!(dedup.schema, plain.schema, "{profile}");
+        assert_eq!(
+            dedup.path_counts, plain.path_counts,
+            "{profile}: per-path presence counts diverged"
+        );
+    }
+}
+
+#[test]
+fn dedup_route_surfaces_its_counters() {
+    // GitHub is the high-redundancy profile: far fewer shapes than
+    // records, so Auto must pick the dedup route and the cache must hit.
+    let (_, text) = dataset(Profile::GitHub);
+    let rec = Recorder::enabled();
+    let run = SchemaJob::new()
+        .dedup(DedupMode::Auto)
+        .recorder(rec.clone())
+        .run(Source::ndjson(text.as_bytes()))
+        .unwrap();
+    let report = run.run_report(&rec);
+    assert_eq!(report.counters["records"], RECORDS as u64);
+    assert_eq!(report.counters["infer.dedup"], 1, "auto must pick dedup");
+    let distinct = report.counters["infer.distinct_shapes"];
+    assert!(
+        distinct > 0 && distinct < RECORDS as u64 / 2,
+        "github shapes should repeat (distinct = {distinct})"
+    );
+    assert!(report.counters["fuse.cache_hits"] > 0);
+    assert_eq!(
+        report.counters["fuse.calls"],
+        report.counters["fuse.cache_misses"]
+    );
+}
