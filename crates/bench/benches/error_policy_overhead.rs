@@ -1,0 +1,69 @@
+//! Overhead of the error-policy machinery on *clean* input: the same
+//! NDJSON corpus run under `FailFast` (the default, byte-identical to
+//! the pre-policy pipeline) vs `Skip`. On clean data the Skip route
+//! does exactly the same work plus one empty-report check at the end,
+//! so the acceptance bar is "within noise of FailFast". A third case
+//! measures a 10%-dirty corpus under Skip to show that bad records
+//! cost parse-failure handling, not a different pipeline.
+//!
+//! ```text
+//! cargo bench -p typefuse-bench --bench error_policy_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use typefuse::pipeline::{SchemaJob, Source};
+use typefuse::ErrorPolicy;
+use typefuse_datagen::{DatasetProfile, Profile};
+
+const N: usize = 5_000;
+
+fn ndjson_corpus(dirty_every: Option<usize>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, value) in Profile::Twitter.generate(20170321, N).enumerate() {
+        if dirty_every.is_some_and(|k| i % k == k - 1) {
+            out.extend_from_slice(b"{definitely not json\n");
+        } else {
+            out.extend_from_slice(typefuse_json::to_string(&value).as_bytes());
+            out.push(b'\n');
+        }
+    }
+    out
+}
+
+fn bench_error_policy_overhead(c: &mut Criterion) {
+    let clean = ndjson_corpus(None);
+    let dirty = ndjson_corpus(Some(10));
+    let mut group = c.benchmark_group("error_policy_overhead");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("fail_fast_clean", |b| {
+        let job = SchemaJob::new().without_type_stats();
+        b.iter(|| job.run(Source::ndjson(clean.as_slice())).unwrap().records)
+    });
+    group.bench_function("skip_clean", |b| {
+        let job = SchemaJob::new()
+            .without_type_stats()
+            .on_error(ErrorPolicy::skip());
+        b.iter(|| job.run(Source::ndjson(clean.as_slice())).unwrap().records)
+    });
+    group.bench_function("skip_10pct_dirty", |b| {
+        let job = SchemaJob::new()
+            .without_type_stats()
+            .on_error(ErrorPolicy::skip());
+        b.iter(|| job.run(Source::ndjson(dirty.as_slice())).unwrap().records)
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_error_policy_overhead
+}
+criterion_main!(benches);

@@ -15,6 +15,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         .option("--schema")?
         .ok_or_else(|| CliError::usage("check requires --schema FILE"))?;
     let max_errors: usize = args.parsed_option("--max-errors")?.unwrap_or(10);
+    let max_depth: Option<usize> = args.parsed_option("--max-depth")?;
     let metrics_json = args.option("--metrics-json")?;
     args.finish()?;
 
@@ -29,9 +30,20 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let schema = parse_type(schema_text.trim())
         .map_err(|e| CliError::runtime(format!("invalid schema: {e}")))?;
 
+    let mut parser = typefuse_json::ParserOptions::default();
+    if let Some(depth) = max_depth {
+        parser.max_depth = depth;
+    }
     let values = {
         let _span = recorder.span("check.read");
-        crate::cmd_infer::read_values(input.as_deref(), &recorder)?
+        let (values, _) = crate::cmd_infer::read_values_with(
+            input.as_deref(),
+            &parser,
+            &typefuse::ErrorPolicy::FailFast,
+            None,
+            &recorder,
+        )?;
+        values
     };
     let mut failures = 0usize;
     {

@@ -5,9 +5,12 @@ use crate::{CliError, CliResult};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
 use typefuse::pipeline::{dedup_auto_sample, DedupMode, MapPath, SchemaJob, Source};
+use typefuse::splits::IngestOptions;
+use typefuse::{BadRecord, ErrorPolicy, ErrorReport, IoSite, RetryPolicy};
 use typefuse_engine::{Dataset, ReducePlan};
 use typefuse_infer::{ArrayFusion, Counting, CountingFuser, DedupCounting, FuseConfig, Fuser};
-use typefuse_json::{NdjsonReader, Value};
+use typefuse_json::ndjson::{read_line_bounded, trim_ascii_bytes};
+use typefuse_json::{ErrorKind, NdjsonReader, ParserOptions, Position, Value};
 use typefuse_obs::Recorder;
 use typefuse_types::export::to_json_schema_document;
 
@@ -48,7 +51,21 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let metrics_json = args.option("--metrics-json")?;
     let trace_json = args.option("--trace-json")?;
     let progress = args.flag("--progress");
+    let on_error = args.option("--on-error")?;
+    let quarantine = args.option("--quarantine")?;
+    let max_errors: Option<u64> = args.parsed_option("--max-errors")?;
+    let max_depth: Option<usize> = args.parsed_option("--max-depth")?;
+    let max_line_bytes: Option<usize> = args.parsed_option("--max-line-bytes")?;
     args.finish()?;
+
+    let policy = resolve_policy(on_error.as_deref(), quarantine.as_deref(), max_errors)?;
+    let parser_options = {
+        let mut o = ParserOptions::default();
+        if let Some(depth) = max_depth {
+            o.max_depth = depth;
+        }
+        o
+    };
 
     let observing = metrics_json.is_some() || trace_json.is_some() || progress;
     let recorder = if observing {
@@ -69,6 +86,16 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
              --streaming/--counting/--stats (the profile report supersedes them)",
         ));
     }
+    if profile_json.is_some() && !policy.is_fail_fast() {
+        return Err(CliError::usage(
+            "the profiled pass is fail-fast; drop --on-error/--quarantine or --profile-json",
+        ));
+    }
+    if profile_json.is_some() && (max_depth.is_some() || max_line_bytes.is_some()) {
+        return Err(CliError::usage(
+            "--max-depth/--max-line-bytes are not supported with --profile-json",
+        ));
+    }
     if dedup == DedupMode::On && profile_json.is_some() {
         return Err(CliError::usage(
             "--dedup on has no effect on the profiled pass; drop --profile-json or --dedup",
@@ -86,19 +113,35 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
                 "--streaming is incompatible with --stats/--counting",
             ));
         }
-        let outcome = run_streaming(input.as_deref(), positional_arrays, &recorder);
+        let outcome = run_streaming(
+            input.as_deref(),
+            positional_arrays,
+            &policy,
+            &parser_options,
+            max_line_bytes,
+            &recorder,
+        );
         if let Some(hb) = heartbeat {
             hb.finish();
         }
-        let schema = outcome?;
+        let (schema, errors) = outcome?;
         print_schema(&schema, &format)?;
+        report_skipped(&errors, &policy);
         // Streaming has no pipeline stages; the report is the
         // recorder's own counters, histograms, spans and trace.
         write_observability(&recorder.snapshot(), &recorder, &metrics_json, &trace_json)?;
         return Ok(());
     }
 
-    let mut job = SchemaJob::new().recorder(recorder.clone()).dedup(dedup);
+    let mut job = SchemaJob::new()
+        .recorder(recorder.clone())
+        .dedup(dedup)
+        .on_error(policy.clone())
+        .retry(RetryPolicy::default())
+        .parser_options(parser_options.clone());
+    if let Some(cap) = max_line_bytes {
+        job = job.max_line_bytes(cap);
+    }
     if let Some(w) = workers {
         job = job.workers(w);
     }
@@ -131,7 +174,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         if let Some(hb) = heartbeat {
             hb.finish();
         }
-        let profiled = outcome?;
+        let profiled = outcome.map_err(crate::ingest_error)?;
         if maplike {
             println!(
                 "{}",
@@ -161,10 +204,19 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     // metrics report) requires it. Without `--counting` the input
     // streams straight through the job's Map route (`--map-path`,
     // events by default).
+    let ingest_report;
     let (result, counted) = if counting {
         let values = {
             let _span = recorder.span("pipeline.read");
-            read_values(input.as_deref(), &recorder)?
+            let (values, report) = read_values_with(
+                input.as_deref(),
+                &parser_options,
+                &policy,
+                max_line_bytes,
+                &recorder,
+            )?;
+            ingest_report = report;
+            values
         };
         let dataset = Dataset::from_vec(values, job.partitions);
         // The counting reduce mirrors the pipeline's dedup routing: On
@@ -202,7 +254,11 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         )
     } else {
         let reader = open_input(input.as_deref())?;
-        (Some(job.run(Source::ndjson(reader))?), None)
+        let result = job
+            .run(Source::ndjson(reader))
+            .map_err(crate::ingest_error)?;
+        ingest_report = result.errors.clone();
+        (Some(result), None)
     };
     let schema = match (&counted, &result) {
         // The counting fuser's schema and the pipeline's are identical;
@@ -224,6 +280,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     } else {
         print_schema(schema, &format)?;
     }
+    report_skipped(&ingest_report, &policy);
 
     if stats {
         let result = result.as_ref().expect("--stats forces the pipeline");
@@ -271,6 +328,66 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         )?;
     }
     Ok(())
+}
+
+/// Resolve `--on-error`/`--quarantine`/`--max-errors` into an
+/// [`ErrorPolicy`], rejecting contradictory combinations.
+fn resolve_policy(
+    on_error: Option<&str>,
+    quarantine: Option<&str>,
+    max_errors: Option<u64>,
+) -> Result<ErrorPolicy, CliError> {
+    let policy = match (on_error, quarantine) {
+        (None | Some("quarantine"), Some(sink)) => ErrorPolicy::Quarantine {
+            sink: sink.into(),
+            max_errors,
+        },
+        (Some("quarantine"), None) => {
+            return Err(CliError::usage(
+                "--on-error quarantine requires --quarantine FILE",
+            ))
+        }
+        (Some("skip"), None) => ErrorPolicy::Skip { max_errors },
+        (Some("skip"), Some(_)) => {
+            return Err(CliError::usage(
+                "--quarantine implies --on-error quarantine; drop --on-error skip",
+            ))
+        }
+        (None | Some("fail"), None) => {
+            if max_errors.is_some() {
+                return Err(CliError::usage(
+                    "--max-errors needs --on-error skip or quarantine",
+                ));
+            }
+            ErrorPolicy::FailFast
+        }
+        (Some("fail"), Some(_)) => {
+            return Err(CliError::usage(
+                "--quarantine implies --on-error quarantine; drop --on-error fail",
+            ))
+        }
+        (Some(other), _) => {
+            return Err(CliError::usage(format!(
+                "unknown error policy `{other}` (expected fail, skip or quarantine)"
+            )))
+        }
+    };
+    Ok(policy)
+}
+
+/// Tell the operator on stderr what the error policy dropped.
+fn report_skipped(report: &ErrorReport, policy: &ErrorPolicy) {
+    if report.is_empty() {
+        return;
+    }
+    match policy {
+        ErrorPolicy::Quarantine { sink, .. } => eprintln!(
+            "skipped {} bad record(s); quarantined to {}",
+            report.skipped(),
+            sink.display()
+        ),
+        _ => eprintln!("skipped {} bad record(s)", report.skipped()),
+    }
 }
 
 /// Write the structured report and/or Chrome trace, if requested.
@@ -361,21 +478,39 @@ fn print_schema(schema: &typefuse_types::Type, format: &str) -> CliResult {
 fn run_streaming(
     input: Option<&str>,
     positional_arrays: bool,
+    policy: &ErrorPolicy,
+    parser: &ParserOptions,
+    max_line_bytes: Option<usize>,
     recorder: &Recorder,
-) -> Result<typefuse_types::Type, CliError> {
+) -> Result<(typefuse_types::Type, ErrorReport), CliError> {
     if let Some(path) = input.filter(|p| *p != "-") {
         if positional_arrays {
             return Err(CliError::usage(
                 "--positional-arrays is not supported with file-parallel --streaming",
             ));
         }
-        let fs = typefuse::splits::infer_file_schema_recorded(
+        if max_line_bytes.is_some() {
+            return Err(CliError::usage(
+                "--max-line-bytes is not supported with file-parallel --streaming \
+                 (the line-size guard would desynchronise split ownership)",
+            ));
+        }
+        let options = IngestOptions {
+            policy: policy.clone(),
+            retry: RetryPolicy::default(),
+            parser: parser.clone(),
+        };
+        let fs = typefuse::splits::infer_file_schema_with(
             std::path::Path::new(path),
             &typefuse_engine::Runtime::default(),
+            &options,
             recorder,
         )
-        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
-        return Ok(fs.schema);
+        .map_err(|e| {
+            let mapped = crate::ingest_error(e);
+            CliError::with_code(format!("{path}: {}", mapped.message), mapped.code)
+        })?;
+        return Ok((fs.schema, fs.errors));
     }
     let reader: Box<dyn Read> = Box::new(io::stdin());
     let mut cfg = FuseConfig::default();
@@ -384,29 +519,79 @@ fn run_streaming(
     }
     let mut acc = typefuse_infer::Incremental::with_config(cfg);
     let mut reader = BufReader::new(reader);
-    let mut line = String::new();
+    let mut line: Vec<u8> = Vec::new();
     let mut line_no = 0u64;
+    let mut report = ErrorReport::new();
+    let keeps_text = policy.keeps_text();
+    let note_bad = |report: &mut ErrorReport,
+                    line_no: u64,
+                    error: typefuse_json::Error,
+                    text: &[u8]|
+     -> Result<(), CliError> {
+        recorder.add("json.parse_errors", 1);
+        if policy.is_fail_fast() {
+            return Err(crate::ingest_error(typefuse::Error::Parse(error)));
+        }
+        report.note(BadRecord {
+            at: line_no,
+            error,
+            text: keeps_text.then(|| String::from_utf8_lossy(text).into_owned()),
+        });
+        Ok(())
+    };
     loop {
         line.clear();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| CliError::runtime(format!("read failed: {e}")))?;
-        if n == 0 {
+        let raw = read_line_bounded(
+            &mut reader,
+            &mut line,
+            max_line_bytes,
+            RetryPolicy::default(),
+            recorder,
+        )
+        .map_err(|e| {
+            crate::ingest_error(typefuse::Error::io_at(e, IoSite::line(line_no as u32 + 1)))
+        })?;
+        if raw.consumed == 0 {
             break;
         }
-        recorder.add("json.bytes", n as u64);
+        recorder.add("json.bytes", raw.consumed as u64);
         line_no += 1;
-        let trimmed = line.trim();
+        if raw.truncated {
+            let cap = max_line_bytes.unwrap_or(usize::MAX);
+            let error = typefuse_json::Error::at(
+                ErrorKind::RecordTooLarge(cap),
+                Position {
+                    offset: 0,
+                    line: line_no as u32,
+                    column: 1,
+                },
+            );
+            note_bad(&mut report, line_no, error, &line)?;
+            continue;
+        }
+        let trimmed = trim_ascii_bytes(&line);
         if trimmed.is_empty() {
             continue;
         }
-        let ty = typefuse_infer::streaming::infer_type_from_str(trimmed)
-            .map_err(|e| CliError::runtime(format!("parse error on line {line_no}: {e}")))?;
-        recorder.add("json.records", 1);
-        acc.absorb_type(ty);
+        match typefuse_infer::streaming::infer_with_options(trimmed, parser.clone()) {
+            Ok(ty) => {
+                recorder.add("json.records", 1);
+                acc.absorb_type(ty);
+            }
+            Err(e) => {
+                // Re-anchor at the stream line for actionable messages.
+                let mut pos = e.span().start;
+                pos.line = line_no as u32;
+                let anchored = typefuse_json::Error::at(e.kind().clone(), pos);
+                note_bad(&mut report, line_no, anchored, trimmed)?;
+            }
+        }
     }
+    policy
+        .enforce(&report, recorder)
+        .map_err(crate::ingest_error)?;
     recorder.add("records", acc.count());
-    Ok(acc.into_schema())
+    Ok((acc.into_schema(), report))
 }
 
 /// Open NDJSON input (file path, `-`, or absent = stdin) as a buffered
@@ -437,4 +622,65 @@ pub(crate) fn read_values(
         .with_recorder(recorder.clone())
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| CliError::runtime(format!("parse error: {e}")))
+}
+
+/// [`read_values`] with parser options and an error policy: bad records
+/// are dropped/quarantined per `policy` (with the documented exit codes
+/// on failure) and reported alongside the clean values.
+pub(crate) fn read_values_with(
+    input: Option<&str>,
+    parser: &ParserOptions,
+    policy: &ErrorPolicy,
+    max_line_bytes: Option<usize>,
+    recorder: &Recorder,
+) -> Result<(Vec<Value>, ErrorReport), CliError> {
+    let reader: Box<dyn Read> = match input {
+        None | Some("-") => Box::new(io::stdin()),
+        Some(path) => Box::new(File::open(path).map_err(|e| {
+            let mapped = crate::ingest_error(typefuse::Error::io_at(e, IoSite::default()));
+            CliError::with_code(
+                format!("cannot open {path}: {}", mapped.message),
+                mapped.code,
+            )
+        })?),
+    };
+    let mut ndjson = NdjsonReader::with_options(BufReader::new(reader), parser.clone())
+        .with_recorder(recorder.clone())
+        .with_retry(RetryPolicy::default());
+    if let Some(cap) = max_line_bytes {
+        ndjson = ndjson.with_max_line_bytes(cap);
+    }
+    let keeps_text = policy.keeps_text();
+    let mut values = Vec::new();
+    let mut report = ErrorReport::new();
+    // Not a `for` loop: the body needs `ndjson.last_line()` while the
+    // iterator is not borrowed.
+    #[allow(clippy::while_let_on_iterator)]
+    while let Some(item) = ndjson.next() {
+        match item {
+            Ok(v) => values.push(v),
+            Err(e) if matches!(e.kind(), ErrorKind::Io(_)) => {
+                return Err(crate::ingest_error(typefuse::Error::io_at(
+                    std::io::Error::other(e.to_string()),
+                    IoSite::line(e.span().start.line),
+                )));
+            }
+            Err(e) => {
+                if policy.is_fail_fast() {
+                    return Err(crate::ingest_error(typefuse::Error::Parse(e)));
+                }
+                let text =
+                    keeps_text.then(|| String::from_utf8_lossy(ndjson.last_line()).into_owned());
+                report.note(BadRecord {
+                    at: e.span().start.line as u64,
+                    error: e,
+                    text,
+                });
+            }
+        }
+    }
+    policy
+        .enforce(&report, recorder)
+        .map_err(crate::ingest_error)?;
+    Ok((values, report))
 }

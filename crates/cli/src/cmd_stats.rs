@@ -8,6 +8,7 @@ use typefuse_obs::Recorder;
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let input = args.next_positional();
     let dedup = args.flag("--dedup");
+    let max_depth: Option<usize> = args.parsed_option("--max-depth")?;
     let metrics_json = args.option("--metrics-json")?;
     args.finish()?;
 
@@ -16,9 +17,20 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     } else {
         Recorder::disabled()
     };
+    let mut parser = typefuse_json::ParserOptions::default();
+    if let Some(depth) = max_depth {
+        parser.max_depth = depth;
+    }
     let values = {
         let _span = recorder.span("stats.read");
-        crate::cmd_infer::read_values(input.as_deref(), &recorder)?
+        let (values, _) = crate::cmd_infer::read_values_with(
+            input.as_deref(),
+            &parser,
+            &typefuse::ErrorPolicy::FailFast,
+            None,
+            &recorder,
+        )?;
+        values
     };
     let stats = {
         let _span = recorder.span("stats.measure");

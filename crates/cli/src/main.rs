@@ -45,12 +45,33 @@ impl CliError {
             code: 1,
         }
     }
+
+    pub(crate) fn with_code(message: impl Into<String>, code: u8) -> Self {
+        CliError {
+            message: message.into(),
+            code,
+        }
+    }
 }
 
 impl<E: std::error::Error> From<E> for CliError {
     fn from(e: E) -> Self {
         CliError::runtime(e.to_string())
     }
+}
+
+/// Map an ingestion failure to its documented exit code: 3 for a parse
+/// error, 4 for an I/O error, 5 for an exhausted `--max-errors` budget
+/// (worker panics keep the generic 1). The blanket `From` above routes
+/// everything to code 1, so ingestion call sites map explicitly.
+pub(crate) fn ingest_error(e: typefuse::Error) -> CliError {
+    let code = match &e {
+        typefuse::Error::Parse(_) => 3,
+        typefuse::Error::Io { .. } => 4,
+        typefuse::Error::Budget { .. } => 5,
+        typefuse::Error::Worker(_) => 1,
+    };
+    CliError::with_code(e.to_string(), code)
 }
 
 pub(crate) type CliResult = Result<(), CliError>;
@@ -89,6 +110,17 @@ COMMANDS:
         --trace-json F       write a Chrome trace to F (load in Perfetto
                              or chrome://tracing)
         --progress           heartbeat on stderr: records/s and bytes/s
+        --on-error P         fail | skip | quarantine: abort on the first
+                             malformed record (default), drop bad records,
+                             or drop them and write each to the sidecar
+                             given by --quarantine (default: fail)
+        --quarantine F       sidecar NDJSON file for bad records (implies
+                             --on-error quarantine)
+        --max-errors N       with skip/quarantine: fail (exit 5) once more
+                             than N records are bad
+        --max-depth N        parser recursion limit (default: 512)
+        --max-line-bytes N   treat lines longer than N bytes as bad
+                             records (subject to --on-error)
 
     explain PATH         why the fused schema looks that way at PATH
                          (e.g. `.user.url` or `$.kw[].rank`): fused type,
@@ -107,11 +139,13 @@ COMMANDS:
 
     stats [FILE|-]       dataset statistics (records, bytes, depth)
         --dedup            also count distinct type shapes (redundancy)
+        --max-depth N      parser recursion limit (default: 512)
         --metrics-json F   write read/measure metrics as JSON to F
 
     check [FILE|-]       validate records against a schema
         --schema FILE      schema in typefuse notation (required)
         --max-errors N     stop after N failures (default: 10)
+        --max-depth N      parser recursion limit (default: 512)
         --metrics-json F   write conformance metrics as JSON to F
 
     diff OLD NEW         structural drift between two NDJSON datasets
@@ -135,6 +169,10 @@ COMMANDS:
         --relaxed          allow non-local tasks (network reads)
 
     help                 print this message
+
+EXIT CODES:
+    0  success        2  usage error      4  input I/O error
+    1  other failure  3  parse error      5  --max-errors budget exceeded
 ";
 
 fn main() -> ExitCode {

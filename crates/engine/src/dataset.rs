@@ -100,6 +100,27 @@ impl<T: Send + Sync> Dataset<T> {
         (Dataset::from_partitions(parts), metrics)
     }
 
+    /// [`Dataset::map_metered`] with panic isolation: a panic in `f`
+    /// surfaces as a [`crate::runtime::WorkerPanic`] instead of aborting
+    /// the process.
+    pub fn try_map_metered<U, F>(
+        &self,
+        rt: &Runtime,
+        f: F,
+    ) -> (
+        Result<Dataset<U>, crate::runtime::WorkerPanic>,
+        StageMetrics,
+    )
+    where
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let (parts, metrics) = rt.try_run_indexed(&self.partitions, |_, part: &Vec<T>| {
+            part.iter().map(&f).collect::<Vec<U>>()
+        });
+        (parts.map(Dataset::from_partitions), metrics)
+    }
+
     /// Parallel filter: keep items satisfying the predicate, preserving
     /// partitioning.
     pub fn filter<F>(&self, rt: &Runtime, f: F) -> Dataset<T>

@@ -22,7 +22,7 @@
 use crate::dataset::Dataset;
 use crate::metrics::StageMetrics;
 use crate::reduce::ReducePlan;
-use crate::runtime::Runtime;
+use crate::runtime::{Runtime, WorkerPanic};
 use typefuse_infer::Fuser;
 use typefuse_json::Value;
 use typefuse_obs::Recorder;
@@ -48,12 +48,12 @@ fn combine_partials<F: Fuser>(
     fuser: &F,
     partials: Vec<F::Acc>,
     rec: &Recorder,
-) -> Option<F::Acc> {
+) -> Result<Option<F::Acc>, WorkerPanic> {
     let partials: Vec<F::Acc> = partials
         .into_iter()
         .filter(|acc| !fuser.is_empty_acc(acc))
         .collect();
-    plan.combine_recorded(
+    plan.try_combine_recorded(
         rt,
         partials,
         |a, b| {
@@ -84,10 +84,33 @@ impl<T: Send + Sync> Dataset<T> {
         F: Fuser,
         A: Fn(&F, &mut F::Acc, &T) + Sync,
     {
-        let (partials, metrics) = rt.run_indexed(self.partitions(), |_, part: &Vec<T>| {
+        let (acc, metrics) = self.try_reduce_items(rt, plan, fuser, rec, absorb);
+        match acc {
+            Ok(acc) => (acc, metrics),
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`Dataset::reduce_items`] with panic isolation: a panic in the
+    /// absorb step or in the strategy's `merge` surfaces as a
+    /// [`WorkerPanic`] instead of aborting the process.
+    pub fn try_reduce_items<F, A>(
+        &self,
+        rt: &Runtime,
+        plan: ReducePlan,
+        fuser: &F,
+        rec: &Recorder,
+        absorb: A,
+    ) -> (Result<Option<F::Acc>, WorkerPanic>, StageMetrics)
+    where
+        F: Fuser,
+        A: Fn(&F, &mut F::Acc, &T) + Sync,
+    {
+        let (partials, metrics) = rt.try_run_indexed(self.partitions(), |_, part: &Vec<T>| {
             fold_partition(fuser, part, &absorb)
         });
-        (combine_partials(rt, plan, fuser, partials, rec), metrics)
+        let acc = partials.and_then(|partials| combine_partials(rt, plan, fuser, partials, rec));
+        (acc, metrics)
     }
 }
 
@@ -105,6 +128,22 @@ impl Dataset<Type> {
         let (acc, metrics) =
             self.reduce_items(rt, plan, fuser, rec, |f, acc, ty| f.absorb_type(acc, ty));
         (acc.map(|acc| fuser.finish_schema(acc)), metrics)
+    }
+
+    /// [`Dataset::reduce_fused`] with panic isolation.
+    pub fn try_reduce_fused<F: Fuser>(
+        &self,
+        rt: &Runtime,
+        plan: ReducePlan,
+        fuser: &F,
+        rec: &Recorder,
+    ) -> (Result<Option<Type>, WorkerPanic>, StageMetrics) {
+        let (acc, metrics) =
+            self.try_reduce_items(rt, plan, fuser, rec, |f, acc, ty| f.absorb_type(acc, ty));
+        (
+            acc.map(|acc| acc.map(|acc| fuser.finish_schema(acc))),
+            metrics,
+        )
     }
 }
 

@@ -38,4 +38,4 @@ pub mod sim;
 pub use dataset::Dataset;
 pub use metrics::{StageMetrics, TaskMetrics};
 pub use reduce::ReducePlan;
-pub use runtime::Runtime;
+pub use runtime::{Runtime, WorkerPanic};

@@ -13,7 +13,7 @@
 //! The `reduce_topology` ablation bench measures the difference on real
 //! fused types.
 
-use crate::runtime::Runtime;
+use crate::runtime::{Runtime, WorkerPanic};
 use typefuse_obs::{span, Recorder};
 
 /// How partial results are combined.
@@ -65,19 +65,49 @@ impl ReducePlan {
         A: Send + Sync + Clone,
         F: Fn(&A, &A) -> A + Sync,
     {
+        match self.try_combine_recorded(rt, partials, op, rec) {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// [`ReducePlan::combine_recorded`] with panic isolation: a panic in
+    /// the combine operator surfaces as a [`WorkerPanic`] instead of
+    /// aborting the process.
+    pub fn try_combine_recorded<A, F>(
+        self,
+        rt: &Runtime,
+        partials: Vec<A>,
+        op: F,
+        rec: &Recorder,
+    ) -> Result<Option<A>, WorkerPanic>
+    where
+        A: Send + Sync + Clone,
+        F: Fn(&A, &A) -> A + Sync,
+    {
         match self {
             ReducePlan::Sequential => {
                 rec.record("reduce.fan_in", partials.len() as u64);
                 let _level = span!(rec, "reduce.level", 0);
-                let mut iter = partials.into_iter();
-                let first = iter.next()?;
-                Some(iter.fold(first, |acc, x| op(&acc, &x)))
+                // A sequential fold runs on the driver thread, so the
+                // whole level is one catch_unwind scope.
+                let groups = [partials];
+                let (folded, _) = rt.try_run_indexed(&groups, |_, group: &Vec<A>| {
+                    let mut iter = group.iter();
+                    let first = iter.next()?;
+                    let mut acc = first.clone();
+                    for item in iter {
+                        acc = op(&acc, item);
+                    }
+                    Some(acc)
+                });
+                Ok(folded?.pop().flatten())
             }
             ReducePlan::Tree { arity } => {
                 let arity = arity.max(2);
                 let mut partials = partials;
                 if partials.is_empty() {
-                    return None;
+                    return Ok(None);
                 }
                 let mut level = 0u32;
                 while partials.len() > 1 {
@@ -91,17 +121,17 @@ impl ReducePlan {
                         }
                         gs
                     };
-                    let (combined, _) = rt.run_indexed(&groups, |_, group: &Vec<A>| {
+                    let (combined, _) = rt.try_run_indexed(&groups, |_, group: &Vec<A>| {
                         let mut acc = group[0].clone();
                         for item in &group[1..] {
                             acc = op(&acc, item);
                         }
                         acc
                     });
-                    partials = combined;
+                    partials = combined?;
                     level += 1;
                 }
-                partials.pop()
+                Ok(partials.pop())
             }
         }
     }

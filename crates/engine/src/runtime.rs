@@ -11,9 +11,55 @@
 use crossbeam_channel::unbounded;
 use parking_lot::Mutex;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use crate::metrics::{StageMetrics, TaskMetrics};
+
+/// A task closure panicked on a worker thread.
+///
+/// Returned by [`Runtime::try_run_indexed`] so that one poisoned record
+/// or a bug in a map closure surfaces as an error value instead of
+/// tearing down the whole process. When several tasks panic in the same
+/// stage, the one with the lowest partition index is reported (results
+/// are deterministic across worker counts) and `panics` carries the
+/// total count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Partition index of the reported (lowest-index) panicking task.
+    pub partition: usize,
+    /// The panic payload, rendered to a string.
+    pub message: String,
+    /// Total number of tasks that panicked in this stage.
+    pub panics: usize,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on partition {}: {}",
+            self.partition, self.message
+        )?;
+        if self.panics > 1 {
+            write!(f, " ({} tasks panicked in total)", self.panics)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a caught panic payload as a string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A parallel execution context with a fixed worker count.
 #[derive(Debug, Clone)]
@@ -56,8 +102,34 @@ impl Runtime {
     /// Run `task(i, &items[i])` for every index in parallel and collect
     /// the results in input order, together with per-task metrics.
     ///
-    /// `task` is shared by all workers, hence `Fn + Sync`.
+    /// `task` is shared by all workers, hence `Fn + Sync`. A panicking
+    /// task re-raises the panic on the caller's thread; use
+    /// [`try_run_indexed`](Runtime::try_run_indexed) to get it as an
+    /// error value instead.
     pub fn run_indexed<T, R, F>(&self, items: &[T], task: F) -> (Vec<R>, StageMetrics)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let (result, metrics) = self.try_run_indexed(items, task);
+        match result {
+            Ok(out) => (out, metrics),
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Like [`run_indexed`](Runtime::run_indexed), but with panic
+    /// isolation: each task runs under [`std::panic::catch_unwind`], so
+    /// a poisoned task surfaces as [`WorkerPanic`] instead of aborting
+    /// the process. All remaining tasks still run to completion (the
+    /// worker drain loop is not cut short), the panic on the lowest
+    /// partition index wins, and metrics cover every task.
+    pub fn try_run_indexed<T, R, F>(
+        &self,
+        items: &[T],
+        task: F,
+    ) -> (Result<Vec<R>, WorkerPanic>, StageMetrics)
     where
         T: Sync,
         R: Send,
@@ -65,23 +137,24 @@ impl Runtime {
     {
         let stage_start = Instant::now();
         let n = items.len();
-        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-        results.resize_with(n, || None);
         let mut task_metrics: Vec<TaskMetrics> = Vec::new();
+        let caught = |i: usize| -> Result<R, String> {
+            catch_unwind(AssertUnwindSafe(|| task(i, &items[i]))).map_err(panic_message)
+        };
 
         if n == 0 {
             return (
-                Vec::new(),
+                Ok(Vec::new()),
                 StageMetrics::new(Vec::new(), stage_start.elapsed()),
             );
         }
 
-        if self.workers == 1 || n == 1 {
+        let outcomes: Vec<Result<R, String>> = if self.workers == 1 || n == 1 {
             // Fast path: no threads, no channels.
             let mut out = Vec::with_capacity(n);
-            for (i, item) in items.iter().enumerate() {
+            for i in 0..n {
                 let t0 = Instant::now();
-                out.push(task(i, item));
+                out.push(caught(i));
                 task_metrics.push(TaskMetrics {
                     partition: i,
                     duration: t0.elapsed(),
@@ -91,51 +164,70 @@ impl Runtime {
                     queue_wait: t0.saturating_duration_since(stage_start),
                 });
             }
-            return (out, StageMetrics::new(task_metrics, stage_start.elapsed()));
-        }
+            out
+        } else {
+            let (tx, rx) = unbounded::<usize>();
+            for i in 0..n {
+                tx.send(i).expect("queue is open");
+            }
+            drop(tx);
 
-        let (tx, rx) = unbounded::<usize>();
-        for i in 0..n {
-            tx.send(i).expect("queue is open");
-        }
-        drop(tx);
+            // (outcome, execute duration, queue wait) for one task.
+            type TaskSlot<R> = Mutex<(Option<Result<R, String>>, Duration, Duration)>;
+            let slots: Vec<TaskSlot<R>> = (0..n)
+                .map(|_| Mutex::new((None, Duration::ZERO, Duration::ZERO)))
+                .collect();
 
-        let slots: Vec<Mutex<(Option<R>, Duration, Duration)>> = (0..n)
-            .map(|_| Mutex::new((None, Duration::ZERO, Duration::ZERO)))
-            .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..self.workers.min(n) {
+                    let rx = rx.clone();
+                    let slots = &slots;
+                    let caught = &caught;
+                    scope.spawn(move || {
+                        while let Ok(i) = rx.recv() {
+                            // All indices were enqueued at stage start, so
+                            // pickup time *is* this task's queue wait.
+                            let t0 = Instant::now();
+                            let queue_wait = t0.saturating_duration_since(stage_start);
+                            let r = caught(i);
+                            *slots[i].lock() = (Some(r), t0.elapsed(), queue_wait);
+                        }
+                    });
+                }
+            });
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
-                let rx = rx.clone();
-                let slots = &slots;
-                let task = &task;
-                scope.spawn(move || {
-                    while let Ok(i) = rx.recv() {
-                        // All indices were enqueued at stage start, so
-                        // pickup time *is* this task's queue wait.
-                        let t0 = Instant::now();
-                        let queue_wait = t0.saturating_duration_since(stage_start);
-                        let r = task(i, &items[i]);
-                        *slots[i].lock() = (Some(r), t0.elapsed(), queue_wait);
-                    }
+            let mut out = Vec::with_capacity(n);
+            for (i, slot) in slots.into_iter().enumerate() {
+                let (r, duration, queue_wait) = slot.into_inner();
+                out.push(r.expect("every task ran to completion"));
+                task_metrics.push(TaskMetrics {
+                    partition: i,
+                    duration,
+                    queue_wait,
                 });
             }
-        });
+            out
+        };
 
-        for (i, slot) in slots.into_iter().enumerate() {
-            let (r, duration, queue_wait) = slot.into_inner();
-            results[i] = r;
-            task_metrics.push(TaskMetrics {
-                partition: i,
-                duration,
-                queue_wait,
-            });
+        let metrics = StageMetrics::new(task_metrics, stage_start.elapsed());
+        let panics = outcomes.iter().filter(|r| r.is_err()).count();
+        let mut results = Vec::with_capacity(n);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(message) => {
+                    return (
+                        Err(WorkerPanic {
+                            partition: i,
+                            message,
+                            panics,
+                        }),
+                        metrics,
+                    );
+                }
+            }
         }
-        let out: Vec<R> = results
-            .into_iter()
-            .map(|r| r.expect("every task ran to completion"))
-            .collect();
-        (out, StageMetrics::new(task_metrics, stage_start.elapsed()))
+        (Ok(results), metrics)
     }
 
     /// Run a plain parallel map over the items, discarding metrics.
@@ -221,5 +313,49 @@ mod tests {
     fn default_uses_available_parallelism() {
         assert_eq!(Runtime::default().workers(), available_workers());
         assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn try_run_indexed_succeeds_like_run_indexed() {
+        for workers in [1, 4] {
+            let rt = Runtime::new(workers);
+            let items: Vec<usize> = (0..50).collect();
+            let (out, metrics) = rt.try_run_indexed(&items, |_, &x| x + 1);
+            assert_eq!(out.unwrap(), (1..=50).collect::<Vec<_>>());
+            assert_eq!(metrics.tasks.len(), 50);
+        }
+    }
+
+    #[test]
+    fn panic_is_isolated_and_lowest_partition_wins() {
+        for workers in [1, 4] {
+            let rt = Runtime::new(workers);
+            let done = AtomicUsize::new(0);
+            let items: Vec<usize> = (0..20).collect();
+            let (result, metrics) = rt.try_run_indexed(&items, |i, &x| {
+                if i == 7 || i == 13 {
+                    panic!("poisoned record {i}");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            });
+            let p = result.unwrap_err();
+            assert_eq!(p.partition, 7, "workers={workers}");
+            assert_eq!(p.panics, 2);
+            assert!(p.message.contains("poisoned record 7"));
+            assert!(p.to_string().contains("partition 7"));
+            assert!(p.to_string().contains("2 tasks"));
+            // The drain loop is not cut short: every healthy task ran.
+            assert_eq!(done.load(Ordering::Relaxed), 18);
+            assert_eq!(metrics.tasks.len(), 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked on partition 0")]
+    fn run_indexed_reraises_the_panic() {
+        let rt = Runtime::new(2);
+        let items = vec![1u32, 2];
+        rt.run_indexed(&items, |_, _| -> u32 { panic!("boom") });
     }
 }

@@ -107,6 +107,9 @@ pub enum ErrorKind {
     ExpectedKey,
     /// An I/O error from the underlying reader (NDJSON streaming).
     Io(String),
+    /// A single record line exceeded the configured size guard
+    /// (`max_line_bytes`); the payload is the configured cap.
+    RecordTooLarge(usize),
 }
 
 impl fmt::Display for ErrorKind {
@@ -136,6 +139,9 @@ impl fmt::Display for ErrorKind {
             ErrorKind::ExpectedSeparator(c) => write!(f, "expected `{c}`"),
             ErrorKind::ExpectedKey => write!(f, "expected object key"),
             ErrorKind::Io(e) => write!(f, "I/O error: {e}"),
+            ErrorKind::RecordTooLarge(cap) => {
+                write!(f, "record exceeds the line-size guard of {cap} bytes")
+            }
         }
     }
 }

@@ -43,7 +43,7 @@ pub mod testkit;
 pub mod value;
 
 pub use error::{Error, ErrorKind, Position, Result, Span};
-pub use ndjson::NdjsonReader;
+pub use ndjson::{NdjsonReader, RetryPolicy};
 pub use number::Number;
 pub use parse::{parse_value, Parser, ParserOptions};
 pub use ser::{to_string, to_string_pretty};

@@ -4,18 +4,191 @@
 //! NYTimes) are stored as one JSON object per line. This module reads such
 //! streams without materialising the whole file, using a reusable line
 //! buffer (one allocation per *record tree*, not per line read).
+//!
+//! Because the paper's inputs are remote multi-gigabyte dumps, the line
+//! reader is also where ingestion fault tolerance starts:
+//!
+//! * [`RetryPolicy`] — bounded retry with exponential backoff for
+//!   *transient* I/O errors ([`std::io::ErrorKind::Interrupted`] /
+//!   [`std::io::ErrorKind::WouldBlock`]), counted as `ingest.retries`;
+//! * [`read_line_bounded`] — a `fill_buf`-level line reader with an
+//!   optional `max_line_bytes` guard, so one pathological line degrades
+//!   into a [`ErrorKind::RecordTooLarge`] record instead of ballooning
+//!   memory.
 
 use crate::error::{Error, ErrorKind, Position, Result};
 use crate::parse::{Parser, ParserOptions};
 use crate::value::Value;
 use std::io::BufRead;
+use std::time::Duration;
 use typefuse_obs::Recorder;
+
+/// Bounded retry with exponential backoff for transient I/O errors.
+///
+/// Only [`std::io::ErrorKind::Interrupted`] and
+/// [`std::io::ErrorKind::WouldBlock`] are considered transient; every
+/// other error kind fails immediately. Retrying a buffered line read is
+/// safe because partial data already appended to the line buffer is kept
+/// — the next attempt continues exactly where the stream stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries per failing read (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt (capped at
+    /// 100 ms).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four retries starting at 2 ms — enough to ride out signal
+    /// interruptions and momentary `WouldBlock`s without stalling a
+    /// genuinely dead source for long.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: every I/O error is surfaced immediately.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Whether an error kind is worth retrying.
+    pub fn is_transient(kind: std::io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+        )
+    }
+
+    /// Backoff before retry number `attempt` (0-based): exponential from
+    /// `base_backoff`, capped at 100 ms.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let cap = Duration::from_millis(100);
+        self.base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(cap)
+    }
+}
+
+/// Outcome of [`read_line_bounded`]: how many raw bytes the line consumed
+/// from the stream (including its newline) and whether the content was cut
+/// off by the `max_line_bytes` guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawLine {
+    /// Raw bytes consumed, including the trailing newline if present.
+    /// Zero means end of input (no line).
+    pub consumed: usize,
+    /// The line exceeded `max_line_bytes`; `buf` holds only the first
+    /// `max_line_bytes` bytes of its content.
+    pub truncated: bool,
+}
+
+/// Read one line's *content* (no trailing newline) into `buf`, retrying
+/// transient I/O errors per `policy` (each retry counts `ingest.retries`
+/// on `rec`) and capping the buffered content at `max_line_bytes`.
+///
+/// Oversized lines are still consumed from the stream to the next
+/// newline — only the buffer is bounded — so the reader stays positioned
+/// on record boundaries and can keep going under a skip/quarantine
+/// policy.
+pub fn read_line_bounded<R: BufRead + ?Sized>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max_line_bytes: Option<usize>,
+    policy: RetryPolicy,
+    rec: &Recorder,
+) -> std::io::Result<RawLine> {
+    let mut consumed = 0usize;
+    let mut truncated = false;
+    let mut attempts = 0u32;
+    loop {
+        let (take, done) = {
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => {
+                    attempts = 0;
+                    chunk
+                }
+                Err(e) if RetryPolicy::is_transient(e.kind()) && attempts < policy.max_retries => {
+                    rec.add("ingest.retries", 1);
+                    std::thread::sleep(policy.backoff(attempts));
+                    attempts += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                return Ok(RawLine {
+                    consumed,
+                    truncated,
+                });
+            }
+            let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => (i + 1, true),
+                None => (chunk.len(), false),
+            };
+            let content = if done { take - 1 } else { take };
+            match max_line_bytes {
+                Some(cap) => {
+                    let room = cap.saturating_sub(buf.len());
+                    if content > room {
+                        truncated = true;
+                    }
+                    buf.extend_from_slice(&chunk[..content.min(room)]);
+                }
+                None => buf.extend_from_slice(&chunk[..content]),
+            }
+            (take, done)
+        };
+        reader.consume(take);
+        consumed += take;
+        if done {
+            return Ok(RawLine {
+                consumed,
+                truncated,
+            });
+        }
+    }
+}
+
+/// Trim ASCII whitespace from both ends of a byte slice.
+/// (A local stand-in for `slice::trim_ascii`, which is newer than this
+/// workspace's MSRV.)
+pub fn trim_ascii_bytes(mut bytes: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = bytes {
+        if first.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = bytes {
+        if last.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    bytes
+}
 
 /// A streaming reader that yields one [`Value`] per non-empty input line.
 ///
 /// Blank lines are skipped. Errors carry the 1-based line number of the
 /// offending record in their position so bad records can be located in
-/// multi-gigabyte dumps.
+/// multi-gigabyte dumps. Parse errors (including
+/// [`ErrorKind::RecordTooLarge`] from the [`with_max_line_bytes`] guard)
+/// do not stop iteration; I/O errors do, after exhausting the configured
+/// [`RetryPolicy`].
+///
+/// [`with_max_line_bytes`]: NdjsonReader::with_max_line_bytes
 ///
 /// ```
 /// use typefuse_json::NdjsonReader;
@@ -28,9 +201,11 @@ use typefuse_obs::Recorder;
 /// ```
 pub struct NdjsonReader<R> {
     reader: R,
-    line: String,
+    line: Vec<u8>,
     line_no: u32,
     options: ParserOptions,
+    retry: RetryPolicy,
+    max_line_bytes: Option<usize>,
     /// Stop permanently after an I/O error.
     poisoned: bool,
     recorder: Recorder,
@@ -46,9 +221,11 @@ impl<R: BufRead> NdjsonReader<R> {
     pub fn with_options(reader: R, options: ParserOptions) -> Self {
         NdjsonReader {
             reader,
-            line: String::new(),
+            line: Vec::new(),
             line_no: 0,
             options,
+            retry: RetryPolicy::none(),
+            max_line_bytes: None,
             poisoned: false,
             recorder: Recorder::disabled(),
         }
@@ -57,10 +234,26 @@ impl<R: BufRead> NdjsonReader<R> {
     /// Attach an observability recorder. While iterating, the reader
     /// counts `json.bytes` (raw bytes consumed, including newlines and
     /// blank lines), `json.lines` (input lines, including blank ones),
-    /// `json.records` (successfully parsed records) and
-    /// `json.parse_errors`. A disabled recorder costs nothing.
+    /// `json.records` (successfully parsed records),
+    /// `json.parse_errors` and `ingest.retries`. A disabled recorder
+    /// costs nothing.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Retry transient I/O errors per `policy` before surfacing them.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Cap the buffered content of a single line at `cap` bytes. An
+    /// oversized line yields an [`ErrorKind::RecordTooLarge`] parse
+    /// error (iteration continues) instead of growing the buffer
+    /// without bound.
+    pub fn with_max_line_bytes(mut self, cap: usize) -> Self {
+        self.max_line_bytes = Some(cap);
         self
     }
 
@@ -69,12 +262,25 @@ impl<R: BufRead> NdjsonReader<R> {
         self.line_no
     }
 
+    /// The raw content bytes of the most recently read line (without its
+    /// newline, capped by the line-size guard). Lets callers quarantine
+    /// the offending text after a parse error.
+    pub fn last_line(&self) -> &[u8] {
+        &self.line
+    }
+
     fn read_record(&mut self) -> Option<Result<Value>> {
         loop {
             self.line.clear();
-            match self.reader.read_line(&mut self.line) {
-                Ok(0) => return None,
-                Ok(n) => self.recorder.add("json.bytes", n as u64),
+            let raw = match read_line_bounded(
+                &mut self.reader,
+                &mut self.line,
+                self.max_line_bytes,
+                self.retry,
+                &self.recorder,
+            ) {
+                Ok(raw) if raw.consumed == 0 => return None,
+                Ok(raw) => raw,
                 Err(e) => {
                     self.poisoned = true;
                     return Some(Err(Error::at(
@@ -86,14 +292,27 @@ impl<R: BufRead> NdjsonReader<R> {
                         },
                     )));
                 }
-            }
+            };
+            self.recorder.add("json.bytes", raw.consumed as u64);
             self.line_no += 1;
             self.recorder.add("json.lines", 1);
-            let trimmed = self.line.trim();
+            if raw.truncated {
+                self.recorder.add("json.parse_errors", 1);
+                let cap = self.max_line_bytes.unwrap_or(usize::MAX);
+                return Some(Err(Error::at(
+                    ErrorKind::RecordTooLarge(cap),
+                    Position {
+                        offset: 0,
+                        line: self.line_no,
+                        column: 1,
+                    },
+                )));
+            }
+            let trimmed = trim_ascii_bytes(&self.line);
             if trimmed.is_empty() {
                 continue;
             }
-            let parser = Parser::with_options(trimmed.as_bytes(), self.options.clone());
+            let parser = Parser::with_options(trimmed, self.options.clone());
             return Some(match parser.parse_complete() {
                 Ok(v) => {
                     self.recorder.add("json.records", 1);
@@ -226,5 +445,109 @@ mod tests {
         let mut it = NdjsonReader::new("\n{}\n".as_bytes());
         it.next();
         assert_eq!(it.lines_read(), 2);
+    }
+
+    #[test]
+    fn last_line_exposes_the_offending_text() {
+        let mut it = NdjsonReader::new("{bad wolf\n".as_bytes());
+        assert!(it.next().unwrap().is_err());
+        assert_eq!(it.last_line(), b"{bad wolf");
+    }
+
+    /// Yields `Interrupted`/`WouldBlock` before every real chunk.
+    struct Flaky<'a> {
+        data: &'a [u8],
+        pos: usize,
+        fail_next: bool,
+        kind: io::ErrorKind,
+    }
+
+    impl Read for Flaky<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.fail_next && self.pos < self.data.len() {
+                self.fail_next = false;
+                return Err(io::Error::new(self.kind, "transient"));
+            }
+            self.fail_next = true;
+            let n = buf.len().min(3).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_counted() {
+        for kind in [io::ErrorKind::Interrupted, io::ErrorKind::WouldBlock] {
+            let data = "{\"a\":1}\n{\"a\":2}\n";
+            let rec = typefuse_obs::Recorder::enabled();
+            let flaky = Flaky {
+                data: data.as_bytes(),
+                pos: 0,
+                fail_next: true,
+                kind,
+            };
+            let values: Vec<Value> = NdjsonReader::new(io::BufReader::with_capacity(4, flaky))
+                .with_retry(RetryPolicy {
+                    max_retries: 2,
+                    base_backoff: Duration::ZERO,
+                })
+                .with_recorder(rec.clone())
+                .collect::<Result<Vec<_>>>()
+                .unwrap();
+            assert_eq!(values.len(), 2, "{kind:?}");
+            assert!(rec.counter_value("ingest.retries") > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_io_error() {
+        let flaky = Flaky {
+            data: b"{\"a\":1}\n",
+            pos: 0,
+            fail_next: true,
+            kind: io::ErrorKind::WouldBlock,
+        };
+        let mut it = NdjsonReader::new(io::BufReader::with_capacity(4, flaky))
+            .with_retry(RetryPolicy::none());
+        let err = it.next().unwrap().unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::Io(_)));
+    }
+
+    #[test]
+    fn oversized_line_degrades_to_record_too_large() {
+        let data = "{\"small\":1}\n{\"large\":\"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\"}\n{\"small\":2}\n";
+        let mut it = NdjsonReader::new(data.as_bytes()).with_max_line_bytes(16);
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::RecordTooLarge(16)));
+        assert_eq!(err.span().start.line, 2);
+        // The oversized line is fully consumed; iteration continues.
+        assert_eq!(it.next().unwrap().unwrap(), json!({"small": 2}));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn bounded_reader_handles_missing_final_newline() {
+        let mut buf = Vec::new();
+        let mut reader: &[u8] = b"{\"a\":1}";
+        let raw = read_line_bounded(
+            &mut reader,
+            &mut buf,
+            None,
+            RetryPolicy::none(),
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(raw.consumed, 7);
+        assert!(!raw.truncated);
+        assert_eq!(buf, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn trim_ascii_bytes_trims_both_ends() {
+        assert_eq!(trim_ascii_bytes(b"  {} \r\n"), b"{}");
+        assert_eq!(trim_ascii_bytes(b"\t\n "), b"");
+        assert_eq!(trim_ascii_bytes(b""), b"");
     }
 }

@@ -1,12 +1,145 @@
-//! Proptest strategies for random JSON values (feature `testkit`).
+//! Proptest strategies and a fault-injection harness (feature `testkit`).
 //!
 //! Shared by the property-test suites of the downstream crates: the
 //! fusion laws (commutativity, associativity, correctness) are tested
-//! against values drawn from these strategies.
+//! against values drawn from these strategies, and the ingestion
+//! fault-tolerance tests drive corrupt/flaky inputs through
+//! [`FaultyReader`].
 
 use crate::number::Number;
 use crate::value::{Map, Value};
 use proptest::prelude::*;
+use std::io::Read;
+
+/// A fault to inject at a byte offset of the wrapped stream.
+///
+/// Offsets are positions in the *underlying* stream; `FaultyReader`
+/// tracks how many bytes it has produced and triggers each fault exactly
+/// when the read window reaches its offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Replace the byte at `offset` with `byte` (corruption in flight).
+    CorruptByte {
+        /// Stream position of the byte to replace.
+        offset: u64,
+        /// Replacement byte.
+        byte: u8,
+    },
+    /// End the stream at `offset` as if the file were cut mid-record.
+    TruncateAt {
+        /// Stream position after which reads return 0 bytes.
+        offset: u64,
+    },
+    /// Fail with a *transient* error `times` times when the read window
+    /// reaches `offset`, then continue normally (exercises retry).
+    TransientAt {
+        /// Stream position at which the error fires.
+        offset: u64,
+        /// The transient error kind (`Interrupted` or `WouldBlock`).
+        kind: std::io::ErrorKind,
+        /// How many consecutive failures before reads succeed again.
+        times: u32,
+    },
+    /// Fail *permanently* with `kind` once the read window reaches
+    /// `offset` (exercises mid-stream I/O error paths).
+    FailAt {
+        /// Stream position at which every subsequent read fails.
+        offset: u64,
+        /// The error kind to return.
+        kind: std::io::ErrorKind,
+    },
+    /// Cap every read at `max` bytes (exercises partial-read handling).
+    ShortReads {
+        /// Maximum bytes returned per `read` call.
+        max: usize,
+    },
+}
+
+/// A wrapping [`Read`] source that injects [`Fault`]s at configurable
+/// offsets: corrupt bytes, mid-record truncation, transient errors, and
+/// short reads. Deterministic — the same faults over the same input
+/// always produce the same byte stream and error sequence.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    faults: Vec<Fault>,
+    pos: u64,
+    transient_fired: Vec<u32>,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wrap `inner`, injecting each of `faults`.
+    pub fn new(inner: R, faults: Vec<Fault>) -> Self {
+        let transient_fired = vec![0; faults.len()];
+        FaultyReader {
+            inner,
+            faults,
+            pos: 0,
+            transient_fired,
+        }
+    }
+
+    /// Bytes produced so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// The earliest fault boundary strictly after `pos`, so a read never
+    /// straddles a fault offset.
+    fn next_boundary(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CorruptByte { offset, .. } => Some(offset + 1),
+                Fault::TruncateAt { offset }
+                | Fault::TransientAt { offset, .. }
+                | Fault::FailAt { offset, .. } => Some(offset),
+                Fault::ShortReads { .. } => None,
+            })
+            .filter(|&b| b > self.pos)
+            .min()
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut cap = buf.len();
+        for (i, fault) in self.faults.iter().enumerate() {
+            match *fault {
+                Fault::TruncateAt { offset } if self.pos >= offset => return Ok(0),
+                Fault::FailAt { offset, kind } if self.pos >= offset => {
+                    return Err(std::io::Error::new(kind, "injected failure"));
+                }
+                Fault::TransientAt {
+                    offset,
+                    kind,
+                    times,
+                } if self.pos >= offset && self.transient_fired[i] < times => {
+                    self.transient_fired[i] += 1;
+                    return Err(std::io::Error::new(kind, "injected transient"));
+                }
+                Fault::ShortReads { max } => cap = cap.min(max.max(1)),
+                _ => {}
+            }
+        }
+        if let Some(boundary) = self.next_boundary() {
+            cap = cap.min((boundary - self.pos) as usize);
+        }
+        if cap == 0 {
+            return Ok(0);
+        }
+        let n = self.inner.read(&mut buf[..cap])?;
+        for fault in &self.faults {
+            if let Fault::CorruptByte { offset, byte } = *fault {
+                if offset >= self.pos && offset < self.pos + n as u64 {
+                    buf[(offset - self.pos) as usize] = byte;
+                }
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
 
 /// Strategy for field keys: short, biased towards collisions so that
 /// record fusion actually exercises the matched-key path.
@@ -125,5 +258,84 @@ mod robustness {
             }
             let _ = Parser::new(&bytes).parse_complete();
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::{Fault, FaultyReader};
+    use std::io::{ErrorKind, Read};
+
+    fn drain(mut r: impl Read) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        r.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn corrupt_byte_replaces_exactly_one_byte() {
+        let r = FaultyReader::new(
+            &b"hello world"[..],
+            vec![Fault::CorruptByte {
+                offset: 4,
+                byte: b'!',
+            }],
+        );
+        assert_eq!(drain(r).unwrap(), b"hell! world");
+    }
+
+    #[test]
+    fn truncate_cuts_the_stream() {
+        let r = FaultyReader::new(&b"hello world"[..], vec![Fault::TruncateAt { offset: 5 }]);
+        assert_eq!(drain(r).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn transient_fires_the_configured_number_of_times() {
+        let mut r = FaultyReader::new(
+            &b"abc"[..],
+            vec![Fault::TransientAt {
+                offset: 1,
+                kind: ErrorKind::Interrupted,
+                times: 2,
+            }],
+        );
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 1, "stops at the fault boundary");
+        assert_eq!(r.read(&mut buf).unwrap_err().kind(), ErrorKind::Interrupted);
+        assert_eq!(r.read(&mut buf).unwrap_err().kind(), ErrorKind::Interrupted);
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.position(), 3);
+    }
+
+    #[test]
+    fn fail_at_is_permanent() {
+        let mut r = FaultyReader::new(
+            &b"abcdef"[..],
+            vec![Fault::FailAt {
+                offset: 2,
+                kind: ErrorKind::ConnectionReset,
+            }],
+        );
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(
+            r.read(&mut buf).unwrap_err().kind(),
+            ErrorKind::ConnectionReset
+        );
+        assert_eq!(
+            r.read(&mut buf).unwrap_err().kind(),
+            ErrorKind::ConnectionReset
+        );
+    }
+
+    #[test]
+    fn short_reads_cap_every_call() {
+        let mut r = FaultyReader::new(&b"abcdef"[..], vec![Fault::ShortReads { max: 2 }]);
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.read(&mut buf).unwrap(), 2);
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
     }
 }

@@ -22,6 +22,14 @@
 //! can be hoisted out of hot loops so the per-record cost is a single
 //! relaxed atomic add when enabled and nothing measurable when not.
 //!
+//! Counter names are dynamic strings, so subsystems add their own
+//! without touching this crate. The fault-tolerant ingestion layer
+//! reports `ingest.skipped` (records dropped by an error policy),
+//! `ingest.quarantined` (records written to a quarantine sidecar),
+//! `ingest.retries` (transient I/O reads retried) and
+//! `ingest.worker_panics` (isolated worker panics), all visible in
+//! `--metrics-json` alongside the `json.*` parse counters.
+//!
 //! ```
 //! use typefuse_obs::{span, Recorder};
 //!

@@ -38,10 +38,12 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod faults;
 pub mod pipeline;
 pub mod splits;
 
-pub use error::Error;
+pub use error::{Error, IoSite};
+pub use faults::{BadRecord, ErrorPolicy, ErrorReport, RetryPolicy};
 
 pub use typefuse_datagen as datagen;
 pub use typefuse_engine as engine;
@@ -55,6 +57,7 @@ pub use typefuse_types as types;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use crate::error::Error;
+    pub use crate::faults::{ErrorPolicy, ErrorReport, RetryPolicy};
     pub use crate::pipeline::{MapPath, ProfiledResult, SchemaJob, SchemaResult, Source};
     pub use typefuse_datagen::{DatasetProfile, Profile};
     pub use typefuse_engine::{Dataset, ReducePlan, Runtime};

@@ -30,13 +30,15 @@ use std::collections::HashSet;
 use std::io::BufRead;
 use std::time::{Duration, Instant};
 
-use crate::error::Error;
-use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics};
+use crate::error::{Error, IoSite};
+use crate::faults::{BadRecord, ErrorPolicy, ErrorReport};
+use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics, WorkerPanic};
 use typefuse_infer::{
     infer_type_recorded, streaming, DedupFuser, FuseConfig, ProfileAcc, ProfileReport, Profiling,
     RecordedFuser,
 };
-use typefuse_json::{NdjsonReader, Value};
+use typefuse_json::ndjson::read_line_bounded;
+use typefuse_json::{ErrorKind, Parser, ParserOptions, Position, RetryPolicy, Value};
 use typefuse_obs::{Recorder, RunReport};
 use typefuse_types::Type;
 
@@ -153,6 +155,26 @@ pub struct SchemaJob {
     /// by default, which costs nothing). See [`SchemaResult::run_report`]
     /// for turning it into a structured report after the run.
     pub recorder: Recorder,
+    /// How records that fail to parse are treated (default:
+    /// [`ErrorPolicy::FailFast`], byte-identical to the pre-policy
+    /// behaviour). Skipped or quarantined records surface in
+    /// [`SchemaResult::errors`]; counters `ingest.skipped` and
+    /// `ingest.quarantined` track them.
+    pub error_policy: ErrorPolicy,
+    /// Retry policy for transient I/O errors while reading text sources
+    /// (default: [`RetryPolicy::none`]). Retries count `ingest.retries`.
+    pub retry: RetryPolicy,
+    /// Parser options for text sources: recursion limit
+    /// (`max_depth`, default 512) and duplicate-key handling.
+    pub parser_options: ParserOptions,
+    /// Per-line size guard for text sources: a line longer than this
+    /// degrades into a `RecordTooLarge` parse error handled per
+    /// `error_policy` instead of ballooning memory (default: no cap).
+    pub max_line_bytes: Option<usize>,
+    /// Fault-injection hook: panic inside the Map closure when it
+    /// reaches this 1-based input line. Exercises worker panic
+    /// isolation ([`Error::Worker`]) end to end; `None` in production.
+    pub chaos_panic_at: Option<u32>,
 }
 
 impl Default for SchemaJob {
@@ -175,6 +197,11 @@ impl SchemaJob {
             dedup: DedupMode::default(),
             collect_type_stats: true,
             recorder: Recorder::disabled(),
+            error_policy: ErrorPolicy::default(),
+            retry: RetryPolicy::none(),
+            parser_options: ParserOptions::default(),
+            max_line_bytes: None,
+            chaos_panic_at: None,
         }
     }
 
@@ -228,29 +255,61 @@ impl SchemaJob {
         self
     }
 
+    /// Set the error policy for records that fail to parse.
+    pub fn on_error(mut self, policy: ErrorPolicy) -> Self {
+        self.error_policy = policy;
+        self
+    }
+
+    /// Set the retry policy for transient I/O errors on text sources.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Set the full parser options for text sources.
+    pub fn parser_options(mut self, options: ParserOptions) -> Self {
+        self.parser_options = options;
+        self
+    }
+
+    /// Set the parser's recursion limit for text sources.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.parser_options.max_depth = depth;
+        self
+    }
+
+    /// Cap a single input line at `cap` bytes; longer lines degrade
+    /// into `RecordTooLarge` parse errors handled per the error policy.
+    pub fn max_line_bytes(mut self, cap: usize) -> Self {
+        self.max_line_bytes = Some(cap);
+        self
+    }
+
+    /// Fault injection: panic in the Map phase at this 1-based input
+    /// line (text sources), to exercise [`Error::Worker`] isolation.
+    pub fn chaos_panic_at(mut self, line: u32) -> Self {
+        self.chaos_panic_at = Some(line);
+        self
+    }
+
     /// Run the pipeline over any [`Source`].
     ///
-    /// In-memory sources cannot fail; NDJSON sources fail on the first
-    /// unreadable chunk ([`Error::Io`]) or malformed record
-    /// ([`Error::Parse`], anchored at its 1-based line number).
+    /// In-memory sources cannot fail on input; NDJSON sources fail on an
+    /// unreadable chunk ([`Error::Io`], with the line it stopped at)
+    /// and handle malformed records per the configured
+    /// [`ErrorPolicy`]: fail fast at the earliest bad line
+    /// ([`Error::Parse`], anchored at its 1-based line number), skip, or
+    /// quarantine — skipped records are reported in
+    /// [`SchemaResult::errors`]. A panicking worker surfaces as
+    /// [`Error::Worker`] on every route.
     pub fn run(&self, source: Source<'_>) -> Result<SchemaResult, Error> {
         match source {
             Source::Values(values) => {
-                Ok(self.run_value_dataset(&Dataset::from_vec(values, self.partitions)))
+                self.run_value_dataset(&Dataset::from_vec(values, self.partitions))
             }
-            Source::Dataset(dataset) => Ok(self.run_value_dataset(dataset)),
-            Source::Ndjson(reader) => match self.map_path {
-                MapPath::Events => self.run_lines_events(reader),
-                MapPath::Values => {
-                    let values: Result<Vec<Value>, typefuse_json::Error> = {
-                        let _span = self.recorder.span("pipeline.read");
-                        NdjsonReader::new(reader)
-                            .with_recorder(self.recorder.clone())
-                            .collect()
-                    };
-                    Ok(self.run_value_dataset(&Dataset::from_vec(values?, self.partitions)))
-                }
-            },
+            Source::Dataset(dataset) => self.run_value_dataset(dataset),
+            Source::Ndjson(reader) => self.run_lines(reader),
         }
     }
 
@@ -425,68 +484,189 @@ impl SchemaJob {
 
     /// The tree Map phase: infer one type per materialised value
     /// (Figure 4), then hand off to the shared Reduce tail.
-    fn run_value_dataset(&self, dataset: &Dataset<Value>) -> SchemaResult {
+    fn run_value_dataset(&self, dataset: &Dataset<Value>) -> Result<SchemaResult, Error> {
         let wall_start = Instant::now();
         let rec = &self.recorder;
         let map_start = Instant::now();
         let (types, map_metrics) = {
             let _span = rec.span("pipeline.map");
-            dataset.map_metered(&self.runtime, |v| infer_type_recorded(v, rec))
+            dataset.try_map_metered(&self.runtime, |v| infer_type_recorded(v, rec))
         };
+        let types = self.surface_worker(types)?;
         self.finish(
             types,
             dataset.count() as u64,
+            ErrorReport::new(),
             wall_start,
             map_start.elapsed(),
             map_metrics,
         )
     }
 
-    /// The event Map phase: fold each line's token stream straight into
-    /// its type — no `Value` trees. Counters mirror the tree route
-    /// (`json.bytes` / `json.lines` at read time, `json.records` /
-    /// `json.parse_errors` at parse time) so run reports stay
-    /// comparable; the event fold additionally counts `infer.events`
-    /// and the `infer.frames` histogram.
-    fn run_lines_events(&self, reader: Box<dyn BufRead + '_>) -> Result<SchemaResult, Error> {
+    /// The unified text route for both Map paths: read lines (with
+    /// retry and the line-size guard), parse/infer each in parallel —
+    /// [`MapPath::Events`] folds the token stream straight into a type,
+    /// [`MapPath::Values`] materialises the `Value` tree first — then
+    /// apply the error policy to whatever failed. Counters:
+    /// `json.bytes` / `json.lines` at read time, `json.records` /
+    /// `json.parse_errors` at parse time (the event fold additionally
+    /// counts `infer.events` and the `infer.frames` histogram), and
+    /// `ingest.skipped` / `ingest.quarantined` / `ingest.retries` /
+    /// `ingest.worker_panics` for the fault-tolerance layer.
+    fn run_lines(&self, reader: Box<dyn BufRead + '_>) -> Result<SchemaResult, Error> {
         let wall_start = Instant::now();
         let rec = &self.recorder;
-        let lines: Vec<(u32, String)> = {
+        let lines: Vec<RawRecord> = {
             let _span = rec.span("pipeline.read");
-            read_lines(reader, rec)?
+            self.read_raw_lines(reader)?
         };
-        let records = lines.len() as u64;
         let dataset = Dataset::from_vec(lines, self.partitions);
 
         let map_start = Instant::now();
+        let map_path = self.map_path;
+        let chaos = self.chaos_panic_at;
+        let options = &self.parser_options;
         let (typed, map_metrics) = {
             let _span = rec.span("pipeline.map");
-            dataset.map_metered(&self.runtime, |(line_no, text)| {
-                streaming::infer_type_from_str_recorded(text, rec).map_err(|e| (*line_no, e))
+            dataset.try_map_metered(&self.runtime, |record: &RawRecord| {
+                if chaos == Some(record.line) {
+                    panic!("injected chaos panic at line {}", record.line);
+                }
+                if let Some(e) = &record.pre_error {
+                    rec.add("json.parse_errors", 1);
+                    return Err(e.clone());
+                }
+                let inferred = match map_path {
+                    MapPath::Events => streaming::infer_with_options_recorded(
+                        record.text.as_bytes(),
+                        options.clone(),
+                        rec,
+                    ),
+                    MapPath::Values => {
+                        Parser::with_options(record.text.as_bytes(), options.clone())
+                            .parse_complete()
+                            .map(|v| infer_type_recorded(&v, rec))
+                    }
+                };
+                match inferred {
+                    Ok(ty) => {
+                        rec.add("json.records", 1);
+                        Ok(ty)
+                    }
+                    Err(e) => {
+                        rec.add("json.parse_errors", 1);
+                        // Re-anchor at the record's input line; the
+                        // column within the line is preserved.
+                        let mut pos = e.span().start;
+                        pos.line = record.line;
+                        Err(typefuse_json::Error::at(e.kind().clone(), pos))
+                    }
+                }
             })
         };
+        let typed = self.surface_worker(typed)?;
         let map_time = map_start.elapsed();
 
-        // Surface the earliest failure in input order, re-anchored at its
-        // line like the NDJSON reader does for the tree route.
-        let mut types: Vec<Type> = Vec::with_capacity(typed.count());
-        for outcome in typed.collect() {
+        // Partition the outcomes into clean types and the error report
+        // (one commutative monoid, like the schema itself), then let the
+        // policy decide.
+        let keeps_text = self.error_policy.keeps_text();
+        let mut types: Vec<Type> = Vec::new();
+        let mut report = ErrorReport::new();
+        for (outcome, record) in typed.collect().into_iter().zip(dataset.iter()) {
             match outcome {
                 Ok(ty) => types.push(ty),
-                Err((line, e)) => {
-                    rec.add("json.parse_errors", 1);
-                    let mut pos = e.span().start;
-                    pos.line = line;
-                    return Err(Error::Parse(typefuse_json::Error::at(
-                        e.kind().clone(),
-                        pos,
-                    )));
-                }
+                Err(e) => report.note(BadRecord {
+                    at: u64::from(record.line),
+                    error: e,
+                    text: keeps_text.then(|| record.text.clone()),
+                }),
             }
         }
-        rec.add("json.records", records);
+        self.apply_policy(&report)?;
+
+        let records = types.len() as u64;
         let types = Dataset::from_vec(types, self.partitions);
-        Ok(self.finish(types, records, wall_start, map_time, map_metrics))
+        self.finish(types, records, report, wall_start, map_time, map_metrics)
+    }
+
+    /// Read the raw lines of a text source, retrying transient I/O
+    /// errors and enforcing the line-size guard. Oversized and
+    /// non-UTF-8 lines come back as records with a `pre_error` (so the
+    /// error policy sees them in input order); an unrecoverable read
+    /// error aborts with the line it happened at.
+    fn read_raw_lines(&self, mut reader: Box<dyn BufRead + '_>) -> Result<Vec<RawRecord>, Error> {
+        let rec = &self.recorder;
+        let mut out = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut line_no: u32 = 0;
+        loop {
+            buf.clear();
+            let raw =
+                read_line_bounded(&mut reader, &mut buf, self.max_line_bytes, self.retry, rec)
+                    .map_err(|e| Error::io_at(e, IoSite::line(line_no + 1)))?;
+            if raw.consumed == 0 {
+                return Ok(out);
+            }
+            rec.add("json.bytes", raw.consumed as u64);
+            line_no += 1;
+            rec.add("json.lines", 1);
+            let pre_error = |kind: ErrorKind| {
+                typefuse_json::Error::at(
+                    kind,
+                    Position {
+                        offset: 0,
+                        line: line_no,
+                        column: 1,
+                    },
+                )
+            };
+            if raw.truncated {
+                let cap = self.max_line_bytes.unwrap_or(usize::MAX);
+                out.push(RawRecord {
+                    line: line_no,
+                    text: String::from_utf8_lossy(&buf).into_owned(),
+                    pre_error: Some(pre_error(ErrorKind::RecordTooLarge(cap))),
+                });
+                continue;
+            }
+            match std::str::from_utf8(&buf) {
+                Ok(text) => {
+                    let trimmed = text.trim();
+                    if !trimmed.is_empty() {
+                        out.push(RawRecord {
+                            line: line_no,
+                            text: trimmed.to_string(),
+                            pre_error: None,
+                        });
+                    }
+                }
+                // A non-UTF-8 line is a malformed *record*, not a dead
+                // stream: report it per policy and keep reading.
+                Err(_) => out.push(RawRecord {
+                    line: line_no,
+                    text: String::from_utf8_lossy(&buf).into_owned(),
+                    pre_error: Some(pre_error(ErrorKind::InvalidUtf8)),
+                }),
+            }
+        }
+    }
+
+    /// Decide what the collected bad records mean under this job's
+    /// [`ErrorPolicy`]: fail fast on the earliest one, or skip (and
+    /// quarantine) them subject to the error budget. The budget is
+    /// checked on the *merged* report, so the verdict is independent of
+    /// worker count and partitioning.
+    fn apply_policy(&self, report: &ErrorReport) -> Result<(), Error> {
+        self.error_policy.enforce(report, &self.recorder)
+    }
+
+    /// Count and convert an isolated worker panic.
+    fn surface_worker<T>(&self, result: Result<T, WorkerPanic>) -> Result<T, Error> {
+        result.map_err(|p| {
+            self.recorder.add("ingest.worker_panics", p.panics as u64);
+            Error::Worker(p)
+        })
     }
 
     /// The shared tail of every route: type statistics, trait-driven
@@ -497,10 +677,11 @@ impl SchemaJob {
         &self,
         types: Dataset<Type>,
         records: u64,
+        errors: ErrorReport,
         wall_start: Instant,
         map_time: Duration,
         map_metrics: StageMetrics,
-    ) -> SchemaResult {
+    ) -> Result<SchemaResult, Error> {
         let rec = &self.recorder;
 
         // ---- Type statistics (the Tables 2–5 columns). ----------------
@@ -528,29 +709,44 @@ impl SchemaJob {
             if use_dedup {
                 rec.add("infer.dedup", 1);
                 let fuser = DedupFuser::new(self.fuse_config, rec.clone());
-                types.reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
+                types.try_reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
             } else {
                 let fuser = RecordedFuser::new(self.fuse_config, rec.clone());
-                types.reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
+                types.try_reduce_fused(&self.runtime, self.reduce_plan, &fuser, rec)
             }
         };
+        let fused = self.surface_worker(fused)?;
         let reduce_time = reduce_start.elapsed();
 
         rec.add("records", records);
         let schema = fused.unwrap_or(Type::Bottom);
-        SchemaResult {
+        Ok(SchemaResult {
             fused_size: schema.size(),
             schema,
             records,
             partitions: types.num_partitions(),
             type_stats,
+            errors,
             map_time,
             reduce_time,
             wall: wall_start.elapsed(),
             map_metrics,
             reduce_metrics,
-        }
+        })
     }
+}
+
+/// One raw input line, pre-checked at read time: `pre_error` carries a
+/// read-level defect (oversized, non-UTF-8) so the Map phase and the
+/// error policy see every bad record in input order.
+#[derive(Debug, Clone)]
+struct RawRecord {
+    /// 1-based input line number.
+    line: u32,
+    /// Trimmed line content (lossy UTF-8 and capped when `pre_error`).
+    text: String,
+    /// A defect detected while reading, if any.
+    pre_error: Option<typefuse_json::Error>,
 }
 
 /// Read an NDJSON stream into `(line_no, trimmed_line)` pairs, skipping
@@ -632,6 +828,9 @@ pub struct SchemaResult {
     pub partitions: usize,
     /// Distinct / min / max / avg inferred-type statistics.
     pub type_stats: TypeStats,
+    /// Records skipped or quarantined under the job's [`ErrorPolicy`]
+    /// (always empty for `FailFast` — the run errors instead).
+    pub errors: ErrorReport,
     /// Wall time of the Map (inference) phase.
     pub map_time: Duration,
     /// Wall time of the Reduce (fusion) phase.
@@ -848,7 +1047,7 @@ mod tests {
         let err = SchemaJob::new().run_ndjson(bad.as_bytes()).unwrap_err();
         match err {
             Error::Parse(e) => assert_eq!(e.span().start.line, 3),
-            Error::Io(e) => panic!("unexpected io error: {e}"),
+            other => panic!("unexpected error: {other}"),
         }
     }
 

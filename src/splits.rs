@@ -12,15 +12,26 @@
 //! * [`infer_file_schema`] — per-split streaming inference (text → type,
 //!   no value trees) fused across splits; the result is identical for
 //!   any split count, by associativity.
+//! * [`infer_file_schema_with`] — the same, with an [`IngestOptions`]
+//!   bundle of error policy, transient-I/O retry and parser limits. Bad
+//!   records are collected per split into an [`ErrorReport`] and merged,
+//!   so skip/quarantine outcomes are byte-identical for any split count.
+//!
+//! The NDJSON line-size guard (`max_line_bytes`) is deliberately *not*
+//! part of [`IngestOptions`]: a capped line would desynchronise the
+//! snap-to-newline ownership rule between neighbouring splits. Oversized
+//! lines in split mode surface as parse errors of their own accord.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::io::{BufReader, Seek, SeekFrom};
 use std::path::Path;
 
-use crate::error::Error;
+use crate::error::{Error, IoSite};
+use crate::faults::{BadRecord, ErrorPolicy, ErrorReport, RetryPolicy};
 use typefuse_engine::Runtime;
 use typefuse_infer::{streaming, Incremental};
-use typefuse_json::Position;
+use typefuse_json::ndjson::{read_line_bounded, trim_ascii_bytes};
+use typefuse_json::{ParserOptions, Position};
 use typefuse_obs::{span, Recorder};
 use typefuse_types::Type;
 
@@ -55,6 +66,19 @@ pub fn plan_splits(file_len: u64, parts: usize) -> Vec<Split> {
     splits
 }
 
+/// Fault-tolerance knobs for file-split ingestion, shared by every
+/// split worker of one [`infer_file_schema_with`] run.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    /// What to do with records that fail to parse.
+    pub policy: ErrorPolicy,
+    /// Retry budget for transient I/O errors (`Interrupted`,
+    /// `WouldBlock`); retries count towards `ingest.retries`.
+    pub retry: RetryPolicy,
+    /// Parser limits (recursion depth, duplicate-key handling).
+    pub parser: ParserOptions,
+}
+
 /// Read the lines owned by `split`: every line *starting* inside
 /// `[start, end)`. A split with `start > 0` first skips the tail of the
 /// line that began in the previous split; a line straddling `end` is
@@ -64,29 +88,64 @@ pub fn read_split(
     split: Split,
     mut on_line: impl FnMut(u64, &str) -> Result<(), Error>,
 ) -> Result<(), Error> {
-    let file = File::open(path)?;
+    read_split_with(
+        path,
+        split,
+        RetryPolicy::none(),
+        &Recorder::disabled(),
+        |offset, bytes| {
+            let text = std::str::from_utf8(bytes).map_err(|e| {
+                Error::io_at(
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e),
+                    IoSite::offset(offset),
+                )
+            })?;
+            on_line(offset, text)
+        },
+    )
+}
+
+/// [`read_split`] with transient-I/O retry and byte-level lines. Each
+/// read failure is retried per `retry` (counting `ingest.retries` on
+/// `rec`) before surfacing as [`Error::Io`] with the byte offset of the
+/// failed read. Lines are handed to `on_line` untrimmed of their
+/// content but stripped of surrounding ASCII whitespace; blank lines
+/// are skipped. Invalid UTF-8 reaches `on_line` verbatim, so the parser
+/// reports it as a positioned parse error instead of a bare I/O error.
+pub fn read_split_with(
+    path: &Path,
+    split: Split,
+    retry: RetryPolicy,
+    rec: &Recorder,
+    mut on_line: impl FnMut(u64, &[u8]) -> Result<(), Error>,
+) -> Result<(), Error> {
+    let file = File::open(path).map_err(|e| Error::io_at(e, IoSite::offset(split.start)))?;
     let mut reader = BufReader::new(file);
     let mut pos = split.start;
     if split.start > 0 {
-        reader.seek(SeekFrom::Start(split.start - 1))?;
+        reader
+            .seek(SeekFrom::Start(split.start - 1))
+            .map_err(|e| Error::io_at(e, IoSite::offset(split.start - 1)))?;
         // Skip the (possibly empty) remainder of the previous line. If
         // the byte before our range is itself a newline, the line starts
-        // exactly at `start` and belongs to us: read_until consumes just
+        // exactly at `start` and belongs to us: the skip consumes just
         // that newline byte.
         let mut skipped = Vec::new();
-        let n = reader.read_until(b'\n', &mut skipped)? as u64;
-        pos = split.start - 1 + n;
+        let raw = read_line_bounded(&mut reader, &mut skipped, None, retry, rec)
+            .map_err(|e| Error::io_at(e, IoSite::offset(split.start - 1)))?;
+        pos = split.start - 1 + raw.consumed as u64;
     }
-    let mut line = String::new();
+    let mut line = Vec::new();
     while pos < split.end {
         line.clear();
-        let n = reader.read_line(&mut line)? as u64;
-        if n == 0 {
+        let raw = read_line_bounded(&mut reader, &mut line, None, retry, rec)
+            .map_err(|e| Error::io_at(e, IoSite::offset(pos)))?;
+        if raw.consumed == 0 {
             break; // EOF
         }
         let line_start = pos;
-        pos += n;
-        let trimmed = line.trim();
+        pos += raw.consumed as u64;
+        let trimmed = trim_ascii_bytes(&line);
         if !trimmed.is_empty() {
             on_line(line_start, trimmed)?;
         }
@@ -103,6 +162,10 @@ pub struct FileSchema {
     pub records: u64,
     /// Splits processed.
     pub splits: usize,
+    /// Records skipped or quarantined by the error policy (empty under
+    /// fail-fast). `BadRecord::at` is the absolute byte offset of the
+    /// offending line.
+    pub errors: ErrorReport,
 }
 
 /// Infer the schema of an NDJSON file with `runtime.workers()` parallel
@@ -121,41 +184,96 @@ pub fn infer_file_schema_recorded(
     runtime: &Runtime,
     rec: &Recorder,
 ) -> Result<FileSchema, Error> {
-    let len = std::fs::metadata(path)?.len();
+    let options = IngestOptions {
+        policy: ErrorPolicy::FailFast,
+        retry: RetryPolicy::none(),
+        parser: ParserOptions::default(),
+    };
+    infer_file_schema_with(path, runtime, &options, rec)
+}
+
+/// [`infer_file_schema_recorded`] with fault tolerance: the
+/// [`IngestOptions`] error policy decides whether a bad record aborts
+/// the run (fail-fast, the default), is dropped, or is quarantined;
+/// transient read errors are retried per the retry policy; and a
+/// panicking split worker surfaces as [`Error::Worker`] instead of
+/// tearing down the process.
+///
+/// Per-split [`ErrorReport`]s are merged before the policy budget is
+/// evaluated, so — like the fused schema itself — the skip/quarantine
+/// outcome is byte-identical for every worker and split count.
+pub fn infer_file_schema_with(
+    path: &Path,
+    runtime: &Runtime,
+    options: &IngestOptions,
+    rec: &Recorder,
+) -> Result<FileSchema, Error> {
+    let len = std::fs::metadata(path)
+        .map_err(|e| Error::io_at(e, IoSite::default()))?
+        .len();
     let splits = plan_splits(len, runtime.workers() * 4);
     rec.add("streaming.splits", splits.len() as u64);
-    let (accs, _) = runtime.run_indexed(&splits, |i, &split| {
+    let fail_fast = options.policy.is_fail_fast();
+    let keeps_text = options.policy.keeps_text();
+    let (outcome, _) = runtime.try_run_indexed(&splits, |i, &split| {
         let _span = span!(rec, "split", i);
         let mut acc = Incremental::new();
-        let result = read_split(path, split, |offset, line| {
-            let ty = streaming::infer_type_from_str(line).map_err(|e| {
-                // Re-anchor at the file offset for actionable messages.
-                Error::Parse(typefuse_json::Error::at(
-                    e.kind().clone(),
-                    Position {
-                        offset: offset as usize + e.span().start.offset,
-                        line: 1,
-                        column: (e.span().start.offset + 1) as u32,
-                    },
-                ))
-            })?;
-            rec.add("json.records", 1);
-            acc.absorb_type(ty);
-            Ok(())
+        let mut report = ErrorReport::new();
+        let result = read_split_with(path, split, options.retry, rec, |offset, line| {
+            match streaming::infer_with_options(line, options.parser.clone()) {
+                Ok(ty) => {
+                    rec.add("json.records", 1);
+                    acc.absorb_type(ty);
+                    Ok(())
+                }
+                Err(e) => {
+                    rec.add("json.parse_errors", 1);
+                    // Re-anchor at the file offset for actionable messages.
+                    let anchored = typefuse_json::Error::at(
+                        e.kind().clone(),
+                        Position {
+                            offset: offset as usize + e.span().start.offset,
+                            line: 1,
+                            column: (e.span().start.offset + 1) as u32,
+                        },
+                    );
+                    if fail_fast {
+                        Err(Error::Parse(anchored))
+                    } else {
+                        report.note(BadRecord {
+                            at: offset,
+                            error: anchored,
+                            text: keeps_text.then(|| String::from_utf8_lossy(line).into_owned()),
+                        });
+                        Ok(())
+                    }
+                }
+            }
         });
         rec.add("json.bytes", split.end - split.start);
-        result.map(|()| acc)
+        result.map(|()| (acc, report))
     });
+    let accs = outcome.map_err(|p| {
+        rec.add("ingest.worker_panics", p.panics as u64);
+        Error::Worker(p)
+    })?;
     let mut total = Incremental::new();
+    let mut errors = ErrorReport::new();
     let split_count = accs.len();
+    // Splits are ordered by byte range, so taking the first per-split
+    // error yields the earliest failure in the file deterministically.
     for acc in accs {
-        total.merge(&acc?);
+        let (acc, report) = acc?;
+        total.merge(&acc);
+        errors.merge(&report);
     }
+    options.policy.enforce(&errors, rec)?;
     rec.add("records", total.count());
     Ok(FileSchema {
         schema: total.schema().clone(),
         records: total.count(),
         splits: split_count,
+        errors,
     })
 }
 
@@ -249,6 +367,7 @@ mod tests {
         assert_eq!(from_file.schema, in_memory.schema);
         assert_eq!(from_file.records, in_memory.records);
         assert!(from_file.splits >= 1);
+        assert!(from_file.errors.is_empty());
     }
 
     #[test]
@@ -301,5 +420,136 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.is_io());
+    }
+
+    #[test]
+    fn skip_policy_matches_the_clean_subset_for_any_worker_count() {
+        let mut contents = String::new();
+        let mut clean = String::new();
+        for i in 0..60 {
+            if i % 7 == 3 {
+                contents.push_str("{broken!!\n");
+            } else {
+                let line = format!("{{\"n\":{i},\"s\":\"x\"}}\n");
+                contents.push_str(&line);
+                clean.push_str(&line);
+            }
+        }
+        let dirty = temp_file("skip-dirty.ndjson", &contents);
+        let clean_path = temp_file("skip-clean.ndjson", &clean);
+        let expect = infer_file_schema(&clean_path, &Runtime::sequential()).unwrap();
+
+        let options = IngestOptions {
+            policy: ErrorPolicy::skip(),
+            ..IngestOptions::default()
+        };
+        let mut reports = Vec::new();
+        for workers in [1, 2, 3, 8] {
+            let rec = Recorder::enabled();
+            let fs =
+                infer_file_schema_with(&dirty, &Runtime::new(workers), &options, &rec).unwrap();
+            assert_eq!(fs.schema, expect.schema, "workers = {workers}");
+            assert_eq!(fs.records, expect.records, "workers = {workers}");
+            assert_eq!(fs.errors.skipped(), 9, "workers = {workers}");
+            assert_eq!(rec.snapshot().counters["ingest.skipped"], 9);
+            reports.push(fs.errors);
+        }
+        // Bad-record reports are byte-identical across worker counts.
+        for pair in reports.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+        // `at` is the absolute byte offset of each bad line.
+        let offsets: Vec<u64> = reports[0].records().iter().map(|r| r.at).collect();
+        let mut expected_offsets = Vec::new();
+        let mut pos = 0u64;
+        for line in contents.split_inclusive('\n') {
+            if line.starts_with("{broken") {
+                expected_offsets.push(pos);
+            }
+            pos += line.len() as u64;
+        }
+        assert_eq!(offsets, expected_offsets);
+    }
+
+    #[test]
+    fn split_budget_is_enforced_after_merging() {
+        let mut contents = String::new();
+        for i in 0..20 {
+            if i % 5 == 0 {
+                contents.push_str("nope\n");
+            } else {
+                contents.push_str(&format!("{{\"n\":{i}}}\n"));
+            }
+        }
+        let path = temp_file("budget.ndjson", &contents);
+        // 4 bad lines: a budget of 4 passes, 3 fails — for any workers.
+        for workers in [1, 4] {
+            let ok = IngestOptions {
+                policy: ErrorPolicy::Skip {
+                    max_errors: Some(4),
+                },
+                ..IngestOptions::default()
+            };
+            infer_file_schema_with(&path, &Runtime::new(workers), &ok, &Recorder::disabled())
+                .unwrap();
+            let tight = IngestOptions {
+                policy: ErrorPolicy::Skip {
+                    max_errors: Some(3),
+                },
+                ..IngestOptions::default()
+            };
+            let err = infer_file_schema_with(
+                &path,
+                &Runtime::new(workers),
+                &tight,
+                &Recorder::disabled(),
+            )
+            .unwrap_err();
+            assert!(err.is_budget(), "workers = {workers}: {err}");
+        }
+    }
+
+    #[test]
+    fn quarantined_splits_write_the_sidecar() {
+        let contents = "{\"a\":1}\n{oops\n{\"a\":2}\n";
+        let path = temp_file("quarantine-src.ndjson", contents);
+        let sink = std::env::temp_dir()
+            .join("typefuse-splits-tests")
+            .join("quarantine-sink.ndjson");
+        let options = IngestOptions {
+            policy: ErrorPolicy::quarantine(&sink),
+            ..IngestOptions::default()
+        };
+        let rec = Recorder::enabled();
+        let fs = infer_file_schema_with(&path, &Runtime::new(2), &options, &rec).unwrap();
+        assert_eq!(fs.records, 2);
+        assert_eq!(fs.errors.skipped(), 1);
+        assert_eq!(rec.snapshot().counters["ingest.quarantined"], 1);
+        let entries = crate::faults::read_quarantine(&sink).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, 8); // byte offset of the bad line
+        assert_eq!(entries[0].2.as_deref(), Some("{oops"));
+        std::fs::remove_file(&sink).ok();
+    }
+
+    #[test]
+    fn parser_options_flow_into_split_inference() {
+        let contents = "{\"a\":{\"b\":{\"c\":1}}}\n";
+        let path = temp_file("depth.ndjson", contents);
+        let shallow = IngestOptions {
+            parser: ParserOptions {
+                max_depth: 2,
+                ..ParserOptions::default()
+            },
+            ..IngestOptions::default()
+        };
+        let err = infer_file_schema_with(
+            &path,
+            &Runtime::sequential(),
+            &shallow,
+            &Recorder::disabled(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
     }
 }
