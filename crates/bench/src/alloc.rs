@@ -1,0 +1,121 @@
+//! A counting global allocator, so `typefuse bench` can report heap
+//! traffic next to throughput.
+//!
+//! [`CountingAllocator`] wraps [`std::alloc::System`] and bumps three
+//! relaxed atomics per call — cheap enough to leave on for benchmark
+//! runs, and the only `unsafe` in the workspace (the [`GlobalAlloc`]
+//! contract requires it, so this module carries a scoped allow while
+//! the crate stays `deny(unsafe_code)`).
+//!
+//! Counting only happens when a binary registers the allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: typefuse_bench::alloc::CountingAllocator =
+//!     typefuse_bench::alloc::CountingAllocator;
+//! ```
+//!
+//! The `typefuse` CLI does; library consumers that do not will simply
+//! observe zero deltas, which [`AllocSnapshot::is_counting`] exposes so
+//! reports can mark the counters absent instead of claiming a
+//! zero-allocation run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts calls and requested bytes.
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+// Safety: delegates every operation verbatim to `System`; the counters
+// are relaxed atomics and never affect allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Cumulative allocator counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Allocations (including reallocations) since process start.
+    pub allocations: u64,
+    /// Bytes requested since process start.
+    pub allocated_bytes: u64,
+    /// Deallocations since process start.
+    pub deallocations: u64,
+}
+
+impl AllocSnapshot {
+    /// The counter deltas accumulated since an `earlier` snapshot.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            allocated_bytes: self.allocated_bytes.saturating_sub(earlier.allocated_bytes),
+            deallocations: self.deallocations.saturating_sub(earlier.deallocations),
+        }
+    }
+
+    /// Whether the counting allocator is actually registered — false
+    /// means every counter reads zero and should be reported as absent.
+    pub fn is_counting(&self) -> bool {
+        self.allocations > 0
+    }
+}
+
+/// Read the current counter values (all zero unless a binary registered
+/// [`CountingAllocator`] as its global allocator).
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        allocated_bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+        deallocations: DEALLOCATIONS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not register the allocator, so counters are
+    // exercised as pure arithmetic here; the CLI smoke test covers the
+    // registered path.
+    #[test]
+    fn snapshot_delta_arithmetic() {
+        let earlier = AllocSnapshot {
+            allocations: 10,
+            allocated_bytes: 1000,
+            deallocations: 8,
+        };
+        let later = AllocSnapshot {
+            allocations: 15,
+            allocated_bytes: 1600,
+            deallocations: 14,
+        };
+        let delta = later.since(earlier);
+        assert_eq!(delta.allocations, 5);
+        assert_eq!(delta.allocated_bytes, 600);
+        assert_eq!(delta.deallocations, 6);
+        assert!(delta.is_counting());
+        assert!(!AllocSnapshot::default().is_counting());
+        // A stale "later" never underflows.
+        assert_eq!(earlier.since(later).allocations, 0);
+    }
+}

@@ -164,6 +164,8 @@ impl SchemaAcc {
 /// columns of Table 6 and the byte column of Table 1.
 #[derive(Debug, Clone)]
 pub struct ScaleResult {
+    /// Worker threads the run was configured with.
+    pub workers: usize,
     /// Records processed.
     pub records: u64,
     /// Serialized dataset size in bytes (0 unless `measure_bytes`).
@@ -189,6 +191,12 @@ pub struct ScaleResult {
     pub wall: Duration,
     /// Per-partition `(records, distinct, wall)` — the Table 8 rows.
     pub partition_rows: Vec<(u64, usize, Duration)>,
+    /// Per-partition `(infer, fuse)` CPU time, index-aligned with
+    /// `partition_rows` — the per-stage rollup inputs.
+    pub partition_cpu: Vec<(Duration, Duration)>,
+    /// The real task timings from the thread pool: per-task queue wait,
+    /// execute time and worker id, measured by the [`Runtime`].
+    pub stage: typefuse_obs::StageReport,
 }
 
 impl ScaleResult {
@@ -202,31 +210,56 @@ impl ScaleResult {
         }
     }
 
+    /// Per-worker utilization of the partition stage, reconstructed
+    /// from the pool's real task timings (queue wait doubles as the
+    /// start offset, so busy intervals need no extra plumbing).
+    pub fn utilization(&self) -> typefuse_obs::UtilizationReport {
+        typefuse_obs::UtilizationReport::from_stage(&self.stage, self.workers)
+    }
+
+    /// Per-partition duration rollups as log₂ histograms, keyed by
+    /// stage name: `partition.execute_ns` / `partition.queue_wait_ns`
+    /// from the pool's task timings, `partition.infer_ns` /
+    /// `partition.fuse_ns` from the runner's own CPU clocks. Quantiles
+    /// (p50/p90/p99) come out of the histogram report.
+    pub fn stage_histograms(
+        &self,
+    ) -> std::collections::BTreeMap<String, typefuse_obs::HistogramReport> {
+        use typefuse_obs::LogHistogram;
+        let mut execute = LogHistogram::new();
+        let mut wait = LogHistogram::new();
+        for task in &self.stage.tasks {
+            execute.record(task.execute_ns);
+            wait.record(task.queue_wait_ns);
+        }
+        let mut infer = LogHistogram::new();
+        let mut fuse = LogHistogram::new();
+        for (i, f) in &self.partition_cpu {
+            infer.record(i.as_nanos() as u64);
+            fuse.record(f.as_nanos() as u64);
+        }
+        let mut out = std::collections::BTreeMap::new();
+        out.insert("partition.execute_ns".to_string(), execute.report());
+        out.insert("partition.queue_wait_ns".to_string(), wait.report());
+        out.insert("partition.infer_ns".to_string(), infer.report());
+        out.insert("partition.fuse_ns".to_string(), fuse.report());
+        out
+    }
+
     /// Convert to the same [`typefuse_obs::RunReport`] struct the CLI's
     /// `--metrics-json` emits, so bench output and pipeline output can
-    /// be diffed or post-processed with the same tooling. Partition
-    /// timings become one `partitions` stage (queue wait is 0: the
-    /// streaming runner generates its own input, tasks never wait).
+    /// be diffed or post-processed with the same tooling. The
+    /// `partitions` stage carries the pool's real task timings (queue
+    /// wait, execute, worker id), and the per-partition duration
+    /// histograms ride along for quantile rollups.
     pub fn run_report(&self) -> typefuse_obs::RunReport {
         let mut report = typefuse_obs::RunReport::default();
         report.counters.insert("records".to_string(), self.records);
         if self.bytes > 0 {
             report.counters.insert("json.bytes".to_string(), self.bytes);
         }
-        report.stages.push(typefuse_obs::StageReport {
-            name: "partitions".to_string(),
-            wall_ns: self.wall.as_nanos() as u64,
-            tasks: self
-                .partition_rows
-                .iter()
-                .enumerate()
-                .map(|(i, (_, _, wall))| typefuse_obs::TaskReport {
-                    partition: i,
-                    queue_wait_ns: 0,
-                    execute_ns: wall.as_nanos() as u64,
-                })
-                .collect(),
-        });
+        report.stages.push(self.stage.clone());
+        report.histograms = self.stage_histograms();
         let values = [
             ("distinct_types", self.distinct_types as f64),
             ("min_size", self.min_size as f64),
@@ -273,7 +306,7 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
         .collect();
 
     let cfg = config.fuse_config;
-    let (accs, _metrics) = runtime.run_indexed(&ranges, |_, &(start, end)| {
+    let (accs, metrics) = runtime.run_indexed(&ranges, |_, &(start, end)| {
         let mut acc = PartitionAcc::empty(config.dedup);
         for index in start..end {
             let value = config.profile.record(config.seed, index);
@@ -328,6 +361,9 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
             )
         })
         .collect();
+    let partition_cpu: Vec<(Duration, Duration)> =
+        accs.iter().map(|a| (a.infer_time, a.fuse_time)).collect();
+    let stage = metrics.stage_report("partitions");
 
     // Merge: distinct sets union, min/max/sum fold, schemas fuse (the
     // cheap final step the paper highlights).
@@ -349,6 +385,7 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
 
     let schema = merged.schema.schema();
     ScaleResult {
+        workers: config.workers.max(1),
         records: merged.records,
         bytes: merged.bytes,
         distinct_types: merged.distinct_hashes.len(),
@@ -369,6 +406,8 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
         fuse_cpu: merged.fuse_time,
         wall: wall_start.elapsed(),
         partition_rows,
+        partition_cpu,
+        stage,
     }
 }
 
@@ -470,6 +509,8 @@ mod tests {
         assert_eq!(report.stages.len(), 1);
         assert_eq!(report.stages[0].name, "partitions");
         assert_eq!(report.stages[0].tasks.len(), 4);
+        assert_eq!(report.histograms["partition.execute_ns"].count, 4);
+        assert_eq!(report.histograms["partition.infer_ns"].count, 4);
         assert_eq!(report.values["fused_size"], r.fused_size as f64);
         assert_eq!(report.meta["schema"], r.schema.to_string());
         // Same shape as the pipeline's report: serializes with the
@@ -477,6 +518,36 @@ mod tests {
         let json = report.to_json();
         for key in ["\"counters\"", "\"stages\"", "\"values\"", "\"meta\""] {
             assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn stage_metrics_cover_every_partition_worker() {
+        let r = run_scale(
+            &ScaleConfig::new(Profile::Twitter, 200)
+                .workers(3)
+                .partitions(8),
+        );
+        assert_eq!(r.workers, 3);
+        assert_eq!(r.stage.tasks.len(), 8);
+        for task in &r.stage.tasks {
+            assert!(task.worker < 3, "worker {} out of pool", task.worker);
+            assert!(task.execute_ns > 0);
+        }
+        let u = r.utilization();
+        assert_eq!(u.workers.len(), 3);
+        assert_eq!(u.workers.iter().map(|w| w.tasks).sum::<u64>(), 8);
+        // Each worker's busy intervals are disjoint, so its busy time
+        // is bounded by the stage wall (the makespan consistency the
+        // BENCH trajectory property-tests at scale).
+        for w in &u.workers {
+            assert!(
+                w.busy_ns <= u.wall_ns,
+                "worker {} busy {} > wall {}",
+                w.worker,
+                w.busy_ns,
+                u.wall_ns
+            );
         }
     }
 

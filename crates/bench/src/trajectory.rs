@@ -1,0 +1,526 @@
+//! The perf-trajectory format behind `typefuse bench`: a
+//! schema-versioned `BENCH_<gitsha>.json` snapshot of the standard
+//! workload matrix, plus the comparator that gates regressions.
+//!
+//! One [`BenchRun`] records a single `(profile, records, partitions,
+//! workers, map-path, dedup)` cell: throughput (records/s and MB/s),
+//! wall and CPU time, per-stage duration histograms with p50/p90/p99
+//! from [`typefuse_obs::LogHistogram`], peak RSS, allocation counters,
+//! and the per-worker [`typefuse_obs::UtilizationReport`] reconstructed
+//! from the thread pool's real task timings — the live analogue of the
+//! paper's Table 7/8 cluster under-utilisation.
+//!
+//! A [`BenchReport`] is a set of runs stamped with the git revision
+//! that produced them. Reports serialize through the same hand-rolled
+//! [`JsonWriter`] the rest of the workspace uses (byte-deterministic
+//! for a given report) and parse back through `typefuse-json`, so the
+//! trajectory file round-trips without any external dependency.
+//! [`compare`] diffs two reports run-by-run with a percentage
+//! tolerance; `typefuse bench compare` turns its verdict into exit
+//! code 6.
+
+use std::collections::BTreeMap;
+
+use typefuse_datagen::DatasetProfile;
+use typefuse_json::Value;
+use typefuse_obs::{BucketCount, HistogramReport, JsonWriter, UtilizationReport, WorkerSlice};
+
+use crate::alloc::AllocSnapshot;
+use crate::runner::{ScaleConfig, ScaleResult};
+
+/// Version of the `BENCH_*.json` layout. Bump on breaking shape
+/// changes; [`BenchReport::from_json`] refuses versions it does not
+/// know, so `bench compare` fails loudly instead of misreading.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One cell of the workload matrix, fully described and measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Dataset profile name (`github`, `twitter`, …).
+    pub profile: String,
+    /// Records processed.
+    pub records: u64,
+    /// Partition count.
+    pub partitions: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Map route: `values` or `events`.
+    pub map_path: String,
+    /// Whether the reduce deduplicated shapes.
+    pub dedup: bool,
+    /// Wall-clock nanoseconds of the whole run.
+    pub wall_ns: u64,
+    /// CPU nanoseconds spent inferring (summed over partitions).
+    pub infer_cpu_ns: u64,
+    /// CPU nanoseconds spent fusing (summed over partitions).
+    pub fuse_cpu_ns: u64,
+    /// Serialized dataset bytes (0 unless the run measured bytes).
+    pub bytes: u64,
+    /// Headline throughput: records per wall-clock second.
+    pub records_per_sec: f64,
+    /// Throughput in MB per wall-clock second (0 when bytes were not
+    /// measured).
+    pub mb_per_sec: f64,
+    /// Size of the fused schema.
+    pub fused_size: u64,
+    /// Distinct inferred type shapes.
+    pub distinct_types: u64,
+    /// Peak resident set in bytes at the end of the run (0 when the
+    /// platform does not expose it).
+    pub peak_rss_bytes: u64,
+    /// Heap allocations during the run (0 unless the counting
+    /// allocator is registered, as it is in the `typefuse` binary).
+    pub alloc_count: u64,
+    /// Bytes requested from the heap during the run (0 as above).
+    pub alloc_bytes: u64,
+    /// Per-stage duration histograms (`partition.execute_ns`,
+    /// `partition.infer_ns`, …) with p50/p90/p99 rollups.
+    pub stage_histograms: BTreeMap<String, HistogramReport>,
+    /// Per-worker busy/queue-wait utilization of the partition stage.
+    pub utilization: UtilizationReport,
+}
+
+impl BenchRun {
+    /// The identity of this matrix cell — two runs compare when their
+    /// keys match.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/r{}/p{}/w{}/{}/{}",
+            self.profile,
+            self.records,
+            self.partitions,
+            self.workers,
+            self.map_path,
+            if self.dedup { "dedup" } else { "plain" }
+        )
+    }
+
+    /// Package a finished [`ScaleResult`] (plus the allocation delta
+    /// observed around it) as one trajectory cell.
+    pub fn from_scale(config: &ScaleConfig, result: &ScaleResult, alloc: AllocSnapshot) -> Self {
+        let wall_secs = result.wall.as_secs_f64();
+        let per_sec = |amount: f64| {
+            if wall_secs > 0.0 {
+                amount / wall_secs
+            } else {
+                0.0
+            }
+        };
+        BenchRun {
+            profile: config.profile.name().to_string(),
+            records: result.records,
+            partitions: config.partitions as u64,
+            workers: result.workers as u64,
+            map_path: match config.map_path {
+                typefuse::pipeline::MapPath::Values => "values".to_string(),
+                typefuse::pipeline::MapPath::Events => "events".to_string(),
+            },
+            dedup: config.dedup,
+            wall_ns: result.wall.as_nanos() as u64,
+            infer_cpu_ns: result.infer_cpu.as_nanos() as u64,
+            fuse_cpu_ns: result.fuse_cpu.as_nanos() as u64,
+            bytes: result.bytes,
+            records_per_sec: per_sec(result.records as f64),
+            mb_per_sec: per_sec(result.bytes as f64 / 1e6),
+            fused_size: result.fused_size as u64,
+            distinct_types: result.distinct_types as u64,
+            peak_rss_bytes: typefuse_obs::rss::peak_rss_bytes().unwrap_or(0),
+            alloc_count: alloc.allocations,
+            alloc_bytes: alloc.allocated_bytes,
+            stage_histograms: result.stage_histograms(),
+            utilization: result.utilization(),
+        }
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("profile");
+        w.string(&self.profile);
+        w.key("records");
+        w.number(self.records);
+        w.key("partitions");
+        w.number(self.partitions);
+        w.key("workers");
+        w.number(self.workers);
+        w.key("map_path");
+        w.string(&self.map_path);
+        w.key("dedup");
+        w.bool_value(self.dedup);
+        w.key("wall_ns");
+        w.number(self.wall_ns);
+        w.key("infer_cpu_ns");
+        w.number(self.infer_cpu_ns);
+        w.key("fuse_cpu_ns");
+        w.number(self.fuse_cpu_ns);
+        w.key("bytes");
+        w.number(self.bytes);
+        w.key("records_per_sec");
+        w.float(self.records_per_sec);
+        w.key("mb_per_sec");
+        w.float(self.mb_per_sec);
+        w.key("fused_size");
+        w.number(self.fused_size);
+        w.key("distinct_types");
+        w.number(self.distinct_types);
+        w.key("peak_rss_bytes");
+        w.number(self.peak_rss_bytes);
+        w.key("alloc_count");
+        w.number(self.alloc_count);
+        w.key("alloc_bytes");
+        w.number(self.alloc_bytes);
+        w.key("stages");
+        w.begin_object();
+        for (name, hist) in &self.stage_histograms {
+            w.key(name);
+            hist.write_json(w);
+        }
+        w.end_object();
+        w.key("utilization");
+        self.utilization.write_json(w);
+        w.end_object();
+    }
+}
+
+/// A full trajectory snapshot: every run of one `typefuse bench`
+/// invocation, stamped with the revision that produced it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Layout version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Git revision the binary was built from (`unknown` outside a
+    /// checkout).
+    pub git_sha: String,
+    /// Free-form creation timestamp (Unix seconds when the CLI fills
+    /// it).
+    pub created_at: String,
+    /// The measured matrix cells.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// A report stamped with the current schema version.
+    pub fn new(git_sha: impl Into<String>, created_at: impl Into<String>) -> Self {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            git_sha: git_sha.into(),
+            created_at: created_at.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Look up a run by matrix key.
+    pub fn run(&self, key: &str) -> Option<&BenchRun> {
+        self.runs.iter().find(|r| r.key() == key)
+    }
+
+    /// Serialize as a `BENCH_*.json` document. Byte-deterministic for
+    /// a given report: maps are ordered, floats format canonically.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema_version");
+        w.number(self.schema_version);
+        w.key("git_sha");
+        w.string(&self.git_sha);
+        w.key("created_at");
+        w.string(&self.created_at);
+        w.key("runs");
+        w.begin_array();
+        for run in &self.runs {
+            run.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parse a `BENCH_*.json` document produced by [`Self::to_json`].
+    /// Rejects unknown schema versions. Derived JSON fields (mean,
+    /// quantiles, utilization fractions) are recomputed, not read.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = typefuse_json::parse_value(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let top = as_object(&value, "report")?;
+        let version = get_u64(top, "schema_version", "report")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported bench schema version {version} (this build reads {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let runs = get(top, "runs", "report")?
+            .as_array()
+            .ok_or("report.runs must be an array")?
+            .iter()
+            .map(parse_run)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema_version: version,
+            git_sha: get_str(top, "git_sha", "report")?,
+            created_at: get_str(top, "created_at", "report")?,
+            runs,
+        })
+    }
+}
+
+fn parse_run(value: &Value) -> Result<BenchRun, String> {
+    let run = as_object(value, "run")?;
+    let mut stage_histograms = BTreeMap::new();
+    for (name, hist) in as_object(get(run, "stages", "run")?, "run.stages")?.iter() {
+        stage_histograms.insert(name.to_string(), parse_histogram(hist, name)?);
+    }
+    Ok(BenchRun {
+        profile: get_str(run, "profile", "run")?,
+        records: get_u64(run, "records", "run")?,
+        partitions: get_u64(run, "partitions", "run")?,
+        workers: get_u64(run, "workers", "run")?,
+        map_path: get_str(run, "map_path", "run")?,
+        dedup: get(run, "dedup", "run")?
+            .as_bool()
+            .ok_or("run.dedup must be a boolean")?,
+        wall_ns: get_u64(run, "wall_ns", "run")?,
+        infer_cpu_ns: get_u64(run, "infer_cpu_ns", "run")?,
+        fuse_cpu_ns: get_u64(run, "fuse_cpu_ns", "run")?,
+        bytes: get_u64(run, "bytes", "run")?,
+        records_per_sec: get_f64(run, "records_per_sec", "run")?,
+        mb_per_sec: get_f64(run, "mb_per_sec", "run")?,
+        fused_size: get_u64(run, "fused_size", "run")?,
+        distinct_types: get_u64(run, "distinct_types", "run")?,
+        peak_rss_bytes: get_u64(run, "peak_rss_bytes", "run")?,
+        alloc_count: get_u64(run, "alloc_count", "run")?,
+        alloc_bytes: get_u64(run, "alloc_bytes", "run")?,
+        stage_histograms,
+        utilization: parse_utilization(get(run, "utilization", "run")?)?,
+    })
+}
+
+fn parse_histogram(value: &Value, ctx: &str) -> Result<HistogramReport, String> {
+    let hist = as_object(value, ctx)?;
+    let buckets = get(hist, "buckets", ctx)?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}.buckets must be an array"))?
+        .iter()
+        .map(|b| {
+            let bucket = as_object(b, "bucket")?;
+            Ok(BucketCount {
+                lo: get_u64(bucket, "lo", "bucket")?,
+                hi: get_u64(bucket, "hi", "bucket")?,
+                count: get_u64(bucket, "count", "bucket")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(HistogramReport {
+        count: get_u64(hist, "count", ctx)?,
+        sum: get_u64(hist, "sum", ctx)?,
+        min: get_u64(hist, "min", ctx)?,
+        max: get_u64(hist, "max", ctx)?,
+        buckets,
+    })
+}
+
+fn parse_utilization(value: &Value) -> Result<UtilizationReport, String> {
+    let util = as_object(value, "utilization")?;
+    let workers = get(util, "workers", "utilization")?
+        .as_array()
+        .ok_or("utilization.workers must be an array")?
+        .iter()
+        .map(|slice| {
+            let s = as_object(slice, "worker slice")?;
+            Ok(WorkerSlice {
+                worker: get_u64(s, "worker", "worker slice")? as usize,
+                tasks: get_u64(s, "tasks", "worker slice")?,
+                busy_ns: get_u64(s, "busy_ns", "worker slice")?,
+                queue_wait: parse_histogram(get(s, "queue_wait", "worker slice")?, "queue_wait")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(UtilizationReport {
+        wall_ns: get_u64(util, "wall_ns", "utilization")?,
+        workers,
+    })
+}
+
+fn as_object<'a>(value: &'a Value, ctx: &str) -> Result<&'a typefuse_json::Map, String> {
+    value
+        .as_object()
+        .ok_or_else(|| format!("{ctx} must be a JSON object"))
+}
+
+fn get<'a>(map: &'a typefuse_json::Map, key: &str, ctx: &str) -> Result<&'a Value, String> {
+    map.get(key)
+        .ok_or_else(|| format!("{ctx} is missing `{key}`"))
+}
+
+fn get_u64(map: &typefuse_json::Map, key: &str, ctx: &str) -> Result<u64, String> {
+    let value = get(map, key, ctx)?;
+    value
+        .as_i64()
+        .and_then(|i| u64::try_from(i).ok())
+        .or_else(|| match value.as_f64() {
+            Some(f) if f >= 0.0 => Some(f as u64),
+            _ => None,
+        })
+        .ok_or_else(|| format!("{ctx}.{key} must be a non-negative integer"))
+}
+
+fn get_f64(map: &typefuse_json::Map, key: &str, ctx: &str) -> Result<f64, String> {
+    get(map, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}.{key} must be a number"))
+}
+
+fn get_str(map: &typefuse_json::Map, key: &str, ctx: &str) -> Result<String, String> {
+    get(map, key, ctx)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{ctx}.{key} must be a string"))
+}
+
+/// How one matrix cell moved relative to the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Faster than the baseline by more than the tolerance.
+    Improvement,
+    /// Within the tolerance band either way.
+    Within,
+    /// Slower than the baseline by more than the tolerance.
+    Regression,
+    /// Present in the current report but not in the baseline.
+    New,
+}
+
+/// One row of a trajectory diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunComparison {
+    /// The matrix key ([`BenchRun::key`]).
+    pub key: String,
+    /// Baseline throughput in records/s (0 for [`Verdict::New`]).
+    pub baseline_rps: f64,
+    /// Current throughput in records/s.
+    pub current_rps: f64,
+    /// Relative change in percent (positive = faster; 0 for new runs).
+    pub delta_pct: f64,
+    /// Classification under the tolerance.
+    pub verdict: Verdict,
+}
+
+/// The outcome of diffing a current report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Tolerance band in percent.
+    pub tolerance_pct: f64,
+    /// One row per current run, in report order.
+    pub runs: Vec<RunComparison>,
+    /// Keys present in the baseline but absent from the current report
+    /// — listed so a shrunk matrix cannot silently hide a regression.
+    pub missing: Vec<String>,
+}
+
+/// Diff `current` against `baseline` on headline throughput
+/// (records/s). A run regresses when it is more than `tolerance_pct`
+/// percent slower than its baseline cell; it improves when it is more
+/// than `tolerance_pct` percent faster; otherwise it is within the
+/// band. Runs without a baseline cell are marked [`Verdict::New`], and
+/// baseline cells without a current run are reported in
+/// [`Comparison::missing`] — neither counts as a regression.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance_pct: f64) -> Comparison {
+    let tolerance_pct = tolerance_pct.max(0.0);
+    let runs = current
+        .runs
+        .iter()
+        .map(|run| {
+            let key = run.key();
+            match baseline.run(&key) {
+                None => RunComparison {
+                    key,
+                    baseline_rps: 0.0,
+                    current_rps: run.records_per_sec,
+                    delta_pct: 0.0,
+                    verdict: Verdict::New,
+                },
+                Some(base) => {
+                    let delta_pct = if base.records_per_sec > 0.0 {
+                        (run.records_per_sec - base.records_per_sec) / base.records_per_sec * 100.0
+                    } else {
+                        0.0
+                    };
+                    let verdict = if delta_pct < -tolerance_pct {
+                        Verdict::Regression
+                    } else if delta_pct > tolerance_pct {
+                        Verdict::Improvement
+                    } else {
+                        Verdict::Within
+                    };
+                    RunComparison {
+                        key,
+                        baseline_rps: base.records_per_sec,
+                        current_rps: run.records_per_sec,
+                        delta_pct,
+                        verdict,
+                    }
+                }
+            }
+        })
+        .collect();
+    let missing = baseline
+        .runs
+        .iter()
+        .map(BenchRun::key)
+        .filter(|key| current.run(key).is_none())
+        .collect();
+    Comparison {
+        tolerance_pct,
+        runs,
+        missing,
+    }
+}
+
+impl Comparison {
+    /// Rows classified as regressions.
+    pub fn regressions(&self) -> impl Iterator<Item = &RunComparison> {
+        self.runs
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regression)
+    }
+
+    /// Whether any run regressed beyond the tolerance.
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Human-readable regression report, one line per run.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "bench compare: {} runs, tolerance ±{:.1}%\n",
+            self.runs.len(),
+            self.tolerance_pct
+        );
+        for row in &self.runs {
+            let tag = match row.verdict {
+                Verdict::Improvement => "IMPROVED  ",
+                Verdict::Within => "ok        ",
+                Verdict::Regression => "REGRESSION",
+                Verdict::New => "new       ",
+            };
+            if row.verdict == Verdict::New {
+                out.push_str(&format!(
+                    "  {tag}  {:<44} {:>12.0} rec/s (no baseline)\n",
+                    row.key, row.current_rps
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  {tag}  {:<44} {:>12.0} -> {:>12.0} rec/s ({:+.1}%)\n",
+                    row.key, row.baseline_rps, row.current_rps, row.delta_pct
+                ));
+            }
+        }
+        for key in &self.missing {
+            out.push_str(&format!("  MISSING     {key} (in baseline, not re-run)\n"));
+        }
+        let regressions = self.regressions().count();
+        if regressions > 0 {
+            out.push_str(&format!("{regressions} regression(s) beyond tolerance\n"));
+        } else {
+            out.push_str("no regressions\n");
+        }
+        out
+    }
+}

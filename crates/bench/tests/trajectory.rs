@@ -1,0 +1,246 @@
+//! The perf-trajectory contract: `BENCH_*.json` round-trips
+//! byte-for-byte, results are deterministic across the whole execution
+//! matrix, the comparator classifies every verdict correctly, and the
+//! per-worker utilization accounting is consistent with the wall-clock
+//! makespan on real thread-pool runs (property-tested).
+
+use proptest::prelude::*;
+use typefuse::pipeline::MapPath;
+use typefuse_bench::alloc::AllocSnapshot;
+use typefuse_bench::{
+    compare, run_scale, BenchReport, BenchRun, ScaleConfig, Verdict, BENCH_SCHEMA_VERSION,
+};
+use typefuse_datagen::Profile;
+
+fn bench_run(profile: Profile, records: u64, workers: usize, dedup: bool) -> BenchRun {
+    let mut config = ScaleConfig::new(profile, records)
+        .workers(workers)
+        .partitions(workers * 2)
+        .measure_bytes();
+    if dedup {
+        config = config.dedup();
+    }
+    let result = run_scale(&config);
+    BenchRun::from_scale(&config, &result, AllocSnapshot::default())
+}
+
+fn small_report() -> BenchReport {
+    let mut report = BenchReport::new("deadbee", "1700000000");
+    report.runs.push(bench_run(Profile::GitHub, 120, 2, false));
+    report.runs.push(bench_run(Profile::Twitter, 80, 1, true));
+    report
+}
+
+// ---- BENCH JSON round-trip ------------------------------------------------
+
+#[test]
+fn bench_json_round_trips_byte_for_byte() {
+    let report = small_report();
+    let json = report.to_json();
+    let parsed = BenchReport::from_json(&json).expect("own output parses");
+    assert_eq!(parsed, report, "struct round-trip");
+    assert_eq!(
+        parsed.to_json(),
+        json,
+        "byte-deterministic re-serialization"
+    );
+}
+
+#[test]
+fn bench_json_preserves_every_measured_field() {
+    let report = small_report();
+    let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+    let (orig, back) = (&report.runs[0], &parsed.runs[0]);
+    assert_eq!(back.key(), orig.key());
+    assert_eq!(back.wall_ns, orig.wall_ns);
+    assert_eq!(back.infer_cpu_ns, orig.infer_cpu_ns);
+    assert_eq!(back.stage_histograms, orig.stage_histograms);
+    assert_eq!(back.utilization, orig.utilization);
+    assert_eq!(
+        back.utilization.total_busy_ns(),
+        orig.utilization.total_busy_ns()
+    );
+}
+
+#[test]
+fn bench_json_rejects_unknown_schema_versions() {
+    let mut report = small_report();
+    report.schema_version = BENCH_SCHEMA_VERSION + 1;
+    let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+    assert!(err.contains("unsupported bench schema version"), "{err}");
+}
+
+#[test]
+fn bench_json_rejects_malformed_documents() {
+    assert!(BenchReport::from_json("not json").is_err());
+    assert!(BenchReport::from_json("{}").is_err());
+    assert!(BenchReport::from_json(r#"{"schema_version":1}"#).is_err());
+}
+
+// ---- Determinism across the execution matrix ------------------------------
+
+/// The measured *results* (schema size, distinct shapes, record and
+/// byte counts) must not depend on how the run was executed: any
+/// worker count, map route or reduce strategy observes the same
+/// dataset. Only timings may differ.
+#[test]
+fn results_are_deterministic_across_workers_map_path_and_dedup() {
+    let baseline = bench_run(Profile::Wikidata, 150, 1, false);
+    for workers in [2, 4] {
+        for map_path in [MapPath::Values, MapPath::Events] {
+            for dedup in [false, true] {
+                let mut config = ScaleConfig::new(Profile::Wikidata, 150)
+                    .workers(workers)
+                    .partitions(workers * 2)
+                    .map_path(map_path)
+                    .measure_bytes();
+                if dedup {
+                    config = config.dedup();
+                }
+                let result = run_scale(&config);
+                let run = BenchRun::from_scale(&config, &result, AllocSnapshot::default());
+                let cell = run.key();
+                assert_eq!(run.records, baseline.records, "{cell}");
+                assert_eq!(run.bytes, baseline.bytes, "{cell}");
+                assert_eq!(run.fused_size, baseline.fused_size, "{cell}");
+                assert_eq!(run.distinct_types, baseline.distinct_types, "{cell}");
+            }
+        }
+    }
+}
+
+// ---- Compare verdict matrix -----------------------------------------------
+
+fn synthetic_run(key_suffix: u64, rps: f64) -> BenchRun {
+    let mut run = bench_run(Profile::GitHub, 40 + key_suffix, 1, false);
+    run.records_per_sec = rps;
+    run
+}
+
+#[test]
+fn compare_classifies_improvement_within_regression_and_new() {
+    let mut baseline = BenchReport::new("base", "");
+    baseline.runs.push(synthetic_run(0, 1000.0));
+    baseline.runs.push(synthetic_run(1, 1000.0));
+    baseline.runs.push(synthetic_run(2, 1000.0));
+
+    let mut current = BenchReport::new("head", "");
+    current.runs.push(synthetic_run(0, 1500.0)); // +50% → improvement
+    current.runs.push(synthetic_run(1, 950.0)); // -5%  → within ±10%
+    current.runs.push(synthetic_run(2, 500.0)); // -50% → regression
+    current.runs.push(synthetic_run(3, 800.0)); // not in baseline → new
+
+    let diff = compare(&current, &baseline, 10.0);
+    let verdicts: Vec<Verdict> = diff.runs.iter().map(|r| r.verdict).collect();
+    assert_eq!(
+        verdicts,
+        vec![
+            Verdict::Improvement,
+            Verdict::Within,
+            Verdict::Regression,
+            Verdict::New
+        ]
+    );
+    assert!(diff.has_regressions());
+    assert_eq!(diff.regressions().count(), 1);
+    assert!((diff.runs[2].delta_pct - -50.0).abs() < 1e-9);
+    let text = diff.to_text();
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("IMPROVED"), "{text}");
+    assert!(text.contains("(no baseline)"), "{text}");
+}
+
+#[test]
+fn compare_reports_baseline_runs_missing_from_current() {
+    let mut baseline = BenchReport::new("base", "");
+    baseline.runs.push(synthetic_run(0, 1000.0));
+    baseline.runs.push(synthetic_run(1, 1000.0));
+    let mut current = BenchReport::new("head", "");
+    current.runs.push(synthetic_run(0, 1000.0));
+
+    let diff = compare(&current, &baseline, 10.0);
+    assert!(!diff.has_regressions(), "missing is not a regression");
+    assert_eq!(diff.missing, vec![synthetic_run(1, 0.0).key()]);
+    assert!(diff.to_text().contains("MISSING"), "{}", diff.to_text());
+}
+
+#[test]
+fn compare_against_identical_report_is_all_within() {
+    let report = small_report();
+    let diff = compare(&report, &report, 0.0);
+    assert!(!diff.has_regressions());
+    assert!(diff.runs.iter().all(|r| r.verdict == Verdict::Within));
+    assert!(diff.missing.is_empty());
+}
+
+#[test]
+fn compare_flags_a_2x_slowdown_but_passes_the_rerun() {
+    let baseline = small_report();
+    // Identical re-run: same measured numbers, different timestamp.
+    let mut rerun = baseline.clone();
+    rerun.created_at = "1700000001".to_string();
+    assert!(!compare(&rerun, &baseline, 10.0).has_regressions());
+
+    // Injected 2x slowdown on one cell.
+    let mut slow = baseline.clone();
+    slow.runs[0].records_per_sec /= 2.0;
+    let diff = compare(&slow, &baseline, 10.0);
+    assert_eq!(diff.regressions().count(), 1);
+    assert_eq!(diff.runs[0].verdict, Verdict::Regression);
+}
+
+// ---- Utilization consistency (property-tested) ----------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a real thread-pool run of any matrix shape, the per-worker
+    /// busy sums must be consistent with the wall-clock makespan: each
+    /// worker's busy intervals are disjoint (so its sum is bounded by
+    /// the stage wall), total busy is bounded by `wall x workers`, and
+    /// every task lands on exactly one in-pool worker.
+    #[test]
+    fn worker_busy_sums_are_consistent_with_makespan(
+        records in 50u64..300,
+        workers in 1usize..5,
+        partitions in 1usize..9,
+        dedup in any::<bool>(),
+        events in any::<bool>(),
+    ) {
+        let mut config = ScaleConfig::new(Profile::GitHub, records)
+            .workers(workers)
+            .partitions(partitions)
+            .map_path(if events { MapPath::Events } else { MapPath::Values });
+        if dedup {
+            config = config.dedup();
+        }
+        let result = run_scale(&config);
+        let u = result.utilization();
+
+        // One slice per configured worker; a tiny measurement slack
+        // (1µs) absorbs clock-edge effects at the stage boundary.
+        let slack = 1_000u64;
+        prop_assert_eq!(u.workers.len(), workers);
+        prop_assert_eq!(
+            u.workers.iter().map(|w| w.tasks).sum::<u64>(),
+            partitions as u64
+        );
+        for w in &u.workers {
+            prop_assert!(
+                w.busy_ns <= u.wall_ns + slack,
+                "worker {} busy {}ns exceeds wall {}ns",
+                w.worker, w.busy_ns, u.wall_ns
+            );
+        }
+        prop_assert!(
+            u.total_busy_ns() <= (u.wall_ns + slack) * workers as u64,
+            "total busy {} exceeds wall x workers {}",
+            u.total_busy_ns(), u.wall_ns * workers as u64
+        );
+        let util = u.utilization();
+        prop_assert!((0.0..=1.001).contains(&util), "utilization {util}");
+        for task in &result.stage.tasks {
+            prop_assert!(task.worker < workers);
+        }
+    }
+}

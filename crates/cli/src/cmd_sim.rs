@@ -12,6 +12,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let block_mb: u64 = args.parsed_option("--block-mb")?.unwrap_or(128);
     let records_per_block: u64 = args.parsed_option("--records-per-block")?.unwrap_or(7000);
     let relaxed = args.flag("--relaxed");
+    let report_json = args.option("--report-json")?;
     args.finish()?;
 
     let placement = match placement_name.as_str() {
@@ -78,6 +79,15 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
             busy,
             "#".repeat(bar_len.min(60))
         );
+    }
+    // The machine-readable counterpart: the same per-worker utilization
+    // JSON shape the real runtime emits in BENCH_*.json, so the
+    // simulated Table 7/8 story diffs directly against measured runs.
+    if let Some(path) = report_json {
+        let json = report.utilization_report().to_json();
+        std::fs::write(&path, json)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote utilization report to {path}");
     }
     Ok(())
 }

@@ -11,6 +11,7 @@
 //! ```
 
 mod args;
+mod cmd_bench;
 mod cmd_check;
 mod cmd_diff;
 mod cmd_explain;
@@ -23,6 +24,11 @@ mod cmd_stats;
 
 use args::ArgStream;
 use std::process::ExitCode;
+
+// Count heap traffic for `typefuse bench`; every other command pays
+// three relaxed atomic adds per allocation, noise next to a malloc.
+#[global_allocator]
+static ALLOC: typefuse_bench::alloc::CountingAllocator = typefuse_bench::alloc::CountingAllocator;
 
 /// A CLI failure: message plus exit code.
 #[derive(Debug)]
@@ -161,18 +167,39 @@ COMMANDS:
         publish NAME [DATA] [--schema FILE] [--compat backward|forward|full|none]
         latest NAME | history NAME | diff NAME FROM TO | names
 
+    bench                perf trajectory: run the workload matrix and
+                         write a schema-versioned BENCH_<gitsha>.json
+                         (throughput, CPU/wall time, stage quantiles,
+                         peak RSS, allocations, worker utilization)
+        --profiles CSV     github,twitter,wikidata,nytimes (default: all)
+        --records N        records per run (default: 100000)
+        --workers CSV      worker counts (default: 1,<all cores>)
+        --map-paths CSV    values | events (default: values)
+        --dedup CSV        off | on (default: off,on)
+        --partitions N     partitions per run (default: 4 x workers)
+        --no-bytes         skip byte counting (MB/s reported as 0)
+        --out F            output file (default: BENCH_<gitsha>.json)
+
+    bench compare        diff two trajectories; exit 6 on regression
+        --baseline F       baseline BENCH_*.json (required)
+        --current F        current BENCH_*.json (required)
+        --tolerance PCT    allowed slowdown in percent (default: 10)
+
     sim                  simulate the 6-node cluster experiment
         --placement P      single | spread   (default: single)
         --blocks N         number of input blocks (default: 176)
         --block-mb M       block size in MB (default: 128)
         --records-per-block N  (default: 7000)
         --relaxed          allow non-local tasks (network reads)
+        --report-json F    write per-node utilization JSON to F (same
+                           shape as the BENCH_*.json utilization block)
 
     help                 print this message
 
 EXIT CODES:
     0  success        2  usage error      4  input I/O error
     1  other failure  3  parse error      5  --max-errors budget exceeded
+                                          6  perf regression (bench compare)
 ";
 
 fn main() -> ExitCode {
@@ -193,6 +220,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff::run(&mut args),
         "query" => cmd_query::run(&mut args),
         "registry" => cmd_registry::run(&mut args),
+        "bench" => cmd_bench::run(&mut args),
         "sim" => cmd_sim::run(&mut args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

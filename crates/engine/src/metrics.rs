@@ -11,12 +11,19 @@ use std::time::Duration;
 pub struct TaskMetrics {
     /// Index of the partition the task processed.
     pub partition: usize,
+    /// Index of the worker thread that executed the task (0 on the
+    /// sequential fast path). Grouping tasks by worker yields each
+    /// worker's busy timeline — the per-worker utilization report.
+    pub worker: usize,
     /// Wall-clock time the task spent executing.
     pub duration: Duration,
     /// Time the task spent queued before a worker picked it up: the gap
     /// between stage submission (all tasks enqueue at stage start) and
     /// execution start. Large queue waits with short durations mean the
-    /// stage is worker-bound, not work-bound.
+    /// stage is worker-bound, not work-bound. Because every task
+    /// enqueues at stage start, this is also the task's start offset
+    /// within the stage: the task was busy on its worker over
+    /// `[queue_wait, queue_wait + duration]`.
     pub queue_wait: Duration,
 }
 
@@ -91,11 +98,24 @@ impl StageMetrics {
                 .iter()
                 .map(|t| typefuse_obs::TaskReport {
                     partition: t.partition,
+                    worker: t.worker,
                     queue_wait_ns: t.queue_wait.as_nanos() as u64,
                     execute_ns: t.duration.as_nanos() as u64,
                 })
                 .collect(),
         }
+    }
+
+    /// Per-worker busy rollup of this stage — the real-runtime
+    /// counterpart of the cluster simulator's node-utilization table.
+    ///
+    /// `workers` is the runtime's configured worker count: workers that
+    /// never picked up a task still appear, with zero busy time, which
+    /// is exactly the paper's Table 7 phenomenon ("the computation was
+    /// performed on two nodes while the remaining four were idle")
+    /// observed on the live thread pool.
+    pub fn utilization_report(&self, workers: usize) -> typefuse_obs::UtilizationReport {
+        typefuse_obs::UtilizationReport::from_stage(&self.stage_report(""), workers)
     }
 }
 
@@ -106,6 +126,7 @@ mod tests {
     fn task(partition: usize, millis: u64) -> TaskMetrics {
         TaskMetrics {
             partition,
+            worker: partition % 2,
             duration: Duration::from_millis(millis),
             queue_wait: Duration::from_millis(millis / 10),
         }
@@ -172,10 +193,34 @@ mod tests {
         assert_eq!(report.tasks[0].queue_wait_ns, 1_000_000);
         assert_eq!(report.tasks[1].partition, 1);
         assert_eq!(report.tasks[1].queue_wait_ns, 3_000_000);
+        assert_eq!(report.tasks[0].worker, 0);
+        assert_eq!(report.tasks[1].worker, 1);
         assert_eq!(
             m.total_queue_wait(),
             Duration::from_millis(4),
             "1ms + 3ms of queue wait"
         );
+    }
+
+    #[test]
+    fn utilization_report_groups_by_worker_and_keeps_idle_workers() {
+        // Tasks 0 and 2 ran on worker 0, task 1 on worker 1; a 4-worker
+        // runtime leaves workers 2 and 3 idle.
+        let m = StageMetrics::new(
+            vec![task(0, 10), task(1, 30), task(2, 20)],
+            Duration::from_millis(40),
+        );
+        let u = m.utilization_report(4);
+        assert_eq!(u.wall_ns, 40_000_000);
+        assert_eq!(u.workers.len(), 4);
+        assert_eq!(u.workers[0].busy_ns, 30_000_000, "10ms + 20ms");
+        assert_eq!(u.workers[0].tasks, 2);
+        assert_eq!(u.workers[1].busy_ns, 30_000_000);
+        assert_eq!(u.workers[2].busy_ns, 0, "idle worker still listed");
+        assert_eq!(u.workers[3].tasks, 0);
+        assert_eq!(u.busy_workers(), 2);
+        assert_eq!(u.idle_workers(), 2);
+        // 60ms of work over 4 workers x 40ms of wall.
+        assert!((u.utilization() - 60.0 / 160.0).abs() < 1e-9);
     }
 }

@@ -157,6 +157,7 @@ impl Runtime {
                 out.push(caught(i));
                 task_metrics.push(TaskMetrics {
                     partition: i,
+                    worker: 0,
                     duration: t0.elapsed(),
                     // Conceptually every task is submitted at stage
                     // start, so a sequential task "waits" behind its
@@ -172,14 +173,15 @@ impl Runtime {
             }
             drop(tx);
 
-            // (outcome, execute duration, queue wait) for one task.
-            type TaskSlot<R> = Mutex<(Option<Result<R, String>>, Duration, Duration)>;
+            // (outcome, worker id, execute duration, queue wait) for one
+            // task.
+            type TaskSlot<R> = Mutex<(Option<Result<R, String>>, usize, Duration, Duration)>;
             let slots: Vec<TaskSlot<R>> = (0..n)
-                .map(|_| Mutex::new((None, Duration::ZERO, Duration::ZERO)))
+                .map(|_| Mutex::new((None, 0, Duration::ZERO, Duration::ZERO)))
                 .collect();
 
             std::thread::scope(|scope| {
-                for _ in 0..self.workers.min(n) {
+                for worker in 0..self.workers.min(n) {
                     let rx = rx.clone();
                     let slots = &slots;
                     let caught = &caught;
@@ -190,7 +192,7 @@ impl Runtime {
                             let t0 = Instant::now();
                             let queue_wait = t0.saturating_duration_since(stage_start);
                             let r = caught(i);
-                            *slots[i].lock() = (Some(r), t0.elapsed(), queue_wait);
+                            *slots[i].lock() = (Some(r), worker, t0.elapsed(), queue_wait);
                         }
                     });
                 }
@@ -198,10 +200,11 @@ impl Runtime {
 
             let mut out = Vec::with_capacity(n);
             for (i, slot) in slots.into_iter().enumerate() {
-                let (r, duration, queue_wait) = slot.into_inner();
+                let (r, worker, duration, queue_wait) = slot.into_inner();
                 out.push(r.expect("every task ran to completion"));
                 task_metrics.push(TaskMetrics {
                     partition: i,
+                    worker,
                     duration,
                     queue_wait,
                 });
@@ -307,6 +310,26 @@ mod tests {
         let mut parts: Vec<usize> = metrics.tasks.iter().map(|t| t.partition).collect();
         parts.sort_unstable();
         assert_eq!(parts, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_ids_are_within_pool_and_cover_each_task() {
+        // Sequential path: everything on worker 0.
+        let items = vec![1u32; 8];
+        let (_, m) = Runtime::sequential().run_indexed(&items, |_, &x| x);
+        assert!(m.tasks.iter().all(|t| t.worker == 0));
+        // Parallel path: ids stay within the pool, and with more slow
+        // tasks than workers every id shows up under contention.
+        let rt = Runtime::new(3);
+        let many = vec![1u32; 64];
+        let (_, m) = rt.run_indexed(&many, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            x
+        });
+        assert_eq!(m.tasks.len(), 64);
+        assert!(m.tasks.iter().all(|t| t.worker < 3));
+        let used: std::collections::HashSet<usize> = m.tasks.iter().map(|t| t.worker).collect();
+        assert!(!used.is_empty());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod histogram;
 pub mod recorder;
 pub mod report;
+pub mod rss;
 pub mod span;
 pub mod trace;
 
@@ -59,7 +60,10 @@ pub mod json;
 pub use histogram::{bucket_bounds, bucket_index, Histogram, LogHistogram, BUCKETS};
 pub use json::JsonWriter;
 pub use recorder::{Counter, Gauge, Recorder};
-pub use report::{BucketCount, HistogramReport, RunReport, SpanReport, StageReport, TaskReport};
+pub use report::{
+    BucketCount, HistogramReport, RunReport, SpanReport, StageReport, TaskReport,
+    UtilizationReport, WorkerSlice,
+};
 pub use span::SpanGuard;
 pub use trace::TraceEvent;
 

@@ -170,6 +170,10 @@ pub struct SpanReport {
 pub struct TaskReport {
     /// Partition index the task processed.
     pub partition: usize,
+    /// Worker thread that executed the task. Tasks enqueue at stage
+    /// start, so the task occupied this worker over
+    /// `[queue_wait_ns, queue_wait_ns + execute_ns]` of the stage.
+    pub worker: usize,
     /// Nanoseconds between stage submission and task pickup.
     pub queue_wait_ns: u64,
     /// Nanoseconds spent executing the task body.
@@ -186,6 +190,148 @@ pub struct StageReport {
     pub wall_ns: u64,
     /// Per-task timings, in partition order.
     pub tasks: Vec<TaskReport>,
+}
+
+/// Busy rollup for one worker (or one simulated cluster node).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkerSlice {
+    /// Worker (or node) index.
+    pub worker: usize,
+    /// Tasks the worker executed.
+    pub tasks: u64,
+    /// Total nanoseconds the worker spent executing tasks.
+    pub busy_ns: u64,
+    /// Distribution of the queue waits of this worker's tasks (empty
+    /// for simulated executions, which model no pickup delay).
+    pub queue_wait: HistogramReport,
+}
+
+/// Per-worker utilization of one stage — the shared JSON shape emitted
+/// by the real engine thread pool, the bench harness's
+/// `BENCH_*.json` trajectory, and the cluster simulator, so the paper's
+/// Table 7/8 under-utilisation story can be compared like-for-like
+/// between the simulated cluster and the live engine.
+///
+/// Workers that never picked up a task are listed with zero busy time;
+/// [`UtilizationReport::idle_workers`] counts them.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UtilizationReport {
+    /// Wall-clock nanoseconds of the stage (the makespan).
+    pub wall_ns: u64,
+    /// One slice per worker, in worker order, idle workers included.
+    pub workers: Vec<WorkerSlice>,
+}
+
+impl UtilizationReport {
+    /// Build from a stage's task timings. `workers` is the configured
+    /// pool size; a task whose worker id exceeds it still gets a slice,
+    /// so the report never drops work.
+    pub fn from_stage(stage: &StageReport, workers: usize) -> Self {
+        let slots = stage
+            .tasks
+            .iter()
+            .map(|t| t.worker + 1)
+            .max()
+            .unwrap_or(0)
+            .max(workers);
+        let mut slices: Vec<WorkerSlice> = (0..slots)
+            .map(|worker| WorkerSlice {
+                worker,
+                ..WorkerSlice::default()
+            })
+            .collect();
+        let mut waits: Vec<crate::LogHistogram> = vec![crate::LogHistogram::new(); slots];
+        for task in &stage.tasks {
+            let slice = &mut slices[task.worker];
+            slice.tasks += 1;
+            slice.busy_ns += task.execute_ns;
+            waits[task.worker].record(task.queue_wait_ns);
+        }
+        for (slice, wait) in slices.iter_mut().zip(&waits) {
+            slice.queue_wait = wait.report();
+        }
+        UtilizationReport {
+            wall_ns: stage.wall_ns,
+            workers: slices,
+        }
+    }
+
+    /// Total busy nanoseconds across all workers.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Mean worker utilization over the stage wall, in `[0, 1]`:
+    /// `total busy / (wall x workers)`. Mirrors the simulator's
+    /// core-utilization formula.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 || self.workers.is_empty() {
+            return 0.0;
+        }
+        self.total_busy_ns() as f64 / (self.wall_ns as f64 * self.workers.len() as f64)
+    }
+
+    /// Busy fraction of one worker slice over the stage wall.
+    pub fn worker_utilization(&self, slice: &WorkerSlice) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            slice.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Workers that executed at least one task.
+    pub fn busy_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.tasks > 0).count()
+    }
+
+    /// Workers that never ran anything — the paper's "remaining four
+    /// nodes were idle", observed on the live pool.
+    pub fn idle_workers(&self) -> usize {
+        self.workers.len() - self.busy_workers()
+    }
+
+    /// Write as a JSON object into `w` (the shape shared by
+    /// `BENCH_*.json`, `typefuse sim --report-json` and the bench
+    /// harness's tests).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("wall_ns");
+        w.number(self.wall_ns);
+        w.key("busy_ns");
+        w.number(self.total_busy_ns());
+        w.key("utilization");
+        w.float(self.utilization());
+        w.key("busy_workers");
+        w.number(self.busy_workers() as u64);
+        w.key("idle_workers");
+        w.number(self.idle_workers() as u64);
+        w.key("workers");
+        w.begin_array();
+        for slice in &self.workers {
+            w.begin_object();
+            w.key("worker");
+            w.number(slice.worker as u64);
+            w.key("tasks");
+            w.number(slice.tasks);
+            w.key("busy_ns");
+            w.number(slice.busy_ns);
+            w.key("utilization");
+            w.float(self.worker_utilization(slice));
+            w.key("queue_wait");
+            slice.queue_wait.write_json(w);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Serialize as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
 }
 
 /// The full structured run report.
@@ -272,6 +418,8 @@ impl RunReport {
                 w.begin_object();
                 w.key("partition");
                 w.number(task.partition as u64);
+                w.key("worker");
+                w.number(task.worker as u64);
                 w.key("queue_wait_ns");
                 w.number(task.queue_wait_ns);
                 w.key("execute_ns");
@@ -303,14 +451,42 @@ impl RunReport {
         w.finish()
     }
 
+    /// The fault counters the ingestion layer records; surfaced in
+    /// [`RunReport::to_text`] with explicit zeros so a clean run reads
+    /// as a clean run rather than omitting the lines.
+    pub const INGEST_FAULT_COUNTERS: [&'static str; 4] = [
+        "ingest.retries",
+        "ingest.skipped",
+        "ingest.quarantined",
+        "ingest.worker_panics",
+    ];
+
     /// Human-readable summary: one line per counter, gauge and span,
-    /// and one per histogram with its mean and estimated p50/p90/p99.
-    /// The structured counterpart is [`RunReport::to_json`].
+    /// one per histogram with its mean and estimated p50/p90/p99, a
+    /// dedicated `ingest` block for the fault counters (always printed,
+    /// zero when nothing went wrong), and a `workers` section per stage
+    /// with each worker's busy share and queue-wait p50/p99. The
+    /// structured counterpart is [`RunReport::to_json`].
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (name, value) in &self.counters {
+            if name.starts_with("ingest.") {
+                continue; // surfaced in the ingest block below
+            }
             let _ = writeln!(out, "counter    {name:<24} {value}");
+        }
+        for name in Self::INGEST_FAULT_COUNTERS {
+            let value = self.counters.get(name).copied().unwrap_or(0);
+            let _ = writeln!(out, "ingest     {name:<24} {value}");
+        }
+        // Non-canonical ingest.* counters added by future subsystems
+        // still show up, after the canonical block.
+        for (name, value) in &self.counters {
+            if name.starts_with("ingest.") && !Self::INGEST_FAULT_COUNTERS.contains(&name.as_str())
+            {
+                let _ = writeln!(out, "ingest     {name:<24} {value}");
+            }
         }
         for (name, value) in &self.gauges {
             let _ = writeln!(out, "gauge      {name:<24} {value}");
@@ -336,6 +512,33 @@ impl RunReport {
                 span.total_ns as f64 / 1e6,
                 span.max_ns as f64 / 1e6,
             );
+        }
+        for stage in &self.stages {
+            if stage.tasks.is_empty() {
+                continue;
+            }
+            let workers = stage.tasks.iter().map(|t| t.worker + 1).max().unwrap_or(1);
+            let u = UtilizationReport::from_stage(stage, workers);
+            let _ = writeln!(
+                out,
+                "workers    {:<24} wall {:.3}ms  utilization {:.1}%  busy {} / idle {}",
+                stage.name,
+                u.wall_ns as f64 / 1e6,
+                u.utilization() * 100.0,
+                u.busy_workers(),
+                u.idle_workers(),
+            );
+            for slice in &u.workers {
+                let _ = writeln!(
+                    out,
+                    "  worker {:<3} busy {:>5.1}%  tasks {:<4} queue-wait p50 {:.3}ms  p99 {:.3}ms",
+                    slice.worker,
+                    u.worker_utilization(slice) * 100.0,
+                    slice.tasks,
+                    slice.queue_wait.p50() / 1e6,
+                    slice.queue_wait.p99() / 1e6,
+                );
+            }
         }
         out
     }
@@ -393,6 +596,7 @@ mod tests {
             wall_ns: 1234,
             tasks: vec![TaskReport {
                 partition: 0,
+                worker: 2,
                 queue_wait_ns: 10,
                 execute_ns: 90,
             }],
@@ -407,6 +611,7 @@ mod tests {
             r#""infer.max_depth":4"#,
             r#""lo":4,"hi":7"#,
             r#""reduce.level.0""#,
+            r#""worker":2"#,
             r#""queue_wait_ns":10"#,
             r#""records_per_sec":1500000.0"#,
             r#""input":"data.ndjson""#,
@@ -487,6 +692,103 @@ mod tests {
         for needle in [r#""p50":5.0"#, r#""p90":5.0"#, r#""p99":5.0"#] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    fn stage_with_two_workers() -> StageReport {
+        StageReport {
+            name: "map".into(),
+            wall_ns: 100,
+            tasks: vec![
+                TaskReport {
+                    partition: 0,
+                    worker: 0,
+                    queue_wait_ns: 5,
+                    execute_ns: 40,
+                },
+                TaskReport {
+                    partition: 1,
+                    worker: 0,
+                    queue_wait_ns: 45,
+                    execute_ns: 30,
+                },
+                TaskReport {
+                    partition: 2,
+                    worker: 1,
+                    queue_wait_ns: 7,
+                    execute_ns: 60,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn utilization_groups_tasks_by_worker_and_lists_idle_slices() {
+        let u = UtilizationReport::from_stage(&stage_with_two_workers(), 4);
+        assert_eq!(u.wall_ns, 100);
+        assert_eq!(u.workers.len(), 4);
+        assert_eq!(u.workers[0].busy_ns, 70);
+        assert_eq!(u.workers[0].tasks, 2);
+        assert_eq!(u.workers[1].busy_ns, 60);
+        assert_eq!(u.workers[2].tasks, 0);
+        assert_eq!(u.total_busy_ns(), 130);
+        assert_eq!(u.busy_workers(), 2);
+        assert_eq!(u.idle_workers(), 2);
+        assert!((u.utilization() - 130.0 / 400.0).abs() < 1e-12);
+        assert_eq!(u.workers[0].queue_wait.count, 2);
+        // A worker id beyond the pool size still gets a slice.
+        let mut stage = stage_with_two_workers();
+        stage.tasks[2].worker = 9;
+        let wide = UtilizationReport::from_stage(&stage, 2);
+        assert_eq!(wide.workers.len(), 10);
+        assert_eq!(wide.total_busy_ns(), 130, "no work dropped");
+    }
+
+    #[test]
+    fn utilization_json_has_the_shared_shape() {
+        let u = UtilizationReport::from_stage(&stage_with_two_workers(), 2);
+        let json = u.to_json();
+        for needle in [
+            r#""wall_ns":100"#,
+            r#""busy_ns":130"#,
+            r#""utilization":0.65"#,
+            r#""busy_workers":2"#,
+            r#""idle_workers":0"#,
+            r#""worker":1"#,
+            r#""tasks":1"#,
+            r#""queue_wait":{"count":"#,
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(UtilizationReport::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn text_summary_surfaces_ingest_counters_and_worker_sections() {
+        let mut report = RunReport::default();
+        report.counters.insert("records".into(), 7);
+        report.counters.insert("ingest.retries".into(), 3);
+        report.stages.push(stage_with_two_workers());
+        let text = report.to_text();
+        // Recorded fault counter keeps its value; the rest default to 0.
+        assert!(text.contains("ingest     ingest.retries"), "{text}");
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("ingest     ingest.retries") && l.ends_with('3')),
+            "{text}"
+        );
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("ingest     ingest.skipped") && l.ends_with('0')),
+            "{text}"
+        );
+        assert!(text.contains("ingest     ingest.quarantined"), "{text}");
+        assert!(text.contains("ingest     ingest.worker_panics"), "{text}");
+        // The fault counters appear once, not again as plain counters.
+        assert!(!text.contains("counter    ingest.retries"), "{text}");
+        // Workers section: busy %, queue-wait quantiles, per stage.
+        assert!(text.contains("workers    map"), "{text}");
+        assert!(text.contains("worker 0"), "{text}");
+        assert!(text.contains("queue-wait p50"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Process memory gauges, read without any external dependency.
+//!
+//! On Linux the kernel exposes the peak and current resident set of the
+//! process in `/proc/self/status` (`VmHWM` / `VmRSS`, in kB). On other
+//! platforms both readers return `None` and callers report the gauge as
+//! absent rather than inventing a number.
+
+/// Peak resident set size of this process in bytes (`VmHWM`), if the
+/// platform exposes it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmHWM:").map(|kb| kb * 1024)
+}
+
+/// Current resident set size of this process in bytes (`VmRSS`), if the
+/// platform exposes it.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmRSS:").map(|kb| kb * 1024)
+}
+
+/// Parse one `<key>   <n> kB` line out of `/proc/self/status`.
+fn proc_status_kb(key: &str) -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_kb(&status, key)
+}
+
+fn parse_status_kb(status: &str, key: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|line| line.starts_with(key))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_lines() {
+        let status = "Name:\tcargo\nVmHWM:\t  123456 kB\nVmRSS:\t   98765 kB\n";
+        assert_eq!(parse_status_kb(status, "VmHWM:"), Some(123_456));
+        assert_eq!(parse_status_kb(status, "VmRSS:"), Some(98_765));
+        assert_eq!(parse_status_kb(status, "VmPeak:"), None);
+        assert_eq!(parse_status_kb("garbage", "VmHWM:"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn linux_reports_a_positive_peak() {
+        let peak = peak_rss_bytes().expect("/proc/self/status exists on Linux");
+        assert!(peak > 0);
+        let current = current_rss_bytes().expect("VmRSS present");
+        assert!(current > 0);
+        assert!(
+            peak >= current || peak > 1024,
+            "peak tracks the high-water mark"
+        );
+    }
+}
