@@ -11,8 +11,9 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use typefuse::pipeline::{SchemaJob, Source};
+use typefuse::pipeline::Source;
 use typefuse::ErrorPolicy;
+use typefuse::JobConfig;
 use typefuse_datagen::{DatasetProfile, Profile};
 
 const N: usize = 5_000;
@@ -36,19 +37,21 @@ fn bench_error_policy_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("error_policy_overhead");
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("fail_fast_clean", |b| {
-        let job = SchemaJob::new().without_type_stats();
+        let job = JobConfig::new().without_type_stats().build();
         b.iter(|| job.run(Source::ndjson(clean.as_slice())).unwrap().records)
     });
     group.bench_function("skip_clean", |b| {
-        let job = SchemaJob::new()
+        let job = JobConfig::new()
             .without_type_stats()
-            .on_error(ErrorPolicy::skip());
+            .on_error(ErrorPolicy::skip())
+            .build();
         b.iter(|| job.run(Source::ndjson(clean.as_slice())).unwrap().records)
     });
     group.bench_function("skip_10pct_dirty", |b| {
-        let job = SchemaJob::new()
+        let job = JobConfig::new()
             .without_type_stats()
-            .on_error(ErrorPolicy::skip());
+            .on_error(ErrorPolicy::skip())
+            .build();
         b.iter(|| job.run(Source::ndjson(dirty.as_slice())).unwrap().records)
     });
     group.finish();

@@ -9,7 +9,7 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use typefuse::pipeline::SchemaJob;
+use typefuse::JobConfig;
 use typefuse_datagen::{DatasetProfile, Profile};
 use typefuse_json::Value;
 use typefuse_obs::Recorder;
@@ -25,13 +25,14 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
     group.throughput(Throughput::Elements(N as u64));
     group.bench_function("disabled_recorder", |b| {
-        let job = SchemaJob::new().without_type_stats();
+        let job = JobConfig::new().without_type_stats().build();
         b.iter(|| job.run_values(values.clone()))
     });
     group.bench_function("enabled_recorder", |b| {
-        let job = SchemaJob::new()
+        let job = JobConfig::new()
             .without_type_stats()
-            .recorder(Recorder::enabled());
+            .recorder(Recorder::enabled())
+            .build();
         b.iter(|| job.run_values(values.clone()))
     });
     group.finish();

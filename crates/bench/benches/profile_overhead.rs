@@ -11,6 +11,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use typefuse::pipeline::{MapPath, SchemaJob, Source};
+use typefuse::JobConfig;
 use typefuse_datagen::{DatasetProfile, Profile};
 
 fn corpus(profile: Profile, n: usize) -> String {
@@ -21,7 +22,7 @@ fn corpus(profile: Profile, n: usize) -> String {
 }
 
 fn job() -> SchemaJob {
-    SchemaJob::new().without_type_stats()
+    JobConfig::new().without_type_stats().build()
 }
 
 fn run_plain(text: &str) -> typefuse_types::Type {
@@ -32,8 +33,10 @@ fn run_plain(text: &str) -> typefuse_types::Type {
 }
 
 fn run_profiled(text: &str, path: MapPath) -> typefuse_infer::ProfileReport {
-    job()
+    JobConfig::new()
+        .without_type_stats()
         .map_path(path)
+        .build()
         .run_profiled(Source::ndjson(text.as_bytes()))
         .expect("generated corpus is valid NDJSON")
         .profile

@@ -11,6 +11,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use typefuse::pipeline::{MapPath, SchemaJob, Source};
+use typefuse::JobConfig;
 use typefuse_datagen::{DatasetProfile, Profile};
 
 fn corpus(profile: Profile, n: usize) -> String {
@@ -21,7 +22,7 @@ fn corpus(profile: Profile, n: usize) -> String {
 }
 
 fn job(path: MapPath) -> SchemaJob {
-    SchemaJob::new().map_path(path).without_type_stats()
+    JobConfig::new().map_path(path).without_type_stats().build()
 }
 
 fn run(path: MapPath, text: &str) -> typefuse_types::Type {

@@ -89,6 +89,29 @@ impl ScaleConfig {
         self.dedup = true;
         self
     }
+
+    /// Builder: adopt the shared [`typefuse::JobConfig`] knobs — one
+    /// configuration surface for the pipeline, the daemon and the
+    /// bench matrix. `None` workers/partitions keep this config's
+    /// derived defaults; [`typefuse::pipeline::DedupMode::Auto`] is
+    /// resolved against [`ScaleConfig::dedup`]'s current value (the
+    /// matrix pins dedup per cell, it never samples).
+    pub fn with_job_config(mut self, job: &typefuse::JobConfig) -> Self {
+        if let Some(w) = job.workers {
+            self.workers = w.max(1);
+        }
+        if let Some(p) = job.partitions {
+            self.partitions = p.max(1);
+        }
+        self.map_path = job.map_path;
+        self.fuse_config = job.fuse_config;
+        self.dedup = match job.dedup {
+            typefuse::pipeline::DedupMode::On => true,
+            typefuse::pipeline::DedupMode::Off => false,
+            typefuse::pipeline::DedupMode::Auto => self.dedup,
+        };
+        self
+    }
 }
 
 /// Per-partition accumulator: everything Tables 2–8 need, O(1) memory in

@@ -28,10 +28,12 @@ use typefuse_obs::{BucketCount, HistogramReport, JsonWriter, UtilizationReport, 
 use crate::alloc::AllocSnapshot;
 use crate::runner::{ScaleConfig, ScaleResult};
 
-/// Version of the `BENCH_*.json` layout. Bump on breaking shape
-/// changes; [`BenchReport::from_json`] refuses versions it does not
-/// know, so `bench compare` fails loudly instead of misreading.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Version of the `BENCH_*.json` layout — the shared response-envelope
+/// version ([`typefuse_obs::ENVELOPE_VERSION`]): the report is an
+/// envelope of kind `bench`. Bump on breaking shape changes;
+/// [`BenchReport::from_json`] refuses versions it does not know, so
+/// `bench compare` fails loudly instead of misreading.
+pub const BENCH_SCHEMA_VERSION: u64 = typefuse_obs::ENVELOPE_VERSION;
 
 /// One cell of the workload matrix, fully described and measured.
 #[derive(Debug, Clone, PartialEq)]
@@ -213,13 +215,19 @@ impl BenchReport {
         self.runs.iter().find(|r| r.key() == key)
     }
 
-    /// Serialize as a `BENCH_*.json` document. Byte-deterministic for
-    /// a given report: maps are ordered, floats format canonically.
+    /// Serialize as a `BENCH_*.json` document: the workspace response
+    /// envelope (`{"schema_version", "kind": "bench", "payload"}`)
+    /// around the report body. Byte-deterministic for a given report:
+    /// maps are ordered, floats format canonically.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("schema_version");
         w.number(self.schema_version);
+        w.key("kind");
+        w.string("bench");
+        w.key("payload");
+        w.begin_object();
         w.key("git_sha");
         w.string(&self.git_sha);
         w.key("created_at");
@@ -231,21 +239,18 @@ impl BenchReport {
         }
         w.end_array();
         w.end_object();
+        w.end_object();
         w.finish()
     }
 
     /// Parse a `BENCH_*.json` document produced by [`Self::to_json`].
-    /// Rejects unknown schema versions. Derived JSON fields (mean,
-    /// quantiles, utilization fractions) are recomputed, not read.
+    /// The shared envelope reader rejects unknown `schema_version`s and
+    /// foreign `kind`s. Derived JSON fields (mean, quantiles,
+    /// utilization fractions) are recomputed, not read.
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
-        let value = typefuse_json::parse_value(text).map_err(|e| format!("invalid JSON: {e}"))?;
-        let top = as_object(&value, "report")?;
-        let version = get_u64(top, "schema_version", "report")?;
-        if version != BENCH_SCHEMA_VERSION {
-            return Err(format!(
-                "unsupported bench schema version {version} (this build reads {BENCH_SCHEMA_VERSION})"
-            ));
-        }
+        let envelope = typefuse_json::Envelope::expect_kind(text, "bench")?;
+        let top = as_object(&envelope.payload, "report")?;
+        let version = envelope.schema_version;
         let runs = get(top, "runs", "report")?
             .as_array()
             .ok_or("report.runs must be an array")?

@@ -67,7 +67,7 @@ fn bench_json_rejects_unknown_schema_versions() {
     let mut report = small_report();
     report.schema_version = BENCH_SCHEMA_VERSION + 1;
     let err = BenchReport::from_json(&report.to_json()).unwrap_err();
-    assert!(err.contains("unsupported bench schema version"), "{err}");
+    assert!(err.contains("unsupported schema_version"), "{err}");
 }
 
 #[test]
@@ -75,6 +75,10 @@ fn bench_json_rejects_malformed_documents() {
     assert!(BenchReport::from_json("not json").is_err());
     assert!(BenchReport::from_json("{}").is_err());
     assert!(BenchReport::from_json(r#"{"schema_version":1}"#).is_err());
+    // A valid envelope of the wrong kind is rejected too.
+    let err = BenchReport::from_json(r#"{"schema_version":1,"kind":"metrics","payload":{}}"#)
+        .unwrap_err();
+    assert!(err.contains("unexpected envelope kind"), "{err}");
 }
 
 // ---- Determinism across the execution matrix ------------------------------

@@ -58,6 +58,16 @@ impl ArgStream {
         }
     }
 
+    /// Consume every `name <value>` occurrence, in order (repeatable
+    /// options like `serve --watch NAME=PATH`).
+    pub(crate) fn multi_option(&mut self, name: &str) -> Result<Vec<String>, CliError> {
+        let mut values = Vec::new();
+        while let Some(value) = self.option(name)? {
+            values.push(value);
+        }
+        Ok(values)
+    }
+
     /// Consume `name <value>` and parse it.
     pub(crate) fn parsed_option<T>(&mut self, name: &str) -> Result<Option<T>, CliError>
     where
@@ -102,6 +112,14 @@ mod tests {
         assert_eq!(a.parsed_option::<usize>("--records").unwrap(), Some(100));
         assert_eq!(a.option("--profile").unwrap().as_deref(), Some("github"));
         assert_eq!(a.option("--seed").unwrap(), None);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn multi_option_collects_in_order() {
+        let mut a = ArgStream::from_vec(&["--watch", "a=1", "--poll-ms", "5", "--watch", "b=2"]);
+        assert_eq!(a.multi_option("--watch").unwrap(), vec!["a=1", "b=2"]);
+        assert_eq!(a.parsed_option::<u64>("--poll-ms").unwrap(), Some(5));
         a.finish().unwrap();
     }
 

@@ -4,7 +4,8 @@
 
 use crate::args::ArgStream;
 use crate::{CliError, CliResult};
-use typefuse::pipeline::MapPath;
+use typefuse::pipeline::{DedupMode, MapPath};
+use typefuse::JobConfig;
 use typefuse_bench::{compare, trajectory, BenchReport, BenchRun, ScaleConfig};
 use typefuse_datagen::Profile;
 
@@ -92,19 +93,16 @@ fn run_matrix(args: &mut ArgStream) -> CliResult {
         for &w in &workers {
             for &map_path in &map_paths {
                 for &dedup in &dedup_modes {
-                    let mut config = ScaleConfig::new(profile, records)
+                    // Each matrix cell is described by the same shared
+                    // JobConfig the pipeline and daemon consume.
+                    let job = JobConfig::new()
                         .workers(w)
-                        .map_path(map_path);
-                    if let Some(p) = partitions {
-                        config = config.partitions(p);
-                    } else {
-                        config = config.partitions((w * 4).max(1));
-                    }
+                        .partitions(partitions.unwrap_or((w * 4).max(1)))
+                        .map_path(map_path)
+                        .dedup(if dedup { DedupMode::On } else { DedupMode::Off });
+                    let mut config = ScaleConfig::new(profile, records).with_job_config(&job);
                     if measure_bytes {
                         config = config.measure_bytes();
-                    }
-                    if dedup {
-                        config = config.dedup();
                     }
                     let before = typefuse_bench::alloc::snapshot();
                     let result = typefuse_bench::run_scale(&config);

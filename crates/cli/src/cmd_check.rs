@@ -14,9 +14,9 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let schema_path = args
         .option("--schema")?
         .ok_or_else(|| CliError::usage("check requires --schema FILE"))?;
-    let max_errors: usize = args.parsed_option("--max-errors")?.unwrap_or(10);
-    let max_depth: Option<usize> = args.parsed_option("--max-depth")?;
+    let max_failures: usize = args.parsed_option("--max-failures")?.unwrap_or(10);
     let metrics_json = args.option("--metrics-json")?;
+    let flags = crate::job_args::JobFlags::parse_ingest(args)?;
     args.finish()?;
 
     let recorder = if metrics_json.is_some() {
@@ -30,19 +30,19 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let schema = parse_type(schema_text.trim())
         .map_err(|e| CliError::runtime(format!("invalid schema: {e}")))?;
 
-    let mut parser = typefuse_json::ParserOptions::default();
-    if let Some(depth) = max_depth {
-        parser.max_depth = depth;
-    }
+    let parser = flags.parser_options();
     let values = {
         let _span = recorder.span("check.read");
-        let (values, _) = crate::cmd_infer::read_values_with(
+        let (values, errors) = crate::cmd_infer::read_values_with(
             input.as_deref(),
             &parser,
-            &typefuse::ErrorPolicy::FailFast,
-            None,
+            &flags.policy,
+            flags.max_line_bytes,
             &recorder,
         )?;
+        if !errors.is_empty() {
+            eprintln!("skipped {} bad record(s)", errors.skipped());
+        }
         values
     };
     let mut failures = 0usize;
@@ -51,14 +51,14 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         for (i, v) in values.iter().enumerate() {
             if !schema.admits(v) {
                 failures += 1;
-                if failures <= max_errors {
+                if failures <= max_failures {
                     eprintln!("record {}: not admitted by the schema", i + 1);
                 }
             }
         }
     }
-    if failures > max_errors {
-        eprintln!("… and {} more", failures - max_errors);
+    if failures > max_failures {
+        eprintln!("… and {} more", failures - max_failures);
     }
     println!(
         "{} of {} records conform",
@@ -70,8 +70,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         recorder.add("records", values.len() as u64);
         recorder.add("check.failures", failures as u64);
         recorder.add("check.conforming", (values.len() - failures) as u64);
-        std::fs::write(&path, recorder.snapshot().to_json())
-            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        crate::job_args::write_envelope(&path, "metrics", &recorder.snapshot().to_json())?;
     }
 
     if failures > 0 {

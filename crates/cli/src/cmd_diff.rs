@@ -2,7 +2,7 @@
 
 use crate::args::ArgStream;
 use crate::{CliError, CliResult};
-use typefuse::pipeline::SchemaJob;
+use typefuse::JobConfig;
 use typefuse_types::diff::diff;
 use typefuse_types::{parse_type, Type};
 
@@ -46,8 +46,9 @@ fn load_schema(path: &str) -> Result<Type, CliError> {
 
 fn infer_schema(input: &str) -> Result<Type, CliError> {
     let values = crate::cmd_infer::read_values(Some(input), &typefuse_obs::Recorder::disabled())?;
-    Ok(SchemaJob::new()
+    Ok(JobConfig::new()
         .without_type_stats()
+        .build()
         .run_values(values)
         .schema)
 }

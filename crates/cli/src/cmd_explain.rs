@@ -12,7 +12,8 @@
 
 use crate::args::ArgStream;
 use crate::{CliError, CliResult};
-use typefuse::pipeline::{MapPath, SchemaJob, Source};
+use typefuse::pipeline::{MapPath, Source};
+use typefuse::JobConfig;
 use typefuse_infer::fuse_all;
 use typefuse_obs::LogHistogram;
 use typefuse_types::paths::{parse_path, render_path, types_at_path};
@@ -44,18 +45,18 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         .ok_or_else(|| CliError::usage(format!("malformed path `{path_text}`")))?;
     let rendered = render_path(&steps);
 
-    let mut job = SchemaJob::new();
+    let mut config = JobConfig::new();
     if let Some(w) = workers {
-        job = job.workers(w);
+        config = config.workers(w);
     }
     if let Some(p) = partitions {
-        job = job.partitions(p);
+        config = config.partitions(p);
     }
     if let Some(path) = map_path {
-        job = job.map_path(path);
+        config = config.map_path(path);
     }
     let reader = crate::cmd_infer::open_input(dataset.as_deref())?;
-    let profiled = job.run_profiled(Source::ndjson(reader))?;
+    let profiled = config.build().run_profiled(Source::ndjson(reader))?;
     let profile = &profiled.profile;
 
     let profile_entry = profile.get(&rendered).ok_or_else(|| {

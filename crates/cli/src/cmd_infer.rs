@@ -1,10 +1,11 @@
 //! `typefuse infer` — the full pipeline over an NDJSON input.
 
 use crate::args::ArgStream;
+use crate::job_args::JobFlags;
 use crate::{CliError, CliResult};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
-use typefuse::pipeline::{dedup_auto_sample, DedupMode, MapPath, SchemaJob, Source};
+use typefuse::pipeline::{dedup_auto_sample, DedupMode, MapPath, Source};
 use typefuse::splits::IngestOptions;
 use typefuse::{BadRecord, ErrorPolicy, ErrorReport, IoSite, RetryPolicy};
 use typefuse_engine::{Dataset, ReducePlan};
@@ -16,33 +17,11 @@ use typefuse_types::export::to_json_schema_document;
 
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let input = args.next_positional();
-    let partitions: Option<usize> = args.parsed_option("--partitions")?;
-    let workers: Option<usize> = args.parsed_option("--workers")?;
     let format = args
         .option("--format")?
         .unwrap_or_else(|| "pretty".to_string());
     let stats = args.flag("--stats");
     let counting = args.flag("--counting");
-    let map_path = match args.option("--map-path")?.as_deref() {
-        None => None,
-        Some("events") => Some(MapPath::Events),
-        Some("value") | Some("values") => Some(MapPath::Values),
-        Some(other) => {
-            return Err(CliError::usage(format!(
-                "unknown map path `{other}` (expected events or value)"
-            )))
-        }
-    };
-    let dedup = match args.option("--dedup")?.as_deref() {
-        None | Some("auto") => DedupMode::Auto,
-        Some("on") => DedupMode::On,
-        Some("off") => DedupMode::Off,
-        Some(other) => {
-            return Err(CliError::usage(format!(
-                "unknown dedup mode `{other}` (expected auto, on or off)"
-            )))
-        }
-    };
     let positional_arrays = args.flag("--positional-arrays");
     let sequential_reduce = args.flag("--sequential-reduce");
     let streaming = args.flag("--streaming");
@@ -51,21 +30,15 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let metrics_json = args.option("--metrics-json")?;
     let trace_json = args.option("--trace-json")?;
     let progress = args.flag("--progress");
-    let on_error = args.option("--on-error")?;
-    let quarantine = args.option("--quarantine")?;
-    let max_errors: Option<u64> = args.parsed_option("--max-errors")?;
-    let max_depth: Option<usize> = args.parsed_option("--max-depth")?;
-    let max_line_bytes: Option<usize> = args.parsed_option("--max-line-bytes")?;
+    let flags = JobFlags::parse(args)?;
     args.finish()?;
 
-    let policy = resolve_policy(on_error.as_deref(), quarantine.as_deref(), max_errors)?;
-    let parser_options = {
-        let mut o = ParserOptions::default();
-        if let Some(depth) = max_depth {
-            o.max_depth = depth;
-        }
-        o
-    };
+    let map_path = flags.map_path;
+    let dedup = flags.dedup;
+    let max_depth = flags.max_depth;
+    let max_line_bytes = flags.max_line_bytes;
+    let policy = flags.policy.clone();
+    let parser_options = flags.parser_options();
 
     let observing = metrics_json.is_some() || trace_json.is_some() || progress;
     let recorder = if observing {
@@ -133,35 +106,19 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         return Ok(());
     }
 
-    let mut job = SchemaJob::new()
-        .recorder(recorder.clone())
-        .dedup(dedup)
-        .on_error(policy.clone())
-        .retry(RetryPolicy::default())
-        .parser_options(parser_options.clone());
-    if let Some(cap) = max_line_bytes {
-        job = job.max_line_bytes(cap);
-    }
-    if let Some(w) = workers {
-        job = job.workers(w);
-    }
-    if let Some(p) = partitions {
-        job = job.partitions(p);
-    }
-    if let Some(path) = map_path {
-        job = job.map_path(path);
-    }
+    let mut config = flags.config(recorder.clone());
     if positional_arrays {
-        job = job.fuse_config(FuseConfig {
+        config = config.fuse_config(FuseConfig {
             array_fusion: ArrayFusion::PositionalWhenAligned,
         });
     }
     if sequential_reduce {
-        job = job.reduce_plan(ReducePlan::Sequential);
+        config = config.reduce_plan(ReducePlan::Sequential);
     }
     if !stats {
-        job = job.without_type_stats();
+        config = config.without_type_stats();
     }
+    let job = config.build();
 
     // The profiled route replaces the plain pipeline entirely: one
     // fused Map+Reduce pass produces the schema, the per-path profile
@@ -186,8 +143,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         } else {
             print_schema(&profiled.profile.schema, &format)?;
         }
-        std::fs::write(&profile_path, profiled.profile.to_json())
-            .map_err(|e| CliError::runtime(format!("cannot write {profile_path}: {e}")))?;
+        crate::job_args::write_envelope(&profile_path, "profile", &profiled.profile.to_json())?;
         write_observability(
             &profiled.run_report(&recorder),
             &recorder,
@@ -330,51 +286,6 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     Ok(())
 }
 
-/// Resolve `--on-error`/`--quarantine`/`--max-errors` into an
-/// [`ErrorPolicy`], rejecting contradictory combinations.
-fn resolve_policy(
-    on_error: Option<&str>,
-    quarantine: Option<&str>,
-    max_errors: Option<u64>,
-) -> Result<ErrorPolicy, CliError> {
-    let policy = match (on_error, quarantine) {
-        (None | Some("quarantine"), Some(sink)) => ErrorPolicy::Quarantine {
-            sink: sink.into(),
-            max_errors,
-        },
-        (Some("quarantine"), None) => {
-            return Err(CliError::usage(
-                "--on-error quarantine requires --quarantine FILE",
-            ))
-        }
-        (Some("skip"), None) => ErrorPolicy::Skip { max_errors },
-        (Some("skip"), Some(_)) => {
-            return Err(CliError::usage(
-                "--quarantine implies --on-error quarantine; drop --on-error skip",
-            ))
-        }
-        (None | Some("fail"), None) => {
-            if max_errors.is_some() {
-                return Err(CliError::usage(
-                    "--max-errors needs --on-error skip or quarantine",
-                ));
-            }
-            ErrorPolicy::FailFast
-        }
-        (Some("fail"), Some(_)) => {
-            return Err(CliError::usage(
-                "--quarantine implies --on-error quarantine; drop --on-error fail",
-            ))
-        }
-        (Some(other), _) => {
-            return Err(CliError::usage(format!(
-                "unknown error policy `{other}` (expected fail, skip or quarantine)"
-            )))
-        }
-    };
-    Ok(policy)
-}
-
 /// Tell the operator on stderr what the error policy dropped.
 fn report_skipped(report: &ErrorReport, policy: &ErrorPolicy) {
     if report.is_empty() {
@@ -390,7 +301,9 @@ fn report_skipped(report: &ErrorReport, policy: &ErrorPolicy) {
     }
 }
 
-/// Write the structured report and/or Chrome trace, if requested.
+/// Write the structured report and/or Chrome trace, if requested. The
+/// report rides the shared response envelope (kind `metrics`); the
+/// trace keeps the Chrome trace-event layout Perfetto expects.
 fn write_observability(
     report: &typefuse_obs::RunReport,
     recorder: &Recorder,
@@ -398,8 +311,7 @@ fn write_observability(
     trace_json: &Option<String>,
 ) -> CliResult {
     if let Some(path) = metrics_json {
-        std::fs::write(path, report.to_json())
-            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        crate::job_args::write_envelope(path, "metrics", &report.to_json())?;
     }
     if let Some(path) = trace_json {
         std::fs::write(path, recorder.chrome_trace_json())

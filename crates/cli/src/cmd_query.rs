@@ -2,7 +2,7 @@
 
 use crate::args::ArgStream;
 use crate::{CliError, CliResult};
-use typefuse::pipeline::SchemaJob;
+use typefuse::JobConfig;
 use typefuse_query::Pipeline;
 use typefuse_types::parse_type;
 
@@ -37,8 +37,9 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
                 .map_err(|e| CliError::runtime(format!("invalid schema: {e}")))?
         }
         None => {
-            SchemaJob::new()
+            JobConfig::new()
                 .without_type_stats()
+                .build()
                 .run_values(values.clone())
                 .schema
         }

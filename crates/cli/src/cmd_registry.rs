@@ -2,7 +2,7 @@
 
 use crate::args::ArgStream;
 use crate::{CliError, CliResult};
-use typefuse::pipeline::SchemaJob;
+use typefuse::JobConfig;
 use typefuse_registry::{CompatMode, Registry};
 use typefuse_types::parse_type;
 
@@ -44,8 +44,9 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
                         input.as_deref(),
                         &typefuse_obs::Recorder::disabled(),
                     )?;
-                    SchemaJob::new()
+                    JobConfig::new()
                         .without_type_stats()
+                        .build()
                         .run_values(values)
                         .schema
                 }

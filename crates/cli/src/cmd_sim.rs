@@ -84,9 +84,11 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     // JSON shape the real runtime emits in BENCH_*.json, so the
     // simulated Table 7/8 story diffs directly against measured runs.
     if let Some(path) = report_json {
-        let json = report.utilization_report().to_json();
-        std::fs::write(&path, json)
-            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        crate::job_args::write_envelope(
+            &path,
+            "utilization",
+            &report.utilization_report().to_json(),
+        )?;
         eprintln!("wrote utilization report to {path}");
     }
     Ok(())

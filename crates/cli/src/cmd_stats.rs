@@ -1,15 +1,16 @@
 //! `typefuse stats` — Table-1-style dataset statistics.
 
 use crate::args::ArgStream;
-use crate::{CliError, CliResult};
+use crate::job_args::JobFlags;
+use crate::CliResult;
 use typefuse_datagen::stats::DatasetStats;
 use typefuse_obs::Recorder;
 
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let input = args.next_positional();
     let dedup = args.flag("--dedup");
-    let max_depth: Option<usize> = args.parsed_option("--max-depth")?;
     let metrics_json = args.option("--metrics-json")?;
+    let flags = JobFlags::parse_ingest(args)?;
     args.finish()?;
 
     let recorder = if metrics_json.is_some() {
@@ -17,21 +18,20 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     } else {
         Recorder::disabled()
     };
-    let mut parser = typefuse_json::ParserOptions::default();
-    if let Some(depth) = max_depth {
-        parser.max_depth = depth;
-    }
-    let values = {
+    let parser = flags.parser_options();
+    let (values, errors) = {
         let _span = recorder.span("stats.read");
-        let (values, _) = crate::cmd_infer::read_values_with(
+        crate::cmd_infer::read_values_with(
             input.as_deref(),
             &parser,
-            &typefuse::ErrorPolicy::FailFast,
-            None,
+            &flags.policy,
+            flags.max_line_bytes,
             &recorder,
-        )?;
-        values
+        )?
     };
+    if !errors.is_empty() {
+        eprintln!("skipped {} bad record(s)", errors.skipped());
+    }
     let stats = {
         let _span = recorder.span("stats.measure");
         DatasetStats::measure(&values)
@@ -72,8 +72,7 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         if let Some(distinct) = distinct_shapes {
             recorder.add("infer.distinct_shapes", distinct);
         }
-        std::fs::write(&path, recorder.snapshot().to_json())
-            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        crate::job_args::write_envelope(&path, "metrics", &recorder.snapshot().to_json())?;
     }
     Ok(())
 }

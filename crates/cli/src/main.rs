@@ -7,6 +7,7 @@
 //! typefuse stats data.ndjson
 //! typefuse check --schema schema.txt data.ndjson
 //! typefuse sim --placement single --blocks 24
+//! typefuse serve --watch events=/var/log/events.ndjson --listen 127.0.0.1:7411
 //! typefuse help
 //! ```
 
@@ -19,8 +20,10 @@ mod cmd_generate;
 mod cmd_infer;
 mod cmd_query;
 mod cmd_registry;
+mod cmd_serve;
 mod cmd_sim;
 mod cmd_stats;
+mod job_args;
 
 use args::ArgStream;
 use std::process::ExitCode;
@@ -147,12 +150,16 @@ COMMANDS:
         --dedup            also count distinct type shapes (redundancy)
         --max-depth N      parser recursion limit (default: 512)
         --metrics-json F   write read/measure metrics as JSON to F
+        plus the shared ingest flags: --on-error, --quarantine,
+        --max-errors, --max-line-bytes (see infer)
 
     check [FILE|-]       validate records against a schema
         --schema FILE      schema in typefuse notation (required)
-        --max-errors N     stop after N failures (default: 10)
+        --max-failures N   stop reporting after N failures (default: 10)
         --max-depth N      parser recursion limit (default: 512)
         --metrics-json F   write conformance metrics as JSON to F
+        plus the shared ingest flags: --on-error, --quarantine,
+        --max-errors, --max-line-bytes (see infer)
 
     diff OLD NEW         structural drift between two NDJSON datasets
         --schemas          treat OLD/NEW as schema files instead of data
@@ -184,6 +191,29 @@ COMMANDS:
         --baseline F       baseline BENCH_*.json (required)
         --current F        current BENCH_*.json (required)
         --tolerance PCT    allowed slowdown in percent (default: 10)
+
+    serve                resident incremental-inference daemon: tail
+                         NDJSON sources, fold new records into per-source
+                         schemas (byte-identical to a batch re-run),
+                         publish versioned snapshots with drift alerts,
+                         and answer schema/profile/explain/health/diff
+                         requests as line-delimited JSON over TCP
+        --listen ADDR      protocol address (default: 127.0.0.1:7411;
+                           port 0 picks an ephemeral port, reported in
+                           the first stdout line)
+        --watch NAME=PATH  tail a growing NDJSON file or FIFO
+                           (repeatable; the file may not exist yet)
+        --tcp-source NAME=ADDR  accept NDJSON-producing TCP connections
+                           (repeatable)
+        --poll-ms N        source poll interval (default: 50)
+        --registry F       persist snapshots to an on-disk registry log
+                           (default: in-memory)
+        --compat MODE      backward | forward | full | none: gate each
+                           published snapshot (default: none)
+        --dedup M          auto | on | off (as in infer)
+        --metrics-json F   write the run report on shutdown
+        plus the shared ingest flags: --on-error, --quarantine,
+        --max-errors, --max-depth, --max-line-bytes (see infer)
 
     sim                  simulate the 6-node cluster experiment
         --placement P      single | spread   (default: single)
@@ -221,6 +251,7 @@ fn main() -> ExitCode {
         "query" => cmd_query::run(&mut args),
         "registry" => cmd_registry::run(&mut args),
         "bench" => cmd_bench::run(&mut args),
+        "serve" => cmd_serve::run(&mut args),
         "sim" => cmd_sim::run(&mut args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -466,37 +466,56 @@ fn infer_metrics_json_emits_a_structured_report() {
     );
     assert!(out.status.success(), "stderr: {}", stderr(&out));
 
-    // The report is valid JSON with the promised keys and real counts.
-    let report = typefuse_json::parse_value(&std::fs::read_to_string(&metrics).unwrap())
-        .expect("metrics report is valid JSON");
+    // The report is a versioned envelope with the promised keys and
+    // real counts under /payload.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let envelope =
+        typefuse_json::Envelope::expect_kind(&text, "metrics").expect("metrics envelope parses");
+    assert_eq!(envelope.schema_version, 1);
+    let report = typefuse_json::parse_value(&text).expect("metrics report is valid JSON");
     assert_eq!(
-        report.pointer("/counters/records").unwrap().as_i64(),
+        report
+            .pointer("/payload/counters/records")
+            .unwrap()
+            .as_i64(),
         Some(50)
     );
     assert_eq!(
-        report.pointer("/counters/json.records").unwrap().as_i64(),
+        report
+            .pointer("/payload/counters/json.records")
+            .unwrap()
+            .as_i64(),
         Some(50)
     );
     assert_eq!(
-        report.pointer("/counters/json.bytes").unwrap().as_i64(),
+        report
+            .pointer("/payload/counters/json.bytes")
+            .unwrap()
+            .as_i64(),
         Some(contents.len() as i64)
     );
     assert!(
         report
-            .pointer("/counters/fuse.calls")
+            .pointer("/payload/counters/fuse.calls")
             .unwrap()
             .as_i64()
             .unwrap()
             > 0
     );
     assert!(report
-        .pointer("/histograms/fuse.union_width/count")
+        .pointer("/payload/histograms/fuse.union_width/count")
         .is_some());
     assert!(report
-        .pointer("/histograms/infer.record_width/count")
+        .pointer("/payload/histograms/infer.record_width/count")
         .is_some());
-    assert!(report.pointer("/spans/pipeline.map/total_ns").is_some());
-    let stages = report.pointer("/stages").unwrap().as_array().unwrap();
+    assert!(report
+        .pointer("/payload/spans/pipeline.map/total_ns")
+        .is_some());
+    let stages = report
+        .pointer("/payload/stages")
+        .unwrap()
+        .as_array()
+        .unwrap();
     let names: Vec<&str> = stages
         .iter()
         .map(|s| s.get("name").unwrap().as_str().unwrap())
@@ -544,12 +563,15 @@ fn infer_streaming_metrics_count_splits() {
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let report = typefuse_json::parse_value(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
     assert_eq!(
-        report.pointer("/counters/records").unwrap().as_i64(),
+        report
+            .pointer("/payload/counters/records")
+            .unwrap()
+            .as_i64(),
         Some(80)
     );
     assert!(
         report
-            .pointer("/counters/streaming.splits")
+            .pointer("/payload/counters/streaming.splits")
             .unwrap()
             .as_i64()
             .unwrap()
@@ -703,6 +725,9 @@ fn profile_json_is_identical_across_workers_and_map_paths() {
     for report in &reports[1..] {
         assert_eq!(report, &reports[0], "profile JSON must be byte-identical");
     }
+    let envelope =
+        typefuse_json::Envelope::expect_kind(&reports[0], "profile").expect("profile envelope");
+    assert_eq!(envelope.schema_version, 1);
     assert!(
         reports[0].contains("\"first_absent_line\":2"),
         "{}",
@@ -736,6 +761,7 @@ fn stats_and_check_write_metrics_json() {
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let metrics = std::fs::read_to_string(&stats_path).expect("metrics written");
     let _ = std::fs::remove_file(&stats_path);
+    typefuse_json::Envelope::expect_kind(&metrics, "metrics").expect("stats metrics envelope");
     assert!(metrics.contains("\"records\":2"), "{metrics}");
     assert!(metrics.contains("stats.read"), "{metrics}");
 
@@ -757,6 +783,7 @@ fn stats_and_check_write_metrics_json() {
     let metrics = std::fs::read_to_string(&check_path).expect("metrics written");
     let _ = std::fs::remove_file(&schema_path);
     let _ = std::fs::remove_file(&check_path);
+    typefuse_json::Envelope::expect_kind(&metrics, "metrics").expect("check metrics envelope");
     assert!(metrics.contains("\"check.conforming\":2"), "{metrics}");
     assert!(metrics.contains("\"check.failures\":0"), "{metrics}");
 }
@@ -922,4 +949,120 @@ fn io_errors_exit_4() {
         None,
     );
     assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr(&out));
+}
+
+// ---- serve: resident daemon end-to-end --------------------------------
+
+#[test]
+fn serve_folds_appends_and_answers_the_protocol() {
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    let dir = std::env::temp_dir().join("typefuse-cli-test-serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let pid = std::process::id();
+    let data = dir.join(format!("events-{pid}.ndjson"));
+    let metrics = dir.join(format!("metrics-{pid}.json"));
+    std::fs::write(&data, "{\"id\":1,\"tags\":[\"a\"]}\n").unwrap();
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_typefuse"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--watch",
+            &format!("events={}", data.display()),
+            "--poll-ms",
+            "5",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+
+    // The first stdout line is the `listening` envelope with the bound
+    // address (essential with port 0).
+    let mut daemon_out = BufReader::new(daemon.stdout.take().unwrap());
+    let mut line = String::new();
+    daemon_out.read_line(&mut line).unwrap();
+    let listening =
+        typefuse_json::Envelope::expect_kind(&line, "listening").expect("listening envelope");
+    let addr = typefuse_json::parse_value(&line)
+        .unwrap()
+        .pointer("/payload/addr")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_eq!(listening.schema_version, 1);
+
+    let request = |payload: &str| -> String {
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        conn.write_all(payload.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(conn).read_line(&mut reply).unwrap();
+        reply
+    };
+
+    let wait_for_records = |n: i64| -> typefuse_json::Envelope {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let reply = request("{\"op\":\"schema\",\"source\":\"events\"}");
+            let envelope = typefuse_json::Envelope::expect_kind(&reply, "schema").expect("schema");
+            if envelope.payload.pointer("/records").unwrap().as_i64() == Some(n) {
+                return envelope;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fold timed out at {n}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    };
+
+    // Wait for the pre-existing record to fold (and publish v1) before
+    // appending, so the append lands in its own snapshot (v2).
+    wait_for_records(1);
+
+    // Append a drifting record and wait for the daemon to fold it.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&data)
+            .unwrap();
+        f.write_all(b"{\"id\":2,\"name\":\"x\",\"tags\":[\"b\"]}\n")
+            .unwrap();
+    }
+    let envelope = wait_for_records(2);
+    // The served schema matches a batch run over the same file.
+    let batch = typefuse(&["infer", data.to_str().unwrap(), "--format", "text"], None);
+    let served = envelope
+        .payload
+        .pointer("/schema")
+        .unwrap()
+        .as_str()
+        .unwrap();
+    assert_eq!(served, stdout(&batch).trim(), "daemon == batch");
+
+    // Drift between the two published snapshots mentions the new field.
+    let reply = request("{\"op\":\"diff\",\"source\":\"events\",\"from\":1,\"to\":2}");
+    let diff = typefuse_json::Envelope::expect_kind(&reply, "diff").expect("diff");
+    assert!(reply.contains("name"), "{reply}");
+    assert_eq!(diff.schema_version, 1);
+
+    // A clean `shutdown` op stops the process with exit code 0 and the
+    // run report lands as a metrics envelope.
+    let reply = request("{\"op\":\"shutdown\"}");
+    typefuse_json::Envelope::expect_kind(&reply, "ok").expect("shutdown ack");
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit: {status:?}");
+    let report = std::fs::read_to_string(&metrics).expect("metrics written");
+    typefuse_json::Envelope::expect_kind(&report, "metrics").expect("metrics envelope");
+    assert!(report.contains("ingest.records"), "{report}");
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&metrics);
 }

@@ -1,0 +1,214 @@
+//! Background task scheduling for resident services.
+//!
+//! The batch half of the engine ([`Runtime`](crate::Runtime)) runs a
+//! job to completion and tears down. A resident service instead needs
+//! *periodic* work — poll a tailed source, fold the new records, check
+//! for drift — running until told to stop. [`spawn_periodic`] provides
+//! that: a named worker thread driving a tick closure on an interval,
+//! with the same panic-isolation discipline as the batch workers (a
+//! panicking tick is caught, counted, and does not take the process or
+//! the other sources down).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use typefuse_obs::Recorder;
+
+/// What a tick tells the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tick {
+    /// Keep ticking.
+    Continue,
+    /// This task is done; stop its loop (the shared stop flag is left
+    /// alone, so sibling tasks keep running).
+    Stop,
+}
+
+/// A handle to a background periodic task.
+#[derive(Debug)]
+pub struct BackgroundTask {
+    name: String,
+    /// Private to this task — stopping one task never stops siblings
+    /// sharing the same group flag.
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BackgroundTask {
+    /// The task's name (used in panic counters and thread names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Ask the task to stop after its current tick.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Stop and wait for the worker thread to exit.
+    pub fn join(mut self) {
+        self.stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BackgroundTask {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run `tick` every `interval` on a dedicated thread until the group
+/// `stop` flag (shared by all of a service's tasks) or the returned
+/// handle says stop, or the closure returns [`Tick::Stop`].
+///
+/// Each tick runs under `catch_unwind`: a panic is recorded as
+/// `background.panics` (and `background.panics.<name>`) on `rec` and
+/// the loop continues with the next tick — one poisoned poll of one
+/// source must not kill a daemon. The stop flags are checked before
+/// every tick and the sleep is sliced so shutdown latency stays well
+/// under `interval` even for slow polls.
+pub fn spawn_periodic<F>(
+    name: &str,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+    rec: Recorder,
+    mut tick: F,
+) -> BackgroundTask
+where
+    F: FnMut() -> Tick + Send + 'static,
+{
+    let own_stop = Arc::new(AtomicBool::new(false));
+    let loop_own = Arc::clone(&own_stop);
+    let loop_name = name.to_string();
+    let handle = std::thread::Builder::new()
+        .name(format!("bg-{name}"))
+        .spawn(move || {
+            let stopped = || stop.load(Ordering::Acquire) || loop_own.load(Ordering::Acquire);
+            while !stopped() {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(&mut tick));
+                match outcome {
+                    Ok(Tick::Continue) => {}
+                    Ok(Tick::Stop) => break,
+                    Err(_) => {
+                        rec.add("background.panics", 1);
+                        rec.add(&format!("background.panics.{loop_name}"), 1);
+                    }
+                }
+                // Sleep in small slices so a stop request interrupts
+                // the wait promptly.
+                let mut remaining = interval;
+                let slice = Duration::from_millis(5);
+                while !remaining.is_zero() && !stopped() {
+                    let nap = remaining.min(slice);
+                    std::thread::sleep(nap);
+                    remaining = remaining.saturating_sub(nap);
+                }
+            }
+        })
+        .expect("spawn background thread");
+    BackgroundTask {
+        name: name.to_string(),
+        stop: own_stop,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn ticks_until_stopped() {
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let task = spawn_periodic(
+            "ticker",
+            Duration::from_millis(1),
+            Arc::new(AtomicBool::new(false)),
+            Recorder::disabled(),
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Tick::Continue
+            },
+        );
+        while count.load(Ordering::SeqCst) < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(task.name(), "ticker");
+        task.join();
+        let settled = count.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(count.load(Ordering::SeqCst), settled, "no ticks after join");
+    }
+
+    #[test]
+    fn tick_stop_ends_only_this_task() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let task = spawn_periodic(
+            "oneshot",
+            Duration::from_millis(1),
+            Arc::clone(&stop),
+            Recorder::disabled(),
+            || Tick::Stop,
+        );
+        task.join();
+        assert!(!stop.load(Ordering::SeqCst), "shared flag untouched");
+    }
+
+    #[test]
+    fn panics_are_isolated_and_counted() {
+        let rec = Recorder::enabled();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let task = spawn_periodic(
+            "flaky",
+            Duration::from_millis(1),
+            Arc::new(AtomicBool::new(false)),
+            rec.clone(),
+            move || {
+                let n = c.fetch_add(1, Ordering::SeqCst);
+                if n == 0 {
+                    panic!("first tick dies");
+                }
+                Tick::Continue
+            },
+        );
+        while count.load(Ordering::SeqCst) < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        task.join();
+        assert_eq!(rec.counter_value("background.panics"), 1);
+        assert_eq!(rec.counter_value("background.panics.flaky"), 1);
+    }
+
+    #[test]
+    fn shared_stop_flag_stops_the_task() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let task = spawn_periodic(
+            "shared",
+            Duration::from_millis(1),
+            Arc::clone(&stop),
+            Recorder::disabled(),
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                Tick::Continue
+            },
+        );
+        while count.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Release);
+        task.join();
+    }
+}

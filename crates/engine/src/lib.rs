@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod background;
 pub mod dataset;
 pub mod fused;
 pub mod metrics;
@@ -35,6 +36,7 @@ pub mod reduce;
 pub mod runtime;
 pub mod sim;
 
+pub use background::{spawn_periodic, BackgroundTask, Tick};
 pub use dataset::Dataset;
 pub use metrics::{StageMetrics, TaskMetrics};
 pub use reduce::ReducePlan;

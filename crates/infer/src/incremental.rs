@@ -57,13 +57,23 @@ impl Incremental {
     }
 
     /// Resume from a previously computed schema (e.g. loaded from disk)
-    /// and record count.
-    pub fn resume(schema: Type, count: u64) -> Self {
+    /// and record count, fusing further records under `config`.
+    ///
+    /// The config is part of the construction, not per-`absorb`: a warm
+    /// accumulator resumed by a long-running service must keep honoring
+    /// the same fusion options the original batch run used, or the
+    /// incremental ≡ batch law breaks.
+    pub fn resume(schema: Type, count: u64, config: FuseConfig) -> Self {
         Incremental {
             schema,
             count,
-            config: FuseConfig::default(),
+            config,
         }
+    }
+
+    /// The fusion configuration this accumulator absorbs under.
+    pub fn config(&self) -> FuseConfig {
+        self.config
     }
 
     /// Absorb one JSON value: infer its type and fuse it in.
@@ -162,10 +172,17 @@ mod tests {
         inc.absorb(&json!({"a": 1}));
         let snapshot = inc.schema().clone();
 
-        let mut resumed = Incremental::resume(snapshot, inc.count());
+        let mut resumed = Incremental::resume(snapshot, inc.count(), inc.config());
         resumed.absorb(&json!({"a": "x"}));
         assert_eq!(resumed.schema().to_string(), "{a: Num + Str}");
         assert_eq!(resumed.count(), 2);
+    }
+
+    #[test]
+    fn resume_keeps_the_given_config() {
+        let config = FuseConfig::default();
+        let resumed = Incremental::resume(Type::Bottom, 0, config);
+        assert_eq!(resumed.config(), config);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod envelope;
 pub mod error;
 pub mod events;
 pub mod ndjson;
@@ -38,13 +39,16 @@ pub mod number;
 pub mod parse;
 pub mod pointer;
 pub mod ser;
+pub mod tail;
 #[cfg(any(feature = "testkit", test))]
 pub mod testkit;
 pub mod value;
 
+pub use envelope::{parse_envelope, Envelope};
 pub use error::{Error, ErrorKind, Position, Result, Span};
 pub use ndjson::{NdjsonReader, RetryPolicy};
 pub use number::Number;
 pub use parse::{parse_value, Parser, ParserOptions};
 pub use ser::{to_string, to_string_pretty};
+pub use tail::{TailLine, TailReader, TailStatus};
 pub use value::{Map, Value};

@@ -108,6 +108,17 @@ impl JsonWriter {
         }
     }
 
+    /// Splice pre-serialized JSON in as a value.
+    ///
+    /// The caller guarantees `json` is a complete, valid JSON value;
+    /// the writer only handles the surrounding comma. This is how the
+    /// versioned response envelope embeds payloads that were serialized
+    /// elsewhere (reports, schemas) without re-parsing them.
+    pub fn raw(&mut self, json: &str) {
+        self.before_value();
+        self.out.push_str(json);
+    }
+
     /// Consume the writer, returning the JSON text.
     pub fn finish(self) -> String {
         debug_assert!(self.needs_comma.is_empty(), "unclosed JSON container");

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod envelope;
 pub mod histogram;
 pub mod recorder;
 pub mod report;
@@ -57,6 +58,7 @@ pub mod trace;
 
 pub mod json;
 
+pub use envelope::{envelope, ENVELOPE_VERSION};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, LogHistogram, BUCKETS};
 pub use json::JsonWriter;
 pub use recorder::{Counter, Gauge, Recorder};

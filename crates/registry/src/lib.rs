@@ -45,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod memory;
 mod store;
 
-pub use store::{CompatMode, Entry, PublishOutcome, Registry, RegistryError};
+pub use memory::MemoryRegistry;
+pub use store::{CompatMode, Entry, PublishOutcome, Registry, RegistryError, RegistryStore};

@@ -1,4 +1,6 @@
-//! The append-only registry store.
+//! The registry stores: a shared index/gate core, the append-only
+//! on-disk log, and the [`RegistryStore`] trait both backends (and the
+//! in-memory [`MemoryRegistry`](crate::MemoryRegistry)) implement.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -139,18 +141,175 @@ impl From<std::io::Error> for RegistryError {
     }
 }
 
-/// The registry: an in-memory index over an append-only NDJSON log.
+/// What a publish must do, as decided by the shared gate logic.
+#[derive(Debug)]
+pub(crate) enum Prepared {
+    /// The schema is equivalent to the latest version: no new entry.
+    Unchanged(u64),
+    /// Append this new entry.
+    New(Entry),
+}
+
+/// The in-memory version index plus the compatibility gate — the part
+/// of a registry that is independent of where entries persist. Both the
+/// on-disk [`Registry`] and [`MemoryRegistry`](crate::MemoryRegistry)
+/// are thin shells around it.
+#[derive(Debug, Default)]
+pub(crate) struct Index {
+    subjects: BTreeMap<String, Vec<Entry>>,
+}
+
+impl Index {
+    pub(crate) fn names(&self) -> Vec<&str> {
+        self.subjects.keys().map(String::as_str).collect()
+    }
+
+    pub(crate) fn latest(&self, name: &str) -> Option<&Entry> {
+        self.subjects.get(name).and_then(|v| v.last())
+    }
+
+    pub(crate) fn get(&self, name: &str, version: u64) -> Option<&Entry> {
+        self.subjects
+            .get(name)
+            .and_then(|v| v.get(version.checked_sub(1)? as usize))
+    }
+
+    pub(crate) fn history(&self, name: &str) -> Result<&[Entry], RegistryError> {
+        self.subjects
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| RegistryError::NotFound {
+                name: name.to_string(),
+            })
+    }
+
+    pub(crate) fn diff(
+        &self,
+        name: &str,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<SchemaChange>, RegistryError> {
+        let a = self
+            .get(name, from)
+            .ok_or_else(|| RegistryError::NotFound {
+                name: format!("{name} v{from}"),
+            })?;
+        let b = self.get(name, to).ok_or_else(|| RegistryError::NotFound {
+            name: format!("{name} v{to}"),
+        })?;
+        Ok(diff(&a.schema, &b.schema))
+    }
+
+    /// Load one already-versioned entry (from a log); versions must
+    /// arrive in sequence per subject.
+    pub(crate) fn insert_loaded(&mut self, entry: Entry) -> Result<(), String> {
+        let versions = self.subjects.entry(entry.name.clone()).or_default();
+        if entry.version != versions.len() as u64 + 1 {
+            return Err(format!(
+                "version {} out of sequence (expected {})",
+                entry.version,
+                versions.len() + 1
+            ));
+        }
+        versions.push(entry);
+        Ok(())
+    }
+
+    /// Decide what publishing `schema` under `name` with gate `mode`
+    /// means: a no-op (schema equivalent to latest), a new entry, or an
+    /// incompatibility error. Does not mutate the index — backends
+    /// persist the entry first, then [`commit`](Index::commit) it.
+    pub(crate) fn prepare_publish(
+        &self,
+        name: &str,
+        schema: &Type,
+        mode: CompatMode,
+    ) -> Result<Prepared, RegistryError> {
+        if let Some(latest) = self.latest(name) {
+            let equivalent = latest.schema == *schema
+                || (is_subtype(&latest.schema, schema) && is_subtype(schema, &latest.schema));
+            if equivalent {
+                return Ok(Prepared::Unchanged(latest.version));
+            }
+            if !mode.allows(&latest.schema, schema) {
+                return Err(RegistryError::Incompatible {
+                    mode,
+                    against_version: latest.version,
+                    changes: diff(&latest.schema, schema),
+                });
+            }
+        }
+        Ok(Prepared::New(Entry {
+            name: name.to_string(),
+            version: self.latest(name).map_or(1, |e| e.version + 1),
+            schema: schema.clone(),
+        }))
+    }
+
+    /// Record an entry produced by [`prepare_publish`](Index::prepare_publish).
+    pub(crate) fn commit(&mut self, entry: Entry) {
+        self.subjects
+            .entry(entry.name.clone())
+            .or_default()
+            .push(entry);
+    }
+}
+
+/// The storage interface a schema-publishing component programs
+/// against: the daemon publishes per-source snapshots through a
+/// `Box<dyn RegistryStore + Send>` without caring whether versions land
+/// in an on-disk log ([`Registry`]) or stay resident
+/// ([`MemoryRegistry`](crate::MemoryRegistry)).
+///
+/// Methods return owned data (unlike the ref-returning inherent
+/// accessors on [`Registry`]) so the trait stays object-safe and
+/// implementations remain free to synthesize entries on demand.
+pub trait RegistryStore {
+    /// All subject names, sorted.
+    fn subject_names(&self) -> Vec<String>;
+
+    /// The latest entry of a subject.
+    fn latest_entry(&self, name: &str) -> Option<Entry>;
+
+    /// A specific version of a subject.
+    fn entry(&self, name: &str, version: u64) -> Option<Entry>;
+
+    /// Every version of a subject, oldest first.
+    fn entries(&self, name: &str) -> Result<Vec<Entry>, RegistryError>;
+
+    /// Structural changes between two versions of a subject.
+    fn changes(&self, name: &str, from: u64, to: u64) -> Result<Vec<SchemaChange>, RegistryError>;
+
+    /// Publish a schema under `name`, gated by `mode` against the
+    /// latest version, deduplicating equivalent schemas.
+    fn publish_schema(
+        &mut self,
+        name: &str,
+        schema: &Type,
+        mode: CompatMode,
+    ) -> Result<PublishOutcome, RegistryError>;
+
+    /// The latest version number of a subject — the watch primitive: a
+    /// poller remembers the last version it saw and treats an increase
+    /// as "schema drifted, diff the two versions".
+    fn latest_version(&self, name: &str) -> Option<u64> {
+        self.latest_entry(name).map(|e| e.version)
+    }
+}
+
+/// The on-disk registry: an in-memory index over an append-only NDJSON
+/// log.
 #[derive(Debug)]
 pub struct Registry {
     path: PathBuf,
-    subjects: BTreeMap<String, Vec<Entry>>,
+    index: Index,
 }
 
 impl Registry {
     /// Open (or create) a registry log at `path`.
     pub fn open(path: impl AsRef<Path>) -> Result<Registry, RegistryError> {
         let path = path.as_ref().to_path_buf();
-        let mut subjects: BTreeMap<String, Vec<Entry>> = BTreeMap::new();
+        let mut index = Index::default();
         match std::fs::File::open(&path) {
             Ok(file) => {
                 for (idx, line) in BufReader::new(file).lines().enumerate() {
@@ -162,64 +321,43 @@ impl Registry {
                         line: idx + 1,
                         message,
                     })?;
-                    let versions = subjects.entry(entry.name.clone()).or_default();
-                    if entry.version != versions.len() as u64 + 1 {
-                        return Err(RegistryError::Corrupt {
+                    index
+                        .insert_loaded(entry)
+                        .map_err(|message| RegistryError::Corrupt {
                             line: idx + 1,
-                            message: format!(
-                                "version {} out of sequence (expected {})",
-                                entry.version,
-                                versions.len() + 1
-                            ),
-                        });
-                    }
-                    versions.push(entry);
+                            message,
+                        })?;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        Ok(Registry { path, subjects })
+        Ok(Registry { path, index })
     }
 
     /// All subject names, sorted.
     pub fn names(&self) -> Vec<&str> {
-        self.subjects.keys().map(String::as_str).collect()
+        self.index.names()
     }
 
     /// The latest entry of a subject.
     pub fn latest(&self, name: &str) -> Option<&Entry> {
-        self.subjects.get(name).and_then(|v| v.last())
+        self.index.latest(name)
     }
 
     /// A specific version of a subject.
     pub fn get(&self, name: &str, version: u64) -> Option<&Entry> {
-        self.subjects
-            .get(name)
-            .and_then(|v| v.get(version.checked_sub(1)? as usize))
+        self.index.get(name, version)
     }
 
     /// Every version of a subject, oldest first.
     pub fn history(&self, name: &str) -> Result<&[Entry], RegistryError> {
-        self.subjects
-            .get(name)
-            .map(Vec::as_slice)
-            .ok_or_else(|| RegistryError::NotFound {
-                name: name.to_string(),
-            })
+        self.index.history(name)
     }
 
     /// Structural changes between two versions of a subject.
     pub fn diff(&self, name: &str, from: u64, to: u64) -> Result<Vec<SchemaChange>, RegistryError> {
-        let a = self
-            .get(name, from)
-            .ok_or_else(|| RegistryError::NotFound {
-                name: format!("{name} v{from}"),
-            })?;
-        let b = self.get(name, to).ok_or_else(|| RegistryError::NotFound {
-            name: format!("{name} v{to}"),
-        })?;
-        Ok(diff(&a.schema, &b.schema))
+        self.index.diff(name, from, to)
     }
 
     /// Publish a schema under `name`, gated by `mode` against the latest
@@ -233,38 +371,21 @@ impl Registry {
         schema: &Type,
         mode: CompatMode,
     ) -> Result<PublishOutcome, RegistryError> {
-        if let Some(latest) = self.latest(name) {
-            let equivalent = latest.schema == *schema
-                || (is_subtype(&latest.schema, schema) && is_subtype(schema, &latest.schema));
-            if equivalent {
-                return Ok(PublishOutcome {
-                    version: latest.version,
-                    unchanged: true,
-                });
-            }
-            if !mode.allows(&latest.schema, schema) {
-                return Err(RegistryError::Incompatible {
-                    mode,
-                    against_version: latest.version,
-                    changes: diff(&latest.schema, schema),
-                });
+        match self.index.prepare_publish(name, schema, mode)? {
+            Prepared::Unchanged(version) => Ok(PublishOutcome {
+                version,
+                unchanged: true,
+            }),
+            Prepared::New(entry) => {
+                self.append(&entry)?;
+                let version = entry.version;
+                self.index.commit(entry);
+                Ok(PublishOutcome {
+                    version,
+                    unchanged: false,
+                })
             }
         }
-        let version = self.latest(name).map_or(1, |e| e.version + 1);
-        let entry = Entry {
-            name: name.to_string(),
-            version,
-            schema: schema.clone(),
-        };
-        self.append(&entry)?;
-        self.subjects
-            .entry(name.to_string())
-            .or_default()
-            .push(entry);
-        Ok(PublishOutcome {
-            version,
-            unchanged: false,
-        })
     }
 
     fn append(&self, entry: &Entry) -> Result<(), RegistryError> {
@@ -280,6 +401,37 @@ impl Registry {
         file.write_all(line.as_bytes())?;
         file.write_all(b"\n")?;
         Ok(())
+    }
+}
+
+impl RegistryStore for Registry {
+    fn subject_names(&self) -> Vec<String> {
+        self.names().into_iter().map(str::to_string).collect()
+    }
+
+    fn latest_entry(&self, name: &str) -> Option<Entry> {
+        self.latest(name).cloned()
+    }
+
+    fn entry(&self, name: &str, version: u64) -> Option<Entry> {
+        self.get(name, version).cloned()
+    }
+
+    fn entries(&self, name: &str) -> Result<Vec<Entry>, RegistryError> {
+        self.history(name).map(<[Entry]>::to_vec)
+    }
+
+    fn changes(&self, name: &str, from: u64, to: u64) -> Result<Vec<SchemaChange>, RegistryError> {
+        self.diff(name, from, to)
+    }
+
+    fn publish_schema(
+        &mut self,
+        name: &str,
+        schema: &Type,
+        mode: CompatMode,
+    ) -> Result<PublishOutcome, RegistryError> {
+        self.publish(name, schema, mode)
     }
 }
 
@@ -478,6 +630,25 @@ mod tests {
             reg.history("nope"),
             Err(RegistryError::NotFound { .. })
         ));
+    }
+
+    #[test]
+    fn trait_object_publishes_through_the_on_disk_backend() {
+        let path = fresh("dyn.ndjson");
+        let mut store: Box<dyn RegistryStore + Send> = Box::new(Registry::open(&path).unwrap());
+        store
+            .publish_schema("a", &t("{x: Num}"), CompatMode::Backward)
+            .unwrap();
+        store
+            .publish_schema("a", &t("{x: Num, y: Str?}"), CompatMode::Backward)
+            .unwrap();
+        assert_eq!(store.latest_version("a"), Some(2));
+        assert_eq!(store.subject_names(), vec!["a".to_string()]);
+        assert_eq!(store.entries("a").unwrap().len(), 2);
+        assert_eq!(store.changes("a", 1, 2).unwrap().len(), 1);
+        // The dyn writes land in the same log a reopen sees.
+        let reopened = Registry::open(&path).unwrap();
+        assert_eq!(reopened.latest("a").unwrap().version, 2);
     }
 
     #[test]

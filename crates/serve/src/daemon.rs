@@ -1,0 +1,590 @@
+//! The resident daemon: source pollers, the registry publisher, and the
+//! TCP protocol listener.
+
+use crate::fold::{SourceState, SourceStatus};
+use crate::protocol::{self, Request};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use typefuse::pipeline::DedupMode;
+use typefuse::JobConfig;
+use typefuse_engine::{spawn_periodic, BackgroundTask, Tick};
+use typefuse_json::{TailLine, TailReader, TailStatus};
+use typefuse_obs::{envelope, JsonWriter, Recorder};
+use typefuse_registry::{CompatMode, MemoryRegistry, Registry, RegistryStore};
+
+/// Where a source's NDJSON bytes come from.
+#[derive(Debug, Clone)]
+pub enum SourceInput {
+    /// A growing file or FIFO, tailed from the start.
+    File(PathBuf),
+    /// A TCP listener address; every accepted connection streams NDJSON
+    /// into the source.
+    Tcp(String),
+}
+
+/// One named NDJSON source.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// The source (and registry subject) name.
+    pub name: String,
+    /// Where the bytes come from.
+    pub input: SourceInput,
+}
+
+/// Daemon configuration. The ingest knobs (error policy, parser
+/// limits, fuse configuration, dedup mode, recorder) come from the same
+/// [`JobConfig`] the batch pipeline uses — one configuration surface
+/// for batch and resident alike.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Protocol listener address (use port 0 for an ephemeral port).
+    pub listen: String,
+    /// How often each source is polled for new bytes.
+    pub poll_interval: Duration,
+    /// Shared ingest configuration.
+    pub job: JobConfig,
+    /// On-disk registry log; `None` keeps snapshots in memory.
+    pub registry_path: Option<PathBuf>,
+    /// Compatibility gate applied to every published snapshot.
+    pub compat: CompatMode,
+    /// The sources to fold.
+    pub sources: Vec<SourceSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            poll_interval: Duration::from_millis(50),
+            job: JobConfig::new(),
+            registry_path: None,
+            compat: CompatMode::None,
+            sources: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration: loopback ephemeral port, 50 ms polls,
+    /// in-memory registry, no sources.
+    pub fn new() -> Self {
+        ServeConfig::default()
+    }
+
+    /// Set the protocol listener address.
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = addr.into();
+        self
+    }
+
+    /// Set the source poll interval.
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Set the shared ingest configuration.
+    pub fn job(mut self, job: JobConfig) -> Self {
+        self.job = job;
+        self
+    }
+
+    /// Persist snapshots to an on-disk registry log.
+    pub fn registry(mut self, path: impl Into<PathBuf>) -> Self {
+        self.registry_path = Some(path.into());
+        self
+    }
+
+    /// Gate snapshot publishes with a compatibility mode.
+    pub fn compat(mut self, mode: CompatMode) -> Self {
+        self.compat = mode;
+        self
+    }
+
+    /// Watch a growing NDJSON file (or FIFO) as a named source.
+    pub fn watch_file(mut self, name: impl Into<String>, path: impl Into<PathBuf>) -> Self {
+        self.sources.push(SourceSpec {
+            name: name.into(),
+            input: SourceInput::File(path.into()),
+        });
+        self
+    }
+
+    /// Listen on `addr` for NDJSON-producing TCP connections as a
+    /// named source.
+    pub fn tcp_source(mut self, name: impl Into<String>, addr: impl Into<String>) -> Self {
+        self.sources.push(SourceSpec {
+            name: name.into(),
+            input: SourceInput::Tcp(addr.into()),
+        });
+        self
+    }
+}
+
+/// Shared daemon state: protocol sessions read it, pollers write it.
+struct Shared {
+    stop: Arc<AtomicBool>,
+    started: Instant,
+    recorder: Recorder,
+    compat: CompatMode,
+    sources: BTreeMap<String, Arc<Mutex<SourceState>>>,
+    registry: Mutex<Box<dyn RegistryStore + Send>>,
+}
+
+impl Shared {
+    fn source(&self, name: &str) -> Result<&Arc<Mutex<SourceState>>, String> {
+        self.sources.get(name).ok_or_else(|| {
+            let known: Vec<&str> = self.sources.keys().map(String::as_str).collect();
+            format!("unknown source `{name}` (known: {})", known.join(", "))
+        })
+    }
+
+    /// Route one parsed request to its response envelope.
+    fn respond(&self, request: &Request) -> String {
+        let result = match request {
+            Request::Schema { source } => self
+                .source(source)
+                .map(|s| protocol::schema_response(&s.lock().expect("source lock"))),
+            Request::Profile { source } => self
+                .source(source)
+                .map(|s| protocol::profile_response(&s.lock().expect("source lock"))),
+            Request::Explain { source, path } => self
+                .source(source)
+                .and_then(|s| protocol::explain_response(&s.lock().expect("source lock"), path)),
+            Request::Health => Ok(self.health_response()),
+            Request::Diff { source, from, to } => self.source(source).and_then(|_| {
+                let registry = self.registry.lock().expect("registry lock");
+                registry
+                    .changes(source, *from, *to)
+                    .map(|changes| protocol::diff_response(source, *from, *to, &changes))
+                    .map_err(|e| e.to_string())
+            }),
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::Release);
+                Ok(envelope("ok", "{\"stopping\":true}"))
+            }
+        };
+        result.unwrap_or_else(|message| protocol::error_response(&message))
+    }
+
+    fn health_response(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("uptime_ms");
+        w.number(self.started.elapsed().as_millis() as u64);
+        w.key("sources");
+        w.begin_array();
+        for state in self.sources.values() {
+            protocol::write_source_health(&mut w, &state.lock().expect("source lock"));
+        }
+        w.end_array();
+        w.end_object();
+        envelope("health", &w.finish())
+    }
+}
+
+/// The tailing end of one source, owned by its poller thread.
+enum SourceTail {
+    /// A file that may not exist yet; reopened each tick until it does.
+    PendingFile(PathBuf),
+    /// An open growing file / FIFO.
+    File(TailReader<std::fs::File>),
+    /// A TCP listener plus every live producer connection.
+    Tcp {
+        listener: TcpListener,
+        conns: Vec<TailReader<TcpStream>>,
+    },
+}
+
+/// A running `typefuse serve` daemon.
+pub struct Daemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    pollers: Vec<BackgroundTask>,
+    accept: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    recorder: Recorder,
+}
+
+impl Daemon {
+    /// Bind the protocol listener, open the registry, and start one
+    /// poller per source. Returns once everything is listening.
+    pub fn start(config: ServeConfig) -> std::io::Result<Daemon> {
+        let recorder = config.job.recorder.clone();
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let registry: Box<dyn RegistryStore + Send> = match &config.registry_path {
+            Some(path) => Box::new(Registry::open(path).map_err(|e| {
+                std::io::Error::other(format!("cannot open registry {path:?}: {e}"))
+            })?),
+            None => Box::new(MemoryRegistry::new()),
+        };
+
+        let dedup = match config.job.dedup {
+            DedupMode::On | DedupMode::Auto => true,
+            DedupMode::Off => false,
+        };
+        let mut sources = BTreeMap::new();
+        for spec in &config.sources {
+            let state = SourceState::new(
+                &spec.name,
+                dedup,
+                config.job.fuse_config,
+                config.job.parser_options.clone(),
+                config.job.error_policy.clone(),
+                recorder.clone(),
+            );
+            if sources
+                .insert(spec.name.clone(), Arc::new(Mutex::new(state)))
+                .is_some()
+            {
+                return Err(std::io::Error::other(format!(
+                    "duplicate source name `{}`",
+                    spec.name
+                )));
+            }
+        }
+
+        let shared = Arc::new(Shared {
+            stop: Arc::clone(&stop),
+            started: Instant::now(),
+            recorder: recorder.clone(),
+            compat: config.compat,
+            sources,
+            registry: Mutex::new(registry),
+        });
+
+        let mut pollers = Vec::new();
+        for spec in &config.sources {
+            pollers.push(spawn_source_poller(
+                spec,
+                &config,
+                Arc::clone(&shared),
+                Arc::clone(&stop),
+            )?);
+        }
+
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = spawn_accept_loop(
+            listener,
+            Arc::clone(&shared),
+            Arc::clone(&stop),
+            Arc::clone(&sessions),
+        );
+
+        Ok(Daemon {
+            addr,
+            stop,
+            shared,
+            pollers,
+            accept: Some(accept),
+            sessions,
+            recorder,
+        })
+    }
+
+    /// The bound protocol address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's shared recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The current `health` envelope, rendered without a protocol
+    /// round-trip — the same payload a connected client would get.
+    pub fn health_json(&self) -> String {
+        self.shared.health_response()
+    }
+
+    /// Whether a stop has been requested (by [`Daemon::stop`] or a
+    /// protocol `shutdown`).
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Request a stop without waiting.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Block until a stop is requested.
+    pub fn wait(&self) {
+        while !self.stopping() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stop and join every thread: pollers, the accept loop, and all
+    /// protocol sessions.
+    pub fn shutdown(mut self) {
+        self.stop();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.sessions.lock().expect("sessions lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        for poller in self.pollers.drain(..) {
+            poller.join();
+        }
+    }
+}
+
+/// Spawn the periodic poller for one source: tail the input, fold new
+/// lines, publish the snapshot, record drift. Panics in a tick are
+/// caught and counted by the scheduler (`background.panics.*`).
+fn spawn_source_poller(
+    spec: &SourceSpec,
+    config: &ServeConfig,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<BackgroundTask> {
+    let recorder = shared.recorder.clone();
+    let retry = config.job.retry;
+    let max_line_bytes = config.job.max_line_bytes;
+    let make_file_tail = move |file: std::fs::File, recorder: &Recorder| {
+        let mut tail = TailReader::new(file)
+            .with_retry(retry)
+            .with_recorder(recorder.clone());
+        if let Some(cap) = max_line_bytes {
+            tail = tail.with_max_line_bytes(cap);
+        }
+        tail
+    };
+
+    let mut tail = match &spec.input {
+        SourceInput::File(path) => match std::fs::File::open(path) {
+            Ok(file) => SourceTail::File(make_file_tail(file, &recorder)),
+            // Not-yet-created files are watched, not fatal: keep trying.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                SourceTail::PendingFile(path.clone())
+            }
+            Err(e) => return Err(e),
+        },
+        SourceInput::Tcp(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            SourceTail::Tcp {
+                listener,
+                conns: Vec::new(),
+            }
+        }
+    };
+
+    let state = Arc::clone(shared.source(&spec.name).expect("source registered"));
+    let compat = shared.compat;
+    let poll_recorder = recorder.clone();
+    let name = spec.name.clone();
+    Ok(spawn_periodic(
+        &format!("poll-{name}"),
+        config.poll_interval,
+        stop,
+        recorder,
+        move || {
+            let mut lines: Vec<TailLine> = Vec::new();
+            match &mut tail {
+                SourceTail::PendingFile(path) => {
+                    if let Ok(file) = std::fs::File::open(&*path) {
+                        tail = SourceTail::File(make_file_tail(file, &poll_recorder));
+                    }
+                    return Tick::Continue;
+                }
+                SourceTail::File(reader) => {
+                    if let Err(e) = reader.poll(&mut lines) {
+                        let mut state = state.lock().expect("source lock");
+                        state.status = SourceStatus::Failed(format!("read error: {e}"));
+                        return Tick::Stop;
+                    }
+                }
+                SourceTail::Tcp { listener, conns } => {
+                    // Adopt any new producer connections.
+                    loop {
+                        match listener.accept() {
+                            Ok((conn, _)) => {
+                                if conn.set_nonblocking(true).is_ok() {
+                                    poll_recorder.add("ingest.connections", 1);
+                                    conns.push(make_file_tail_tcp(
+                                        conn,
+                                        &poll_recorder,
+                                        retry,
+                                        max_line_bytes,
+                                    ));
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(_) => break,
+                        }
+                    }
+                    conns.retain_mut(|conn| match conn.poll(&mut lines) {
+                        Ok(TailStatus::Idle) => true,
+                        Ok(TailStatus::Closed) => {
+                            // Flush an unterminated final record.
+                            if let Some(last) = conn.take_pending() {
+                                lines.push(last);
+                            }
+                            false
+                        }
+                        Err(_) => false,
+                    });
+                }
+            }
+            if lines.is_empty() {
+                return Tick::Continue;
+            }
+            let mut state = state.lock().expect("source lock");
+            let absorbed = state.fold_batch(&lines);
+            if absorbed > 0 {
+                let mut registry = shared.registry.lock().expect("registry lock");
+                state.publish(registry.as_mut(), compat);
+            }
+            if state.is_active() {
+                Tick::Continue
+            } else {
+                Tick::Stop
+            }
+        },
+    ))
+}
+
+fn make_file_tail_tcp(
+    conn: TcpStream,
+    recorder: &Recorder,
+    retry: typefuse_json::RetryPolicy,
+    max_line_bytes: Option<usize>,
+) -> TailReader<TcpStream> {
+    let mut tail = TailReader::new(conn)
+        .with_retry(retry)
+        .with_recorder(recorder.clone())
+        .close_on_eof();
+    if let Some(cap) = max_line_bytes {
+        tail = tail.with_max_line_bytes(cap);
+    }
+    tail
+}
+
+/// Accept protocol connections until stopped; each session runs on its
+/// own thread with panic isolation.
+fn spawn_accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let (stream, _) = match listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(_) => continue,
+                };
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                shared.recorder.add("serve.sessions", 1);
+                let session_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("serve-session".to_string())
+                    .spawn(move || {
+                        let recorder = session_shared.recorder.clone();
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            run_session(stream, &session_shared)
+                        }));
+                        if outcome.is_err() {
+                            recorder.add("serve.session_panics", 1);
+                        }
+                    })
+                    .expect("spawn session thread");
+                let mut sessions = sessions.lock().expect("sessions lock");
+                // Reap finished sessions so the vec stays bounded.
+                sessions.retain(|h| !h.is_finished());
+                sessions.push(handle);
+            }
+        })
+        .expect("spawn accept thread")
+}
+
+/// One protocol session: read request lines, write response envelopes.
+/// The read timeout keeps the thread responsive to daemon shutdown.
+fn run_session(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let recorder = shared.recorder.clone();
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        recorder.add("serve.requests", 1);
+        recorder.record("serve.request_bytes", trimmed.len() as u64);
+        let started = Instant::now();
+        let response = match protocol::parse_request(trimmed) {
+            Ok(request) => {
+                recorder.add(&format!("serve.requests.{}", request_name(&request)), 1);
+                shared.respond(&request)
+            }
+            Err(message) => {
+                recorder.add("serve.requests.invalid", 1);
+                protocol::error_response(&message)
+            }
+        };
+        recorder.record_span("serve.request", started.elapsed());
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn request_name(request: &Request) -> &'static str {
+    match request {
+        Request::Schema { .. } => "schema",
+        Request::Profile { .. } => "profile",
+        Request::Explain { .. } => "explain",
+        Request::Health => "health",
+        Request::Diff { .. } => "diff",
+        Request::Shutdown => "shutdown",
+    }
+}

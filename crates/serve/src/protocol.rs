@@ -1,0 +1,315 @@
+//! The serve wire protocol: line-delimited JSON over TCP.
+//!
+//! One request object per line, one response per line. Every response
+//! is the workspace-wide versioned envelope
+//! (`{"schema_version": 1, "kind": K, "payload": …}`,
+//! [`typefuse_obs::envelope()`]); clients reject unknown
+//! `schema_version`s with [`typefuse_json::parse_envelope`].
+//!
+//! Request grammar (field order free, unknown fields rejected by
+//! ignoring — the `op` decides everything):
+//!
+//! ```text
+//! {"op": "schema",  "source": NAME}
+//! {"op": "profile", "source": NAME}
+//! {"op": "explain", "source": NAME, "path": PATH}
+//! {"op": "health"}
+//! {"op": "diff",    "source": NAME, "from": V, "to": V}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! Responses carry `kind` equal to the op (errors use `"error"` with a
+//! `message` payload; `shutdown` acknowledges with `"ok"`).
+
+use crate::fold::{SourceState, SourceStatus};
+use typefuse_json::Value;
+use typefuse_obs::{envelope, JsonWriter};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The current fused schema of a source.
+    Schema {
+        /// Source name.
+        source: String,
+    },
+    /// The full per-path profile report of a source.
+    Profile {
+        /// Source name.
+        source: String,
+    },
+    /// Presence/provenance detail at one path of a source.
+    Explain {
+        /// Source name.
+        source: String,
+        /// Rendered path, e.g. `$.user.url`.
+        path: String,
+    },
+    /// Daemon-wide health: every source's records, version and status.
+    Health,
+    /// Registry changes between two published versions of a source.
+    Diff {
+        /// Source name.
+        source: String,
+        /// Older version.
+        from: u64,
+        /// Newer version.
+        to: u64,
+    },
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = typefuse_json::parse_value(line).map_err(|e| format!("malformed request: {e}"))?;
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "request needs a string `op`".to_string())?;
+    let source = |value: &Value| -> Result<String, String> {
+        value
+            .get("source")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("op `{op}` needs a string `source`"))
+    };
+    match op {
+        "schema" => Ok(Request::Schema {
+            source: source(&value)?,
+        }),
+        "profile" => Ok(Request::Profile {
+            source: source(&value)?,
+        }),
+        "explain" => {
+            let path = value
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "op `explain` needs a string `path`".to_string())?
+                .to_string();
+            Ok(Request::Explain {
+                source: source(&value)?,
+                path,
+            })
+        }
+        "health" => Ok(Request::Health),
+        "diff" => {
+            let version = |key: &str| -> Result<u64, String> {
+                value
+                    .get(key)
+                    .and_then(Value::as_i64)
+                    .filter(|v| *v >= 0)
+                    .map(|v| v as u64)
+                    .ok_or_else(|| format!("op `diff` needs a non-negative `{key}`"))
+            };
+            Ok(Request::Diff {
+                source: source(&value)?,
+                from: version("from")?,
+                to: version("to")?,
+            })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op `{other}` (expected schema, profile, explain, health, diff or shutdown)"
+        )),
+    }
+}
+
+/// An error response envelope.
+pub fn error_response(message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("message");
+    w.string(message);
+    w.end_object();
+    envelope("error", &w.finish())
+}
+
+/// The `schema` response payload for one source.
+pub(crate) fn schema_response(state: &SourceState) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("source");
+    w.string(&state.name);
+    w.key("schema");
+    w.string(&state.schema().to_string());
+    w.key("records");
+    w.number(state.records());
+    w.key("version");
+    match state.version {
+        Some(v) => w.number(v),
+        None => w.raw("null"),
+    }
+    w.key("skipped");
+    w.number(state.report.skipped());
+    w.end_object();
+    envelope("schema", &w.finish())
+}
+
+/// The `profile` response: the full per-path report.
+pub(crate) fn profile_response(state: &SourceState) -> String {
+    envelope("profile", &state.profile_report().to_json())
+}
+
+/// The `explain` response: presence, optionality and union-branch
+/// provenance at one path.
+pub(crate) fn explain_response(state: &SourceState, path: &str) -> Result<String, String> {
+    let report = state.profile_report();
+    let profile = report.get(path).ok_or_else(|| {
+        format!(
+            "path {path} does not occur in source {} ({} records, {} paths)",
+            state.name,
+            report.records,
+            report.paths.len()
+        )
+    })?;
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("source");
+    w.string(&state.name);
+    w.key("path");
+    w.string(path);
+    w.key("records");
+    w.number(report.records);
+    w.key("count");
+    w.number(profile.count);
+    w.key("optional");
+    w.bool_value(profile.is_optional());
+    w.key("first_line");
+    match profile.first_line() {
+        Some(line) => w.number(line),
+        None => w.raw("null"),
+    }
+    w.key("branches");
+    w.begin_array();
+    for (kind, count, first_line) in profile.branches() {
+        w.begin_object();
+        w.key("kind");
+        w.string(&kind.to_string());
+        w.key("count");
+        w.number(count);
+        w.key("first_line");
+        w.number(first_line);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Ok(envelope("explain", &w.finish()))
+}
+
+/// One source's entry in the `health` payload.
+pub(crate) fn write_source_health(w: &mut JsonWriter, state: &SourceState) {
+    w.begin_object();
+    w.key("source");
+    w.string(&state.name);
+    w.key("records");
+    w.number(state.records());
+    w.key("skipped");
+    w.number(state.report.skipped());
+    w.key("version");
+    match state.version {
+        Some(v) => w.number(v),
+        None => w.raw("null"),
+    }
+    w.key("drift");
+    w.begin_array();
+    for alert in &state.drift {
+        w.string(alert);
+    }
+    w.end_array();
+    w.key("status");
+    match &state.status {
+        SourceStatus::Active => w.string("active"),
+        SourceStatus::Closed => w.string("closed"),
+        SourceStatus::Failed(reason) => {
+            w.string(&format!("failed: {reason}"));
+        }
+    }
+    w.end_object();
+}
+
+/// The `diff` response: rendered registry changes between versions.
+pub(crate) fn diff_response(
+    source: &str,
+    from: u64,
+    to: u64,
+    changes: &[typefuse_types::diff::SchemaChange],
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("source");
+    w.string(source);
+    w.key("from");
+    w.number(from);
+    w.key("to");
+    w.number(to);
+    w.key("changes");
+    w.begin_array();
+    for change in changes {
+        w.string(&change.to_string());
+    }
+    w.end_array();
+    w.end_object();
+    envelope("diff", &w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(
+            parse_request(r#"{"op":"schema","source":"s"}"#).unwrap(),
+            Request::Schema { source: "s".into() }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"explain","source":"s","path":"$.a"}"#).unwrap(),
+            Request::Explain {
+                source: "s".into(),
+                path: "$.a".into()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Health
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"diff","source":"s","from":1,"to":2}"#).unwrap(),
+            Request::Diff {
+                source: "s".into(),
+                from: 1,
+                to: 2
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(
+            parse_request(r#"{"op":"schema"}"#).is_err(),
+            "missing source"
+        );
+        assert!(parse_request(r#"{"op":"launch"}"#).is_err(), "unknown op");
+        assert!(parse_request(r#"{"source":"s"}"#).is_err(), "missing op");
+        assert!(
+            parse_request(r#"{"op":"diff","source":"s","from":-1,"to":2}"#).is_err(),
+            "negative version"
+        );
+    }
+
+    #[test]
+    fn error_responses_are_valid_envelopes() {
+        let text = error_response("nope");
+        let parsed = typefuse_json::Envelope::expect_kind(&text, "error").unwrap();
+        assert_eq!(
+            parsed.payload.get("message").and_then(Value::as_str),
+            Some("nope")
+        );
+    }
+}

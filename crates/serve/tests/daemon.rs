@@ -1,0 +1,258 @@
+//! End-to-end daemon tests: a resident `typefuse serve` on loopback,
+//! fed by file appends and TCP producers, answering the line protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use typefuse::JobConfig;
+use typefuse_json::{Envelope, Value};
+use typefuse_obs::Recorder;
+use typefuse_serve::{Daemon, ServeConfig};
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("typefuse-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// One protocol session.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        assert!(!response.is_empty(), "daemon closed mid-request");
+        response.trim().to_string()
+    }
+
+    /// Poll `schema` until the daemon has folded `want` records.
+    fn wait_for_records(&mut self, source: &str, want: i64) -> Envelope {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let text = self.request(&format!(r#"{{"op":"schema","source":"{source}"}}"#));
+            let env = Envelope::expect_kind(&text, "schema").unwrap();
+            let records = env.payload.get("records").and_then(Value::as_i64);
+            if records == Some(want) {
+                return env;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {want} records (at {records:?})"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn fast(config: ServeConfig) -> ServeConfig {
+    config
+        .listen("127.0.0.1:0")
+        .poll_interval(Duration::from_millis(5))
+}
+
+#[test]
+fn watched_file_serves_batch_identical_schemas_and_reports_drift() {
+    let path = temp_path("events.ndjson");
+    let first = "{\"user\":\"ada\",\"n\":1}\n{\"user\":\"kay\",\"n\":2}\n{\"user\":null,\"n\":3}\n";
+    let second =
+        "{\"user\":\"lin\",\"n\":4,\"tags\":[\"a\",\"b\"]}\n{\"user\":\"tad\",\"n\":5.5}\n";
+    std::fs::write(&path, first).unwrap();
+
+    let recorder = Recorder::enabled();
+    let daemon = Daemon::start(fast(
+        ServeConfig::new()
+            .job(JobConfig::new().recorder(recorder.clone()))
+            .watch_file("events", &path),
+    ))
+    .unwrap();
+    let mut client = Client::connect(daemon.addr());
+
+    // The pre-existing content is folded and published as version 1.
+    let env = client.wait_for_records("events", 3);
+    assert_eq!(env.payload.get("version").and_then(Value::as_i64), Some(1));
+
+    // Append while the daemon is live; the tail picks it up.
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    file.write_all(second.as_bytes()).unwrap();
+    file.flush().unwrap();
+    let env = client.wait_for_records("events", 5);
+    assert_eq!(env.payload.get("version").and_then(Value::as_i64), Some(2));
+    let served = env
+        .payload
+        .get("schema")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    // The law behind the daemon: incremental folding is byte-identical
+    // to a cold batch run over all bytes.
+    let batch = JobConfig::new()
+        .build()
+        .run_ndjson(BufReader::new(std::fs::File::open(&path).unwrap()))
+        .unwrap();
+    assert_eq!(served, batch.schema.to_string());
+
+    // `diff` replays the registry changes between the two snapshots.
+    let text = client.request(r#"{"op":"diff","source":"events","from":1,"to":2}"#);
+    let env = Envelope::expect_kind(&text, "diff").unwrap();
+    let changes = env.payload.get("changes").unwrap();
+    let rendered = typefuse_json::to_string(changes);
+    assert!(rendered.contains("$.tags"), "diff changes: {rendered}");
+
+    // `explain` exposes provenance: tags first appeared at line 4.
+    let text = client.request(r#"{"op":"explain","source":"events","path":"$.tags"}"#);
+    let env = Envelope::expect_kind(&text, "explain").unwrap();
+    assert_eq!(env.payload.get("count").and_then(Value::as_i64), Some(1));
+    assert_eq!(
+        env.payload.get("optional").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        env.payload.get("first_line").and_then(Value::as_i64),
+        Some(4)
+    );
+
+    // `profile` is the full per-path report.
+    let text = client.request(r#"{"op":"profile","source":"events"}"#);
+    let env = Envelope::expect_kind(&text, "profile").unwrap();
+    assert_eq!(env.payload.get("records").and_then(Value::as_i64), Some(5));
+
+    // `health` aggregates every source, with the drift alert attached.
+    let text = client.request(r#"{"op":"health"}"#);
+    let env = Envelope::expect_kind(&text, "health").unwrap();
+    let health = typefuse_json::to_string(&env.payload);
+    assert!(health.contains("\"source\":\"events\""), "health: {health}");
+    assert!(health.contains("v1→v2"), "drift alert in: {health}");
+
+    // Bad requests get error envelopes, and the session survives them.
+    let text = client.request(r#"{"op":"schema","source":"nope"}"#);
+    let env = Envelope::expect_kind(&text, "error").unwrap();
+    let message = env.payload.get("message").and_then(Value::as_str).unwrap();
+    assert!(message.contains("unknown source"), "{message}");
+    let text = client.request("not json at all");
+    Envelope::expect_kind(&text, "error").unwrap();
+    client.wait_for_records("events", 5);
+
+    daemon.shutdown();
+    let report = recorder.snapshot();
+    assert!(report.counters["ingest.records"] >= 5);
+    assert!(report.counters["serve.requests"] >= 5);
+    assert_eq!(report.counters["serve.publishes"], 2);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tcp_sources_fold_producer_connections_and_shutdown_op_stops_the_daemon() {
+    let daemon = Daemon::start(fast(ServeConfig::new().tcp_source("feed", "127.0.0.1:0"))).unwrap();
+    // The producer address is fixed by the config, so bind a concrete
+    // port for this test by asking the OS first.
+    drop(daemon);
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let feed_addr = probe.local_addr().unwrap();
+    drop(probe);
+    let daemon = Daemon::start(fast(
+        ServeConfig::new().tcp_source("feed", feed_addr.to_string()),
+    ))
+    .unwrap();
+
+    // Two producers, one with an unterminated final record (flushed on
+    // disconnect), one clean.
+    let mut producer = TcpStream::connect(feed_addr).unwrap();
+    producer
+        .write_all(b"{\"id\":1}\n{\"id\":2,\"ok\":true}")
+        .unwrap();
+    drop(producer);
+    let mut producer = TcpStream::connect(feed_addr).unwrap();
+    producer.write_all(b"{\"id\":3}\n").unwrap();
+    producer.flush().unwrap();
+
+    let mut client = Client::connect(daemon.addr());
+    let env = client.wait_for_records("feed", 3);
+    let schema = env.payload.get("schema").and_then(Value::as_str).unwrap();
+    assert!(schema.contains("ok"), "schema: {schema}");
+    drop(producer);
+
+    // Concurrent sessions: each gets its own thread and sees the same
+    // state.
+    let addr = daemon.addr();
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                for _ in 0..5 {
+                    let text = c.request(r#"{"op":"health"}"#);
+                    Envelope::expect_kind(&text, "health").unwrap();
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    // A protocol shutdown acknowledges, then stops the daemon.
+    let text = client.request(r#"{"op":"shutdown"}"#);
+    Envelope::expect_kind(&text, "ok").unwrap();
+    daemon.wait();
+    assert!(daemon.stopping());
+    daemon.shutdown();
+}
+
+#[test]
+fn watched_file_may_not_exist_yet_and_quarantine_collects_bad_records() {
+    let path = temp_path("late.ndjson");
+    let sink = temp_path("late.quarantine.ndjson");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&sink).ok();
+
+    let recorder = Recorder::enabled();
+    let daemon = Daemon::start(fast(
+        ServeConfig::new()
+            .job(
+                JobConfig::new()
+                    .recorder(recorder.clone())
+                    .on_error(typefuse::ErrorPolicy::quarantine(&sink)),
+            )
+            .watch_file("late", &path),
+    ))
+    .unwrap();
+
+    // The file appears only after the daemon is up.
+    std::thread::sleep(Duration::from_millis(30));
+    std::fs::write(&path, "{\"a\":1}\nnot json\n{\"a\":2}\n").unwrap();
+
+    let mut client = Client::connect(daemon.addr());
+    let env = client.wait_for_records("late", 2);
+    assert_eq!(env.payload.get("skipped").and_then(Value::as_i64), Some(1));
+
+    daemon.shutdown();
+    let entries = typefuse::faults::read_quarantine(&sink).unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].0, 2, "quarantined at its stream line");
+    assert_eq!(entries[0].2.as_deref(), Some("not json"));
+    assert_eq!(recorder.snapshot().counters["ingest.quarantined"], 1);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&sink).ok();
+}

@@ -15,8 +15,9 @@ use typefuse::prelude::*;
 fn main() {
     // A Twitter-like feed and its inferred schema.
     let rows: Vec<Value> = Profile::Twitter.generate(99, 5_000).collect();
-    let schema = SchemaJob::new()
+    let schema = JobConfig::new()
         .without_type_stats()
+        .build()
         .run_values(rows.clone())
         .schema;
     println!(

@@ -19,9 +19,10 @@ fn main() {
     // NYTimes profile, so the simulation speaks in honest seconds.
     let sample: Vec<Value> = Profile::NYTimes.generate(1, 2000).collect();
     let t0 = std::time::Instant::now();
-    let result = SchemaJob::new()
+    let result = JobConfig::new()
         .workers(1)
         .without_type_stats()
+        .build()
         .run_values(sample);
     let cpu_secs_per_record = t0.elapsed().as_secs_f64() / result.records as f64;
     println!(
@@ -67,8 +68,9 @@ fn main() {
     let per_partition: Vec<Type> = (0..4u64)
         .map(|p| {
             let part: Vec<Value> = Profile::NYTimes.generate(100 + p, 500).collect();
-            SchemaJob::new()
+            JobConfig::new()
                 .without_type_stats()
+                .build()
                 .run_values(part)
                 .schema
         })

@@ -40,7 +40,7 @@ fn main() {
     assert!(values.iter().all(|v| schema.admits(v)));
 
     // The same computation through the parallel pipeline, with stats.
-    let result = SchemaJob::new().partitions(2).run_values(values);
+    let result = JobConfig::new().partitions(2).build().run_values(values);
     assert_eq!(result.schema, schema);
     println!(
         "\nPipeline: {} records, {} distinct types, fused size {}, ratio {:.2}",

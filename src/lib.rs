@@ -37,11 +37,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod config;
 pub mod error;
 pub mod faults;
 pub mod pipeline;
 pub mod splits;
 
+pub use config::JobConfig;
 pub use error::{Error, IoSite};
 pub use faults::{BadRecord, ErrorPolicy, ErrorReport, RetryPolicy};
 
@@ -56,9 +58,12 @@ pub use typefuse_types as types;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use crate::config::JobConfig;
     pub use crate::error::Error;
     pub use crate::faults::{ErrorPolicy, ErrorReport, RetryPolicy};
-    pub use crate::pipeline::{MapPath, ProfiledResult, SchemaJob, SchemaResult, Source};
+    pub use crate::pipeline::{
+        DedupMode, MapPath, ProfiledResult, SchemaJob, SchemaResult, Source,
+    };
     pub use typefuse_datagen::{DatasetProfile, Profile};
     pub use typefuse_engine::{Dataset, ReducePlan, Runtime};
     pub use typefuse_infer::{fuse, infer_type, Incremental, ProfileReport, Profiling};

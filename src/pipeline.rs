@@ -206,42 +206,49 @@ impl SchemaJob {
     }
 
     /// Set the worker count.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn workers(mut self, workers: usize) -> Self {
         self.runtime = Runtime::new(workers);
         self
     }
 
     /// Set the partition count.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn partitions(mut self, partitions: usize) -> Self {
         self.partitions = partitions.max(1);
         self
     }
 
     /// Set the reduce topology.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn reduce_plan(mut self, plan: ReducePlan) -> Self {
         self.reduce_plan = plan;
         self
     }
 
     /// Set the fusion configuration.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn fuse_config(mut self, cfg: FuseConfig) -> Self {
         self.fuse_config = cfg;
         self
     }
 
     /// Set the Map-phase route for text sources.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn map_path(mut self, path: MapPath) -> Self {
         self.map_path = path;
         self
     }
 
     /// Set the Reduce-phase dedup mode.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn dedup(mut self, mode: DedupMode) -> Self {
         self.dedup = mode;
         self
     }
 
     /// Disable per-record type statistics for maximum throughput.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn without_type_stats(mut self) -> Self {
         self.collect_type_stats = false;
         self
@@ -250,30 +257,35 @@ impl SchemaJob {
     /// Attach an observability recorder. Clones share state, so hold on
     /// to one clone and snapshot it (or call
     /// [`SchemaResult::run_report`]) after the run.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
     }
 
     /// Set the error policy for records that fail to parse.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn on_error(mut self, policy: ErrorPolicy) -> Self {
         self.error_policy = policy;
         self
     }
 
     /// Set the retry policy for transient I/O errors on text sources.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
         self
     }
 
     /// Set the full parser options for text sources.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn parser_options(mut self, options: ParserOptions) -> Self {
         self.parser_options = options;
         self
     }
 
     /// Set the parser's recursion limit for text sources.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn max_depth(mut self, depth: usize) -> Self {
         self.parser_options.max_depth = depth;
         self
@@ -281,6 +293,7 @@ impl SchemaJob {
 
     /// Cap a single input line at `cap` bytes; longer lines degrade
     /// into `RecordTooLarge` parse errors handled per the error policy.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn max_line_bytes(mut self, cap: usize) -> Self {
         self.max_line_bytes = Some(cap);
         self
@@ -288,6 +301,7 @@ impl SchemaJob {
 
     /// Fault injection: panic in the Map phase at this 1-based input
     /// line (text sources), to exercise [`Error::Worker`] isolation.
+    #[deprecated(note = "configure via `typefuse::JobConfig` and `build()` instead")]
     pub fn chaos_panic_at(mut self, line: u32) -> Self {
         self.chaos_panic_at = Some(line);
         self
@@ -939,6 +953,7 @@ impl ProfiledResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::JobConfig;
     use typefuse_json::json;
 
     fn values() -> Vec<Value> {
@@ -958,7 +973,7 @@ mod tests {
 
     #[test]
     fn end_to_end_schema() {
-        let r = SchemaJob::new().partitions(2).run_values(values());
+        let r = JobConfig::new().partitions(2).build().run_values(values());
         assert_eq!(
             r.schema.to_string(),
             "{a: Null + Num, b: Str?, c: [Num, Num]?}"
@@ -984,21 +999,30 @@ mod tests {
 
     #[test]
     fn partitioning_does_not_change_the_schema() {
-        let base = SchemaJob::new().partitions(1).run_values(values()).schema;
+        let base = JobConfig::new()
+            .partitions(1)
+            .build()
+            .run_values(values())
+            .schema;
         for parts in [2, 3, 7, 64] {
-            let r = SchemaJob::new().partitions(parts).run_values(values());
+            let r = JobConfig::new()
+                .partitions(parts)
+                .build()
+                .run_values(values());
             assert_eq!(r.schema, base, "partitions = {parts}");
         }
     }
 
     #[test]
     fn reduce_plans_agree() {
-        let seq = SchemaJob::new()
+        let seq = JobConfig::new()
             .reduce_plan(ReducePlan::Sequential)
+            .build()
             .run_values(values())
             .schema;
-        let tree = SchemaJob::new()
+        let tree = JobConfig::new()
             .reduce_plan(ReducePlan::Tree { arity: 2 })
+            .build()
             .run_values(values())
             .schema;
         assert_eq!(seq, tree);
@@ -1020,18 +1044,20 @@ mod tests {
         assert_eq!(r.schema.to_string(), "{a: Num + Str}");
 
         let bad = "{\"a\":1}\nnot json\n";
-        assert!(SchemaJob::new().run_ndjson(bad.as_bytes()).is_err());
+        assert!(JobConfig::new().build().run_ndjson(bad.as_bytes()).is_err());
     }
 
     #[test]
     fn map_paths_agree_on_every_source_shape() {
         let data = as_ndjson(&values());
-        let via_events = SchemaJob::new()
+        let via_events = JobConfig::new()
             .map_path(MapPath::Events)
+            .build()
             .run_ndjson(data.as_bytes())
             .unwrap();
-        let via_values = SchemaJob::new()
+        let via_values = JobConfig::new()
             .map_path(MapPath::Values)
+            .build()
             .run_ndjson(data.as_bytes())
             .unwrap();
         let in_memory = SchemaJob::new().run_values(values());
@@ -1054,8 +1080,9 @@ mod tests {
     #[test]
     fn events_path_reports_earliest_bad_line() {
         let bad = "{\"ok\":1}\n{bad1\n{\"ok\":2}\n{bad2\n";
-        let err = SchemaJob::new()
+        let err = JobConfig::new()
             .partitions(4)
+            .build()
             .run_ndjson(bad.as_bytes())
             .unwrap_err();
         assert_eq!(err.span().unwrap().start.line, 2);
@@ -1064,9 +1091,10 @@ mod tests {
     #[test]
     fn recorded_run_produces_a_full_report() {
         let rec = Recorder::enabled();
-        let r = SchemaJob::new()
+        let r = JobConfig::new()
             .partitions(2)
             .recorder(rec.clone())
+            .build()
             .run_values(values());
         let report = r.run_report(&rec);
 
@@ -1099,9 +1127,10 @@ mod tests {
     fn recorded_events_run_mirrors_the_value_report() {
         let data = as_ndjson(&values());
         let rec = Recorder::enabled();
-        let r = SchemaJob::new()
+        let r = JobConfig::new()
             .partitions(2)
             .recorder(rec.clone())
+            .build()
             .run_ndjson(data.as_bytes())
             .unwrap();
         let report = r.run_report(&rec);
@@ -1120,7 +1149,7 @@ mod tests {
 
     #[test]
     fn disabled_recorder_report_still_has_stages_and_records() {
-        let r = SchemaJob::new().partitions(2).run_values(values());
+        let r = JobConfig::new().partitions(2).build().run_values(values());
         let report = r.run_report(&Recorder::disabled());
         assert_eq!(report.counters["records"], 4);
         assert_eq!(report.stages.len(), 2);
@@ -1132,9 +1161,10 @@ mod tests {
         let data = "{\"a\":1}\n{\"a\":\"x\"}\n";
         for path in [MapPath::Events, MapPath::Values] {
             let rec = Recorder::enabled();
-            let r = SchemaJob::new()
+            let r = JobConfig::new()
                 .map_path(path)
                 .recorder(rec.clone())
+                .build()
                 .run_ndjson(data.as_bytes())
                 .unwrap();
             let report = r.run_report(&rec);
@@ -1168,9 +1198,10 @@ mod tests {
     #[test]
     fn profiled_run_is_invariant_across_workers_partitions_and_routes() {
         let data = as_ndjson(&values());
-        let baseline = SchemaJob::new()
+        let baseline = JobConfig::new()
             .workers(1)
             .partitions(1)
+            .build()
             .run_profiled(Source::ndjson(data.as_bytes()))
             .unwrap()
             .profile;
@@ -1179,11 +1210,12 @@ mod tests {
             for parts in [1, 3, 7] {
                 for path in [MapPath::Events, MapPath::Values] {
                     for plan in [ReducePlan::Sequential, ReducePlan::Tree { arity: 2 }] {
-                        let p = SchemaJob::new()
+                        let p = JobConfig::new()
                             .workers(workers)
                             .partitions(parts)
                             .map_path(path)
                             .reduce_plan(plan)
+                            .build()
                             .run_profiled(Source::ndjson(data.as_bytes()))
                             .unwrap()
                             .profile;
@@ -1195,13 +1227,15 @@ mod tests {
         }
         // In-memory sources number records by ordinal, matching the
         // NDJSON line numbers of the same records.
-        let via_values = SchemaJob::new()
+        let via_values = JobConfig::new()
+            .build()
             .run_profiled(Source::values(values()))
             .unwrap()
             .profile;
         assert_eq!(via_values.to_json(), baseline_json);
         let dataset = Dataset::from_vec(values(), 3);
-        let via_dataset = SchemaJob::new()
+        let via_dataset = JobConfig::new()
+            .build()
             .run_profiled(Source::dataset(&dataset))
             .unwrap()
             .profile;
@@ -1212,9 +1246,10 @@ mod tests {
     fn profiled_run_reports_earliest_bad_line() {
         let bad = "{\"ok\":1}\n{bad1\n{\"ok\":2}\n{bad2\n";
         for path in [MapPath::Events, MapPath::Values] {
-            let err = SchemaJob::new()
+            let err = JobConfig::new()
                 .partitions(4)
                 .map_path(path)
+                .build()
                 .run_profiled(Source::ndjson(bad.as_bytes()))
                 .unwrap_err();
             assert_eq!(err.span().unwrap().start.line, 2, "{path:?}");
@@ -1224,9 +1259,10 @@ mod tests {
     #[test]
     fn profiled_run_report_has_fold_stage() {
         let rec = Recorder::enabled();
-        let r = SchemaJob::new()
+        let r = JobConfig::new()
             .partitions(2)
             .recorder(rec.clone())
+            .build()
             .run_profiled(Source::values(values()))
             .unwrap();
         let report = r.run_report(&rec);
@@ -1246,17 +1282,19 @@ mod tests {
         // record so positional-array collapse is exercised.
         let vals: Vec<Value> = values().into_iter().cycle().take(200).collect();
         let data = as_ndjson(&vals);
-        let baseline = SchemaJob::new()
+        let baseline = JobConfig::new()
             .dedup(DedupMode::Off)
+            .build()
             .run_ndjson(data.as_bytes())
             .unwrap();
         for mode in [DedupMode::On, DedupMode::Auto] {
             for path in [MapPath::Events, MapPath::Values] {
                 for workers in [1, 4] {
-                    let r = SchemaJob::new()
+                    let r = JobConfig::new()
                         .dedup(mode)
                         .map_path(path)
                         .workers(workers)
+                        .build()
                         .run_ndjson(data.as_bytes())
                         .unwrap();
                     assert_eq!(
@@ -1298,10 +1336,11 @@ mod tests {
     fn dedup_run_reports_cache_and_shape_counters() {
         let vals: Vec<Value> = values().into_iter().cycle().take(200).collect();
         let rec = Recorder::enabled();
-        let r = SchemaJob::new()
+        let r = JobConfig::new()
             .partitions(2)
             .dedup(DedupMode::On)
             .recorder(rec.clone())
+            .build()
             .run_values(vals);
         let report = r.run_report(&rec);
         assert_eq!(report.counters["records"], 200);
@@ -1318,7 +1357,10 @@ mod tests {
 
     #[test]
     fn without_stats_still_fuses() {
-        let r = SchemaJob::new().without_type_stats().run_values(values());
+        let r = JobConfig::new()
+            .without_type_stats()
+            .build()
+            .run_values(values());
         assert_eq!(r.type_stats.distinct, 0);
         assert_eq!(
             r.schema.to_string(),

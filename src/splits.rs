@@ -361,8 +361,9 @@ mod tests {
         let path = temp_file("twitter.ndjson", std::str::from_utf8(&contents).unwrap());
 
         let from_file = infer_file_schema(&path, &Runtime::new(4)).unwrap();
-        let in_memory = crate::pipeline::SchemaJob::new()
+        let in_memory = crate::config::JobConfig::new()
             .without_type_stats()
+            .build()
             .run_values(values);
         assert_eq!(from_file.schema, in_memory.schema);
         assert_eq!(from_file.records, in_memory.records);

@@ -3,7 +3,8 @@
 //! plain reduce on both Map paths, and the dedup counting strategy must
 //! reproduce the plain one's totals and per-path rows exactly.
 
-use typefuse::pipeline::{DedupMode, MapPath, SchemaJob, Source};
+use typefuse::pipeline::{DedupMode, MapPath, Source};
+use typefuse::JobConfig;
 use typefuse_datagen::{DatasetProfile, Profile};
 use typefuse_engine::Dataset;
 use typefuse_infer::{Counting, CountingFuser, DedupCounting, FuseConfig, Fuser};
@@ -24,17 +25,19 @@ fn dataset(profile: Profile) -> (Vec<Value>, String) {
 fn dedup_event_and_value_routes_are_byte_identical() {
     for profile in Profile::ALL {
         let (_, text) = dataset(profile);
-        let baseline = SchemaJob::new()
+        let baseline = JobConfig::new()
             .dedup(DedupMode::Off)
             .map_path(MapPath::Values)
+            .build()
             .run(Source::ndjson(text.as_bytes()))
             .unwrap();
         for mode in [DedupMode::On, DedupMode::Auto] {
             for path in [MapPath::Events, MapPath::Values] {
-                let run = SchemaJob::new()
+                let run = JobConfig::new()
                     .dedup(mode)
                     .map_path(path)
                     .partitions(3)
+                    .build()
                     .run(Source::ndjson(text.as_bytes()))
                     .unwrap();
                 assert_eq!(
@@ -80,9 +83,10 @@ fn dedup_route_surfaces_its_counters() {
     // records, so Auto must pick the dedup route and the cache must hit.
     let (_, text) = dataset(Profile::GitHub);
     let rec = Recorder::enabled();
-    let run = SchemaJob::new()
+    let run = JobConfig::new()
         .dedup(DedupMode::Auto)
         .recorder(rec.clone())
+        .build()
         .run(Source::ndjson(text.as_bytes()))
         .unwrap();
     let report = run.run_report(&rec);

@@ -11,7 +11,10 @@ const SEED: u64 = 20170321; // EDBT 2017 :-)
 
 fn run_profile(profile: Profile) -> (Vec<Value>, typefuse::pipeline::SchemaResult) {
     let values: Vec<Value> = profile.generate(SEED, N).collect();
-    let result = SchemaJob::new().partitions(8).run_values(values.clone());
+    let result = JobConfig::new()
+        .partitions(8)
+        .build()
+        .run_values(values.clone());
     (values, result)
 }
 
@@ -43,13 +46,15 @@ fn schemas_survive_the_text_round_trip() {
 #[test]
 fn partition_count_never_changes_the_schema() {
     let values: Vec<Value> = Profile::Twitter.generate(SEED, 300).collect();
-    let reference = SchemaJob::new()
+    let reference = JobConfig::new()
         .partitions(1)
+        .build()
         .run_values(values.clone())
         .schema;
     for partitions in [2, 3, 16, 301] {
-        let schema = SchemaJob::new()
+        let schema = JobConfig::new()
             .partitions(partitions)
+            .build()
             .run_values(values.clone())
             .schema;
         assert_eq!(schema, reference, "partitions = {partitions}");
@@ -59,13 +64,15 @@ fn partition_count_never_changes_the_schema() {
 #[test]
 fn worker_count_never_changes_the_schema() {
     let values: Vec<Value> = Profile::Wikidata.generate(SEED, 200).collect();
-    let reference = SchemaJob::new()
+    let reference = JobConfig::new()
         .workers(1)
+        .build()
         .run_values(values.clone())
         .schema;
     for workers in [2, 4, 8] {
-        let schema = SchemaJob::new()
+        let schema = JobConfig::new()
             .workers(workers)
+            .build()
             .run_values(values.clone())
             .schema;
         assert_eq!(schema, reference, "workers = {workers}");
@@ -157,12 +164,14 @@ fn map_paths_are_byte_identical_on_every_profile() {
         let mut ndjson = Vec::new();
         typefuse::json::ndjson::write_ndjson(&mut ndjson, &values).unwrap();
 
-        let via_events = SchemaJob::new()
+        let via_events = JobConfig::new()
             .map_path(MapPath::Events)
+            .build()
             .run_ndjson(&ndjson[..])
             .unwrap();
-        let via_values = SchemaJob::new()
+        let via_values = JobConfig::new()
             .map_path(MapPath::Values)
+            .build()
             .run_ndjson(&ndjson[..])
             .unwrap();
         assert_eq!(
@@ -184,7 +193,7 @@ fn source_api_routes_agree() {
     let values: Vec<Value> = Profile::Twitter.generate(SEED, 120).collect();
     let mut ndjson = Vec::new();
     typefuse::json::ndjson::write_ndjson(&mut ndjson, &values).unwrap();
-    let job = SchemaJob::new().partitions(6);
+    let job = JobConfig::new().partitions(6).build();
 
     let via_values = job.run(Source::values(values.clone())).unwrap();
     let dataset = Dataset::from_vec(values, 6);

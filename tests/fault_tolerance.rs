@@ -40,8 +40,8 @@ fn dirty_corpus(records: usize, bad_every: usize) -> (String, String, u64) {
     (dirty, clean, bad)
 }
 
-fn job(workers: usize, map_path: MapPath, dedup: DedupMode) -> SchemaJob {
-    SchemaJob::new()
+fn job(workers: usize, map_path: MapPath, dedup: DedupMode) -> JobConfig {
+    JobConfig::new()
         .workers(workers)
         .map_path(map_path)
         .dedup(dedup)
@@ -57,10 +57,12 @@ fn skip_matches_the_clean_subset_across_the_whole_matrix() {
             for dedup in [DedupMode::On, DedupMode::Off] {
                 let label = format!("workers={workers} map_path={map_path:?} dedup={dedup:?}");
                 let expect = job(workers, map_path, dedup)
+                    .build()
                     .run(Source::ndjson(clean.as_bytes()))
                     .unwrap_or_else(|e| panic!("{label}: clean run failed: {e}"));
                 let got = job(workers, map_path, dedup)
                     .on_error(ErrorPolicy::skip())
+                    .build()
                     .run(Source::ndjson(dirty.as_bytes()))
                     .unwrap_or_else(|e| panic!("{label}: dirty run failed: {e}"));
                 assert_eq!(got.schema, expect.schema, "{label}");
@@ -81,8 +83,9 @@ fn skip_matches_the_clean_subset_across_the_whole_matrix() {
 fn fail_fast_is_the_default_and_stops_at_the_earliest_line() {
     let (dirty, _, _) = dirty_corpus(40, 5);
     for workers in [1, 4] {
-        let err = SchemaJob::new()
+        let err = JobConfig::new()
             .workers(workers)
+            .build()
             .run(Source::ndjson(dirty.as_bytes()))
             .unwrap_err();
         match err {
@@ -96,19 +99,21 @@ fn fail_fast_is_the_default_and_stops_at_the_earliest_line() {
 fn budget_boundary_is_exact_and_partition_independent() {
     let (dirty, _, bad) = dirty_corpus(90, 9);
     for workers in [1, 3, 8] {
-        let under = SchemaJob::new()
+        let under = JobConfig::new()
             .workers(workers)
             .on_error(ErrorPolicy::Skip {
                 max_errors: Some(bad),
             })
+            .build()
             .run(Source::ndjson(dirty.as_bytes()));
         assert!(under.is_ok(), "budget == errors passes (workers={workers})");
 
-        let over = SchemaJob::new()
+        let over = JobConfig::new()
             .workers(workers)
             .on_error(ErrorPolicy::Skip {
                 max_errors: Some(bad - 1),
             })
+            .build()
             .run(Source::ndjson(dirty.as_bytes()))
             .unwrap_err();
         match over {
@@ -130,10 +135,11 @@ fn quarantine_sidecar_is_identical_across_worker_counts_and_replays() {
     for workers in [1, 4] {
         let sink = dir.join(format!("quarantine-w{workers}.ndjson"));
         let rec = Recorder::enabled();
-        let result = SchemaJob::new()
+        let result = JobConfig::new()
             .workers(workers)
             .recorder(rec.clone())
             .on_error(ErrorPolicy::quarantine(&sink))
+            .build()
             .run(Source::ndjson(dirty.as_bytes()))
             .unwrap();
         assert_eq!(result.errors.skipped(), bad);
@@ -165,6 +171,7 @@ fn truncated_final_line_with_and_without_newline() {
                 good.push('\n');
             }
             let result = job(2, map_path, DedupMode::Off)
+                .build()
                 .run(Source::ndjson(good.as_bytes()))
                 .unwrap();
             assert_eq!(result.records, 2, "{map_path:?} newline={tail_newline}");
@@ -174,6 +181,7 @@ fn truncated_final_line_with_and_without_newline() {
                 cut.push('\n');
             }
             let err = job(2, map_path, DedupMode::Off)
+                .build()
                 .run(Source::ndjson(cut.as_bytes()))
                 .unwrap_err();
             assert!(
@@ -183,6 +191,7 @@ fn truncated_final_line_with_and_without_newline() {
 
             let skipped = job(2, map_path, DedupMode::Off)
                 .on_error(ErrorPolicy::skip())
+                .build()
                 .run(Source::ndjson(cut.as_bytes()))
                 .unwrap();
             assert_eq!(skipped.records, 1);
@@ -197,11 +206,12 @@ fn injected_worker_panic_surfaces_as_an_error_not_an_abort() {
     let (dirty, _, _) = dirty_corpus(64, 1000); // all clean
     for map_path in [MapPath::Events, MapPath::Values] {
         let rec = Recorder::enabled();
-        let err = SchemaJob::new()
+        let err = JobConfig::new()
             .workers(4)
             .map_path(map_path)
             .recorder(rec.clone())
             .chaos_panic_at(17)
+            .build()
             .run(Source::ndjson(dirty.as_bytes()))
             .unwrap_err();
         match &err {
@@ -234,9 +244,10 @@ fn transient_read_faults_are_retried_to_success() {
             },
         ],
     );
-    let result = SchemaJob::new()
+    let result = JobConfig::new()
         .recorder(rec.clone())
         .retry(RetryPolicy::default())
+        .build()
         .run(Source::ndjson(BufReader::new(reader)))
         .unwrap();
     assert_eq!(result.records, 3);
@@ -254,11 +265,12 @@ fn exhausted_retries_surface_as_io_with_the_line() {
             times: 100,
         }],
     );
-    let err = SchemaJob::new()
+    let err = JobConfig::new()
         .retry(RetryPolicy {
             max_retries: 2,
             ..RetryPolicy::default()
         })
+        .build()
         .run(Source::ndjson(BufReader::new(reader)))
         .unwrap_err();
     assert!(err.is_io(), "{err}");
@@ -276,8 +288,9 @@ fn permanent_read_faults_are_io_errors_under_every_policy() {
                 kind: std::io::ErrorKind::ConnectionReset,
             }],
         );
-        let err = SchemaJob::new()
+        let err = JobConfig::new()
             .on_error(policy.clone())
+            .build()
             .run(Source::ndjson(BufReader::new(reader)))
             .unwrap_err();
         assert!(err.is_io(), "{policy:?}: {err}");
@@ -302,8 +315,9 @@ fn corrupt_bytes_and_truncation_degrade_per_policy() {
         .unwrap_err();
     assert!(matches!(err, Error::Parse(_)), "{err}");
 
-    let result = SchemaJob::new()
+    let result = JobConfig::new()
         .on_error(ErrorPolicy::skip())
+        .build()
         .run(Source::ndjson(BufReader::new(corrupted())))
         .unwrap();
     assert_eq!(result.records, 2);
@@ -311,8 +325,9 @@ fn corrupt_bytes_and_truncation_degrade_per_policy() {
 
     // Truncate the stream mid-record: the torn tail is one bad record.
     let truncated = FaultyReader::new(data.as_bytes(), vec![Fault::TruncateAt { offset: 12 }]);
-    let result = SchemaJob::new()
+    let result = JobConfig::new()
         .on_error(ErrorPolicy::skip())
+        .build()
         .run(Source::ndjson(BufReader::new(truncated)))
         .unwrap();
     assert_eq!(result.records, 1);
@@ -326,8 +341,9 @@ fn short_reads_change_nothing() {
         .run(Source::ndjson(clean.as_bytes()))
         .unwrap();
     let reader = FaultyReader::new(dirty.as_bytes(), vec![Fault::ShortReads { max: 3 }]);
-    let got = SchemaJob::new()
+    let got = JobConfig::new()
         .on_error(ErrorPolicy::skip())
+        .build()
         .run(Source::ndjson(BufReader::new(reader)))
         .unwrap();
     assert_eq!(got.schema, expect.schema);
@@ -336,15 +352,17 @@ fn short_reads_change_nothing() {
 #[test]
 fn oversized_lines_follow_the_policy() {
     let data = "{\"a\":1}\n{\"pad\":\"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\"}\n{\"a\":2}\n";
-    let err = SchemaJob::new()
+    let err = JobConfig::new()
         .max_line_bytes(32)
+        .build()
         .run(Source::ndjson(data.as_bytes()))
         .unwrap_err();
     assert!(err.to_string().contains("line-size guard"), "{err}");
 
-    let result = SchemaJob::new()
+    let result = JobConfig::new()
         .max_line_bytes(32)
         .on_error(ErrorPolicy::skip())
+        .build()
         .run(Source::ndjson(data.as_bytes()))
         .unwrap();
     assert_eq!(result.records, 2);
@@ -443,10 +461,12 @@ proptest! {
             }
         }
         let expect = job(workers, map_path, DedupMode::Auto)
+            .build()
             .run(Source::ndjson(clean.as_bytes()))
             .unwrap();
         let got = job(workers, map_path, DedupMode::Auto)
             .on_error(ErrorPolicy::skip())
+            .build()
             .run(Source::ndjson(dirty.as_bytes()))
             .unwrap();
         prop_assert_eq!(got.schema, expect.schema);

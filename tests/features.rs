@@ -5,7 +5,6 @@
 
 use typefuse::infer::streaming::infer_type_from_str;
 use typefuse::infer::{project, CountingFuser};
-use typefuse::pipeline::SchemaJob;
 use typefuse::prelude::*;
 use typefuse::types::diff::{diff, SchemaChange};
 use typefuse::types::paths::{covers_value_paths, type_paths, value_paths};
@@ -15,8 +14,9 @@ const SEED: u64 = 424242;
 
 fn schema_of(profile: Profile, n: usize) -> (Vec<Value>, Type) {
     let values: Vec<Value> = profile.generate(SEED, n).collect();
-    let schema = SchemaJob::new()
+    let schema = JobConfig::new()
         .without_type_stats()
+        .build()
         .run_values(values.clone())
         .schema;
     (values, schema)
@@ -82,12 +82,14 @@ fn diff_detects_profile_parameter_drift() {
     };
     let after: Vec<Value> = after_profile.generate(SEED, 300).collect();
 
-    let old = SchemaJob::new()
+    let old = JobConfig::new()
         .without_type_stats()
+        .build()
         .run_values(before)
         .schema;
-    let new = SchemaJob::new()
+    let new = JobConfig::new()
         .without_type_stats()
+        .build()
         .run_values(after)
         .schema;
     let changes = diff(&old, &new);
