@@ -4,6 +4,11 @@
 //! call plus a histogram bucket add, and a handful of span timestamps —
 //! the acceptance bar is < 3% on a large run.
 //!
+//! Also measures the live telemetry plane (`TelemetryHub`): the
+//! hot-path cost a poller pays per update (one relaxed atomic add
+//! through a hoisted cell) and the on-demand cost a `metrics` request
+//! or Prometheus scrape pays to sample and render a daemon-sized hub.
+//!
 //! ```text
 //! cargo bench -p typefuse-bench --bench obs_overhead
 //! ```
@@ -12,7 +17,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use typefuse::JobConfig;
 use typefuse_datagen::{DatasetProfile, Profile};
 use typefuse_json::Value;
-use typefuse_obs::Recorder;
+use typefuse_obs::{series_key, Recorder, TelemetryHub};
 
 const N: usize = 5_000;
 
@@ -38,6 +43,56 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// A hub shaped like a serving daemon: 8 sources × the per-source
+/// series the poller maintains, plus the daemon-level series.
+fn daemon_sized_hub() -> TelemetryHub {
+    let hub = TelemetryHub::new();
+    for i in 0..8 {
+        let source = format!("source-{i}");
+        for metric in ["typefuse_source_records", "typefuse_sessions_seen"] {
+            hub.counter(series_key(metric, &[("source", &source)]))
+                .add(1000 + i);
+        }
+        for metric in [
+            "typefuse_source_skipped",
+            "typefuse_source_quarantined",
+            "typefuse_source_offset_bytes",
+            "typefuse_source_lag_bytes",
+            "typefuse_source_distinct_shapes",
+            "typefuse_source_version",
+        ] {
+            hub.gauge(series_key(metric, &[("source", &source)])).set(i);
+        }
+        hub.approx_gauge(series_key(
+            "typefuse_source_records_per_sec",
+            &[("source", &source)],
+        ))
+        .set(i * 100);
+    }
+    hub.counter("typefuse_requests_total").add(5000);
+    hub.counter("typefuse_sessions_total").add(40);
+    hub.approx_gauge("typefuse_uptime_ms").set(3_600_000);
+    hub
+}
+
+fn bench_telemetry_hub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_hub");
+    group.bench_function("cell_bump", |b| {
+        let hub = TelemetryHub::new();
+        let cell = hub.counter(series_key(
+            "typefuse_source_records",
+            &[("source", "events")],
+        ));
+        b.iter(|| cell.add(1));
+    });
+    let hub = daemon_sized_hub();
+    group.bench_function("sample_to_json", |b| b.iter(|| hub.sample().to_json()));
+    group.bench_function("sample_to_prometheus", |b| {
+        b.iter(|| hub.sample().to_prometheus())
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -48,6 +103,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_recorder_overhead
+    targets = bench_recorder_overhead, bench_telemetry_hub
 }
 criterion_main!(benches);

@@ -12,7 +12,7 @@ use crate::{CliError, CliResult};
 use std::io::Write;
 use std::time::Duration;
 use typefuse::pipeline::DedupMode;
-use typefuse_obs::Recorder;
+use typefuse_obs::{Level, Recorder};
 use typefuse_registry::CompatMode;
 use typefuse_serve::{Daemon, ServeConfig};
 
@@ -43,6 +43,16 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         }
     };
     let metrics_json = args.option("--metrics-json")?;
+    let trace_json = args.option("--trace-json")?;
+    let log_json = args.option("--log-json")?;
+    let log_level = match args.option("--log-level")?.as_deref() {
+        None => Level::Info,
+        Some(name) => Level::from_name(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown log level `{name}` (expected debug, info, warn or error)"
+            ))
+        })?,
+    };
     let flags = JobFlags::parse_ingest(args)?;
     args.finish()?;
 
@@ -57,9 +67,14 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         .listen(listen)
         .poll_interval(Duration::from_millis(poll_ms.max(1)))
         .compat(compat)
+        .log_level(log_level)
+        .trace_spans(trace_json.is_some())
         .job(flags.config(recorder.clone()).dedup(dedup));
     if let Some(path) = registry {
         config = config.registry(path);
+    }
+    if let Some(path) = log_json {
+        config = config.log_sink(path);
     }
     for spec in &watches {
         let (name, path) = split_spec(spec, "--watch", "NAME=PATH")?;
@@ -94,6 +109,10 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
 
     if let Some(path) = metrics_json {
         crate::job_args::write_envelope(&path, "metrics", &recorder.snapshot().to_json())?;
+    }
+    if let Some(path) = trace_json {
+        std::fs::write(&path, recorder.chrome_trace_json())
+            .map_err(|e| CliError::runtime(format!("cannot write trace to {path}: {e}")))?;
     }
     Ok(())
 }

@@ -23,6 +23,7 @@ mod cmd_registry;
 mod cmd_serve;
 mod cmd_sim;
 mod cmd_stats;
+mod cmd_watch;
 mod job_args;
 
 use args::ArgStream;
@@ -212,8 +213,25 @@ COMMANDS:
                            published snapshot (default: none)
         --dedup M          auto | on | off (as in infer)
         --metrics-json F   write the run report on shutdown
+        --trace-json F     write a Chrome trace of poller/session spans
+                           on shutdown (load in Perfetto)
+        --log-json F       tee structured events (drift alerts, bad
+                           records, failures) to F as JSONL
+        --log-level L      debug | info | warn | error: minimum event
+                           level kept (default: info)
         plus the shared ingest flags: --on-error, --quarantine,
         --max-errors, --max-depth, --max-line-bytes (see infer)
+        Live telemetry over the protocol: {\"op\":\"metrics\"} returns one
+        snapshot, {\"op\":\"metrics\",\"format\":\"prometheus\"} the text
+        exposition, {\"op\":\"watch\",\"interval_ms\":N} a snapshot stream
+
+    watch ADDR           live per-source telemetry tables from a running
+                         daemon (records, records/s, tail lag, skipped,
+                         quarantined, shapes, published version)
+        --interval-ms N    snapshot interval (default: 1000)
+        --count N          stop after N snapshots (default: stream until
+                           the daemon stops)
+        --raw              print the telemetry envelopes verbatim
 
     sim                  simulate the 6-node cluster experiment
         --placement P      single | spread   (default: single)
@@ -252,6 +270,7 @@ fn main() -> ExitCode {
         "registry" => cmd_registry::run(&mut args),
         "bench" => cmd_bench::run(&mut args),
         "serve" => cmd_serve::run(&mut args),
+        "watch" => cmd_watch::run(&mut args),
         "sim" => cmd_sim::run(&mut args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

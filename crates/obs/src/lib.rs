@@ -15,7 +15,12 @@
 //!   track ids, so nested spans render as a flame graph;
 //! * [`RunReport`] is the structured end-of-run summary — counters,
 //!   gauges, histograms, spans, per-stage task timings — serialized to
-//!   JSON without any external dependency.
+//!   JSON without any external dependency;
+//! * for resident services, [`TelemetryHub`] keeps live counter/gauge
+//!   series that poller and session threads bump lock-free, sampled on
+//!   demand into versioned byte-deterministic snapshots (JSON or
+//!   Prometheus text exposition 0.0.4), and [`EventLog`] is a bounded,
+//!   leveled, structured event ring with an optional JSONL sink.
 //!
 //! A disabled recorder (the default) reduces every operation to a
 //! branch on `None`; handles ([`Counter`], [`Gauge`], [`Histogram`])
@@ -49,16 +54,19 @@
 #![warn(missing_docs)]
 
 pub mod envelope;
+pub mod eventlog;
 pub mod histogram;
 pub mod recorder;
 pub mod report;
 pub mod rss;
 pub mod span;
+pub mod telemetry;
 pub mod trace;
 
 pub mod json;
 
 pub use envelope::{envelope, ENVELOPE_VERSION};
+pub use eventlog::{Event, EventLog, Level};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, LogHistogram, BUCKETS};
 pub use json::JsonWriter;
 pub use recorder::{Counter, Gauge, Recorder};
@@ -67,6 +75,7 @@ pub use report::{
     UtilizationReport, WorkerSlice,
 };
 pub use span::SpanGuard;
+pub use telemetry::{series_key, TelemetryCell, TelemetryHub, TelemetrySnapshot};
 pub use trace::TraceEvent;
 
 /// Open a timed span on a [`Recorder`].

@@ -1,9 +1,9 @@
 //! The resident daemon: source pollers, the registry publisher, and the
 //! TCP protocol listener.
 
-use crate::fold::{SourceState, SourceStatus};
-use crate::protocol::{self, Request};
-use std::collections::BTreeMap;
+use crate::fold::SourceState;
+use crate::protocol::{self, MetricsFormat, Request};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -16,8 +16,11 @@ use typefuse::pipeline::DedupMode;
 use typefuse::JobConfig;
 use typefuse_engine::{spawn_periodic, BackgroundTask, Tick};
 use typefuse_json::{TailLine, TailReader, TailStatus};
-use typefuse_obs::{envelope, JsonWriter, Recorder};
+use typefuse_obs::{envelope, series_key, EventLog, JsonWriter, Level, Recorder, TelemetryHub};
 use typefuse_registry::{CompatMode, MemoryRegistry, Registry, RegistryStore};
+
+/// Sliding window over which `typefuse_source_records_per_sec` averages.
+const RATE_WINDOW: Duration = Duration::from_secs(5);
 
 /// Where a source's NDJSON bytes come from.
 #[derive(Debug, Clone)]
@@ -56,6 +59,16 @@ pub struct ServeConfig {
     pub compat: CompatMode,
     /// The sources to fold.
     pub sources: Vec<SourceSpec>,
+    /// Tee every accepted event to this JSONL file.
+    pub log_sink: Option<PathBuf>,
+    /// Minimum event level retained by the event log.
+    pub log_level: Level,
+    /// How many events the in-memory ring retains.
+    pub event_capacity: usize,
+    /// Open a Chrome-trace span per poll fold and protocol request.
+    /// Off by default: a resident daemon would grow the trace buffer
+    /// without bound; the CLI enables it only under `--trace-json`.
+    pub trace_spans: bool,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +80,10 @@ impl Default for ServeConfig {
             registry_path: None,
             compat: CompatMode::None,
             sources: Vec::new(),
+            log_sink: None,
+            log_level: Level::Info,
+            event_capacity: 1024,
+            trace_spans: false,
         }
     }
 }
@@ -126,6 +143,30 @@ impl ServeConfig {
         });
         self
     }
+
+    /// Tee every accepted event to `path` as JSONL.
+    pub fn log_sink(mut self, path: impl Into<PathBuf>) -> Self {
+        self.log_sink = Some(path.into());
+        self
+    }
+
+    /// Set the minimum retained event level.
+    pub fn log_level(mut self, level: Level) -> Self {
+        self.log_level = level;
+        self
+    }
+
+    /// Set how many events the in-memory ring retains.
+    pub fn event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Open Chrome-trace spans for poll folds and protocol requests.
+    pub fn trace_spans(mut self, on: bool) -> Self {
+        self.trace_spans = on;
+        self
+    }
 }
 
 /// Shared daemon state: protocol sessions read it, pollers write it.
@@ -133,9 +174,20 @@ struct Shared {
     stop: Arc<AtomicBool>,
     started: Instant,
     recorder: Recorder,
+    hub: TelemetryHub,
+    events: EventLog,
+    trace_spans: bool,
     compat: CompatMode,
     sources: BTreeMap<String, Arc<Mutex<SourceState>>>,
     registry: Mutex<Box<dyn RegistryStore + Send>>,
+}
+
+/// How the session loop delivers a response: one envelope, or a
+/// telemetry stream (the `watch` op) that keeps writing until the
+/// client disconnects or the daemon stops.
+enum Reply {
+    One(String),
+    Watch { interval: Duration },
 }
 
 impl Shared {
@@ -146,8 +198,8 @@ impl Shared {
         })
     }
 
-    /// Route one parsed request to its response envelope.
-    fn respond(&self, request: &Request) -> String {
+    /// Route one parsed request to its reply.
+    fn respond(&self, request: &Request) -> Reply {
         let result = match request {
             Request::Schema { source } => self
                 .source(source)
@@ -166,12 +218,21 @@ impl Shared {
                     .map(|changes| protocol::diff_response(source, *from, *to, &changes))
                     .map_err(|e| e.to_string())
             }),
+            Request::Metrics { format } => Ok(match format {
+                MetricsFormat::Json => self.metrics_response(),
+                MetricsFormat::Prometheus => self.prometheus_response(),
+            }),
+            Request::Watch { interval_ms } => {
+                return Reply::Watch {
+                    interval: Duration::from_millis(*interval_ms),
+                }
+            }
             Request::Shutdown => {
                 self.stop.store(true, Ordering::Release);
                 Ok(envelope("ok", "{\"stopping\":true}"))
             }
         };
-        result.unwrap_or_else(|message| protocol::error_response(&message))
+        Reply::One(result.unwrap_or_else(|message| protocol::error_response(&message)))
     }
 
     fn health_response(&self) -> String {
@@ -179,6 +240,13 @@ impl Shared {
         w.begin_object();
         w.key("uptime_ms");
         w.number(self.started.elapsed().as_millis() as u64);
+        w.key("records");
+        w.number(
+            self.sources
+                .values()
+                .map(|s| s.lock().expect("source lock").records())
+                .sum::<u64>(),
+        );
         w.key("sources");
         w.begin_array();
         for state in self.sources.values() {
@@ -188,18 +256,55 @@ impl Shared {
         w.end_object();
         envelope("health", &w.finish())
     }
+
+    /// Refresh the daemon-level series a sample should carry: uptime
+    /// (approx — wall clock) and per-level event counts (deterministic
+    /// for a fixed fold sequence, so they live in `gauges`).
+    fn refresh_daemon_series(&self) {
+        self.hub
+            .approx_gauge("typefuse_uptime_ms")
+            .set(self.started.elapsed().as_millis() as u64);
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            self.hub
+                .gauge(series_key("typefuse_events", &[("level", level.name())]))
+                .set(self.events.count(level));
+        }
+    }
+
+    /// One `telemetry` snapshot envelope.
+    fn metrics_response(&self) -> String {
+        self.refresh_daemon_series();
+        envelope("telemetry", &self.hub.sample().to_json())
+    }
+
+    /// One `prometheus` envelope: the text exposition 0.0.4 document as
+    /// a JSON string payload, so the response stays one line.
+    fn prometheus_response(&self) -> String {
+        self.refresh_daemon_series();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("content_type");
+        w.string("text/plain; version=0.0.4");
+        w.key("text");
+        w.string(&self.hub.sample().to_prometheus());
+        w.end_object();
+        envelope("prometheus", &w.finish())
+    }
 }
 
 /// The tailing end of one source, owned by its poller thread.
 enum SourceTail {
     /// A file that may not exist yet; reopened each tick until it does.
     PendingFile(PathBuf),
-    /// An open growing file / FIFO.
-    File(TailReader<std::fs::File>),
+    /// An open growing file / FIFO, keeping the path so the poller can
+    /// stat it for tail lag.
+    File(PathBuf, TailReader<std::fs::File>),
     /// A TCP listener plus every live producer connection.
     Tcp {
         listener: TcpListener,
         conns: Vec<TailReader<TcpStream>>,
+        /// Bytes consumed by connections that have since closed.
+        closed_bytes: u64,
     },
 }
 
@@ -230,6 +335,21 @@ impl Daemon {
             None => Box::new(MemoryRegistry::new()),
         };
 
+        let events = match &config.log_sink {
+            Some(path) => EventLog::with_sink(config.event_capacity, config.log_level, path)
+                .map_err(|e| {
+                    std::io::Error::other(format!("cannot open event log sink {path:?}: {e}"))
+                })?,
+            None => EventLog::new(config.event_capacity, config.log_level),
+        };
+        events.log(
+            Level::Info,
+            "daemon",
+            "boot",
+            format!("listening on {addr}"),
+        );
+        let hub = TelemetryHub::new();
+
         let dedup = match config.job.dedup {
             DedupMode::On | DedupMode::Auto => true,
             DedupMode::Off => false,
@@ -243,6 +363,7 @@ impl Daemon {
                 config.job.parser_options.clone(),
                 config.job.error_policy.clone(),
                 recorder.clone(),
+                events.clone(),
             );
             if sources
                 .insert(spec.name.clone(), Arc::new(Mutex::new(state)))
@@ -259,6 +380,9 @@ impl Daemon {
             stop: Arc::clone(&stop),
             started: Instant::now(),
             recorder: recorder.clone(),
+            hub,
+            events,
+            trace_spans: config.trace_spans,
             compat: config.compat,
             sources,
             registry: Mutex::new(registry),
@@ -307,6 +431,22 @@ impl Daemon {
     /// round-trip — the same payload a connected client would get.
     pub fn health_json(&self) -> String {
         self.shared.health_response()
+    }
+
+    /// The current `telemetry` snapshot envelope, rendered without a
+    /// protocol round-trip (samples the hub: bumps the version).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics_response()
+    }
+
+    /// The daemon's live telemetry hub.
+    pub fn hub(&self) -> TelemetryHub {
+        self.shared.hub.clone()
+    }
+
+    /// The daemon's structured event log.
+    pub fn events(&self) -> EventLog {
+        self.shared.events.clone()
     }
 
     /// Whether a stop has been requested (by [`Daemon::stop`] or a
@@ -371,7 +511,7 @@ fn spawn_source_poller(
 
     let mut tail = match &spec.input {
         SourceInput::File(path) => match std::fs::File::open(path) {
-            Ok(file) => SourceTail::File(make_file_tail(file, &recorder)),
+            Ok(file) => SourceTail::File(path.clone(), make_file_tail(file, &recorder)),
             // Not-yet-created files are watched, not fatal: keep trying.
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 SourceTail::PendingFile(path.clone())
@@ -384,6 +524,7 @@ fn spawn_source_poller(
             SourceTail::Tcp {
                 listener,
                 conns: Vec::new(),
+                closed_bytes: 0,
             }
         }
     };
@@ -392,6 +533,28 @@ fn spawn_source_poller(
     let compat = shared.compat;
     let poll_recorder = recorder.clone();
     let name = spec.name.clone();
+    let trace_spans = shared.trace_spans;
+
+    // Hot-path telemetry handles, hoisted out of the tick closure.
+    let source_series = |metric: &str| series_key(metric, &[("source", &spec.name)]);
+    let m_records = shared.hub.counter(source_series("typefuse_source_records"));
+    let m_skipped = shared.hub.gauge(source_series("typefuse_source_skipped"));
+    let m_quarantined = shared
+        .hub
+        .gauge(source_series("typefuse_source_quarantined"));
+    let m_offset = shared
+        .hub
+        .gauge(source_series("typefuse_source_offset_bytes"));
+    let m_lag = shared.hub.gauge(source_series("typefuse_source_lag_bytes"));
+    let m_shapes = shared
+        .hub
+        .gauge(source_series("typefuse_source_distinct_shapes"));
+    let m_version = shared.hub.gauge(source_series("typefuse_source_version"));
+    let m_rate = shared
+        .hub
+        .approx_gauge(source_series("typefuse_source_records_per_sec"));
+    let mut window: VecDeque<(Instant, u64)> = VecDeque::new();
+
     Ok(spawn_periodic(
         &format!("poll-{name}"),
         config.poll_interval,
@@ -402,18 +565,22 @@ fn spawn_source_poller(
             match &mut tail {
                 SourceTail::PendingFile(path) => {
                     if let Ok(file) = std::fs::File::open(&*path) {
-                        tail = SourceTail::File(make_file_tail(file, &poll_recorder));
+                        tail = SourceTail::File(path.clone(), make_file_tail(file, &poll_recorder));
                     }
                     return Tick::Continue;
                 }
-                SourceTail::File(reader) => {
+                SourceTail::File(_, reader) => {
                     if let Err(e) = reader.poll(&mut lines) {
                         let mut state = state.lock().expect("source lock");
-                        state.status = SourceStatus::Failed(format!("read error: {e}"));
+                        state.fail(format!("read error: {e}"));
                         return Tick::Stop;
                     }
                 }
-                SourceTail::Tcp { listener, conns } => {
+                SourceTail::Tcp {
+                    listener,
+                    conns,
+                    closed_bytes,
+                } => {
                     // Adopt any new producer connections.
                     loop {
                         match listener.accept() {
@@ -439,26 +606,72 @@ fn spawn_source_poller(
                             if let Some(last) = conn.take_pending() {
                                 lines.push(last);
                             }
+                            *closed_bytes += conn.bytes_read();
                             false
                         }
-                        Err(_) => false,
+                        Err(_) => {
+                            *closed_bytes += conn.bytes_read();
+                            false
+                        }
                     });
                 }
             }
-            if lines.is_empty() {
-                return Tick::Continue;
+
+            // Tail position: how far we've read and how far behind the
+            // input we are (files only — a TCP source has no length).
+            match &tail {
+                SourceTail::PendingFile(_) => {}
+                SourceTail::File(path, reader) => {
+                    let offset = reader.bytes_read();
+                    m_offset.set(offset);
+                    let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(offset);
+                    m_lag.set(len.saturating_sub(offset));
+                }
+                SourceTail::Tcp {
+                    conns,
+                    closed_bytes,
+                    ..
+                } => {
+                    m_offset.set(closed_bytes + conns.iter().map(|c| c.bytes_read()).sum::<u64>());
+                }
             }
-            let mut state = state.lock().expect("source lock");
-            let absorbed = state.fold_batch(&lines);
-            if absorbed > 0 {
-                let mut registry = shared.registry.lock().expect("registry lock");
-                state.publish(registry.as_mut(), compat);
-            }
-            if state.is_active() {
-                Tick::Continue
+
+            let absorbed = if lines.is_empty() {
+                0
             } else {
-                Tick::Stop
+                let mut state = state.lock().expect("source lock");
+                let _span = trace_spans.then(|| poll_recorder.span(format!("serve.fold.{name}")));
+                let absorbed = state.fold_batch(&lines);
+                if absorbed > 0 {
+                    let mut registry = shared.registry.lock().expect("registry lock");
+                    state.publish(registry.as_mut(), compat);
+                }
+                m_records.add(absorbed);
+                m_skipped.set(state.report.skipped());
+                m_quarantined.set(state.quarantined);
+                m_shapes.set(state.distinct_shapes());
+                m_version.set(state.version.unwrap_or(0));
+                if !state.is_active() {
+                    return Tick::Stop;
+                }
+                absorbed
+            };
+
+            // Sliding-window throughput: absorbed records over the last
+            // RATE_WINDOW, decayed even on idle ticks.
+            let now = Instant::now();
+            if absorbed > 0 {
+                window.push_back((now, absorbed));
             }
+            while window
+                .front()
+                .is_some_and(|(at, _)| now.duration_since(*at) > RATE_WINDOW)
+            {
+                window.pop_front();
+            }
+            let in_window: u64 = window.iter().map(|(_, n)| n).sum();
+            m_rate.set(in_window / RATE_WINDOW.as_secs());
+            Tick::Continue
         },
     ))
 }
@@ -487,6 +700,7 @@ fn spawn_accept_loop(
     stop: Arc<AtomicBool>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) -> JoinHandle<()> {
+    let m_sessions = shared.hub.counter("typefuse_sessions_total");
     std::thread::Builder::new()
         .name("serve-accept".to_string())
         .spawn(move || {
@@ -499,16 +713,24 @@ fn spawn_accept_loop(
                     break;
                 }
                 shared.recorder.add("serve.sessions", 1);
+                m_sessions.add(1);
                 let session_shared = Arc::clone(&shared);
                 let handle = std::thread::Builder::new()
                     .name("serve-session".to_string())
                     .spawn(move || {
                         let recorder = session_shared.recorder.clone();
+                        let events = session_shared.events.clone();
                         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                             run_session(stream, &session_shared)
                         }));
                         if outcome.is_err() {
                             recorder.add("serve.session_panics", 1);
+                            events.log(
+                                Level::Error,
+                                "session",
+                                "request",
+                                "session thread panicked; connection dropped",
+                            );
                         }
                     })
                     .expect("spawn session thread");
@@ -522,10 +744,14 @@ fn spawn_accept_loop(
 }
 
 /// One protocol session: read request lines, write response envelopes.
-/// The read timeout keeps the thread responsive to daemon shutdown.
+/// The read timeout keeps the thread responsive to daemon shutdown. A
+/// `watch` request turns the session into a telemetry stream: one
+/// snapshot envelope per interval until the client disconnects or the
+/// daemon stops.
 fn run_session(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let recorder = shared.recorder.clone();
+    let m_requests = shared.hub.counter("typefuse_requests_total");
     let mut writer = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -556,26 +782,65 @@ fn run_session(stream: TcpStream, shared: &Shared) {
             continue;
         }
         recorder.add("serve.requests", 1);
+        m_requests.add(1);
         recorder.record("serve.request_bytes", trimmed.len() as u64);
         let started = Instant::now();
-        let response = match protocol::parse_request(trimmed) {
-            Ok(request) => {
-                recorder.add(&format!("serve.requests.{}", request_name(&request)), 1);
-                shared.respond(&request)
-            }
-            Err(message) => {
-                recorder.add("serve.requests.invalid", 1);
-                protocol::error_response(&message)
+        let reply = {
+            let _span = shared.trace_spans.then(|| recorder.span("serve.request"));
+            match protocol::parse_request(trimmed) {
+                Ok(request) => {
+                    recorder.add(&format!("serve.requests.{}", request_name(&request)), 1);
+                    shared.respond(&request)
+                }
+                Err(message) => {
+                    recorder.add("serve.requests.invalid", 1);
+                    Reply::One(protocol::error_response(&message))
+                }
             }
         };
-        recorder.record_span("serve.request", started.elapsed());
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
-            return;
+        if !shared.trace_spans {
+            recorder.record_span("serve.request", started.elapsed());
+        }
+        match reply {
+            Reply::One(response) => {
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            Reply::Watch { interval } => {
+                run_watch(&mut writer, shared, interval);
+                return;
+            }
         }
     }
+}
+
+/// Stream telemetry snapshots: one envelope immediately, then one per
+/// interval. Ends when the client disconnects (write fails) or the
+/// daemon stops; the interval sleep is sliced so shutdown stays fast.
+fn run_watch(writer: &mut TcpStream, shared: &Shared, interval: Duration) {
+    loop {
+        if write_line(writer, &shared.metrics_response()).is_err() {
+            return;
+        }
+        let deadline = Instant::now() + interval;
+        loop {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
 }
 
 fn request_name(request: &Request) -> &'static str {
@@ -585,6 +850,8 @@ fn request_name(request: &Request) -> &'static str {
         Request::Explain { .. } => "explain",
         Request::Health => "health",
         Request::Diff { .. } => "diff",
+        Request::Metrics { .. } => "metrics",
+        Request::Watch { .. } => "watch",
         Request::Shutdown => "shutdown",
     }
 }

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use typefuse::{BadRecord, ErrorPolicy, ErrorReport};
 use typefuse_infer::{infer_type, DedupAcc, FuseConfig, Incremental, ProfileAcc};
 use typefuse_json::{Map, Parser, ParserOptions, Value};
-use typefuse_obs::Recorder;
+use typefuse_obs::{EventLog, Level, Recorder};
 use typefuse_registry::{CompatMode, RegistryStore};
 use typefuse_types::diff::SchemaChange;
 use typefuse_types::Type;
@@ -54,10 +54,16 @@ pub(crate) struct SourceState {
     /// change between consecutive published versions.
     pub(crate) drift: Vec<String>,
     pub(crate) status: SourceStatus,
+    /// Records written to the quarantine sidecar for this source.
+    pub(crate) quarantined: u64,
+    /// Unix-millisecond timestamp of the last batch that brought any
+    /// line (folded or bad); `None` until the source first produces.
+    pub(crate) last_activity_ms: Option<u64>,
     fuse_config: FuseConfig,
     parser: ParserOptions,
     policy: ErrorPolicy,
     recorder: Recorder,
+    events: EventLog,
 }
 
 impl SourceState {
@@ -68,6 +74,7 @@ impl SourceState {
         parser: ParserOptions,
         policy: ErrorPolicy,
         recorder: Recorder,
+        events: EventLog,
     ) -> Self {
         SourceState {
             name: name.to_string(),
@@ -82,10 +89,13 @@ impl SourceState {
             version: None,
             drift: Vec::new(),
             status: SourceStatus::Active,
+            quarantined: 0,
+            last_activity_ms: None,
             fuse_config,
             parser,
             policy,
             recorder,
+            events,
         }
     }
 
@@ -110,6 +120,15 @@ impl SourceState {
         self.profile.clone().finish()
     }
 
+    /// Distinct interned shapes held by the dedup accumulator (0 on the
+    /// plain route, which does not track shapes).
+    pub(crate) fn distinct_shapes(&self) -> u64 {
+        match &self.acc {
+            Acc::Dedup(acc) => acc.distinct_shapes() as u64,
+            Acc::Plain(_) => 0,
+        }
+    }
+
     pub(crate) fn is_active(&self) -> bool {
         matches!(self.status, SourceStatus::Active)
     }
@@ -121,6 +140,9 @@ impl SourceState {
     /// must keep serving its other sources.
     pub(crate) fn fold_batch(&mut self, lines: &[typefuse_json::TailLine]) -> u64 {
         let mut absorbed = 0u64;
+        if !lines.is_empty() {
+            self.last_activity_ms = Some(unix_ms());
+        }
         for line in lines {
             if !self.is_active() {
                 break;
@@ -180,7 +202,7 @@ impl SourceState {
     fn note_bad(&mut self, error: typefuse_json::Error, text: &[u8]) {
         self.recorder.add("ingest.parse_errors", 1);
         if self.policy.is_fail_fast() {
-            self.status = SourceStatus::Failed(format!("parse error: {error}"));
+            self.fail(format!("parse error: {error}"));
             return;
         }
         let keeps_text = self.policy.keeps_text();
@@ -191,16 +213,24 @@ impl SourceState {
         };
         match &self.policy {
             ErrorPolicy::Quarantine { sink, .. } => match append_quarantine(sink, &bad) {
-                Ok(()) => self.recorder.add("ingest.quarantined", 1),
+                Ok(()) => {
+                    self.recorder.add("ingest.quarantined", 1);
+                    self.quarantined += 1;
+                }
                 Err(e) => {
-                    self.status =
-                        SourceStatus::Failed(format!("cannot quarantine to {sink:?}: {e}"));
+                    self.fail(format!("cannot quarantine to {sink:?}: {e}"));
                     return;
                 }
             },
             ErrorPolicy::Skip { .. } | ErrorPolicy::FailFast => {}
         }
         self.recorder.add("ingest.skipped", 1);
+        self.events.log(
+            Level::Warn,
+            &self.name,
+            "ingest",
+            format!("bad record at line {}: {}", bad.at, bad.error),
+        );
         self.report.note(bad);
         let budget = match &self.policy {
             ErrorPolicy::Skip { max_errors } | ErrorPolicy::Quarantine { max_errors, .. } => {
@@ -210,12 +240,19 @@ impl SourceState {
         };
         if let Some(limit) = budget {
             if self.report.skipped() > limit {
-                self.status = SourceStatus::Failed(format!(
+                self.fail(format!(
                     "error budget exhausted: {} bad records (limit {limit})",
                     self.report.skipped()
                 ));
             }
         }
+    }
+
+    /// Flip the source to [`SourceStatus::Failed`] with an error event.
+    pub(crate) fn fail(&mut self, reason: String) {
+        self.events
+            .log(Level::Error, &self.name, "ingest", reason.clone());
+        self.status = SourceStatus::Failed(reason);
     }
 
     /// Publish the current schema as a new registry snapshot and record
@@ -236,6 +273,12 @@ impl SourceState {
                     return;
                 }
                 self.recorder.add("serve.publishes", 1);
+                self.events.log(
+                    Level::Info,
+                    &self.name,
+                    "publish",
+                    format!("published version {}", outcome.version),
+                );
                 if let Some(prev) = previous {
                     if let Ok(changes) = registry.changes(&self.name, prev, outcome.version) {
                         self.record_drift(prev, outcome.version, &changes);
@@ -244,8 +287,10 @@ impl SourceState {
             }
             Err(e) => {
                 self.recorder.add("serve.publish_rejected", 1);
-                self.drift
-                    .push(format!("publish rejected ({compat:?}): {e}"));
+                let alert = format!("publish rejected ({compat:?}): {e}");
+                self.events
+                    .log(Level::Warn, &self.name, "publish", alert.clone());
+                self.drift.push(alert);
             }
         }
     }
@@ -253,9 +298,19 @@ impl SourceState {
     fn record_drift(&mut self, from: u64, to: u64, changes: &[SchemaChange]) {
         self.recorder.add("serve.drift", changes.len() as u64);
         for change in changes {
-            self.drift.push(format!("v{from}→v{to}: {change}"));
+            let alert = format!("v{from}→v{to}: {change}");
+            self.events
+                .log(Level::Warn, &self.name, "drift", alert.clone());
+            self.drift.push(alert);
         }
     }
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// Append one bad record to the quarantine sidecar in the same NDJSON
@@ -303,6 +358,7 @@ mod tests {
             ParserOptions::default(),
             policy,
             Recorder::enabled(),
+            EventLog::new(64, Level::Debug),
         )
     }
 
@@ -386,6 +442,41 @@ mod tests {
         assert_eq!(s.version, Some(2));
         assert!(!s.drift.is_empty());
         assert!(s.drift[0].contains("v1→v2"), "{:?}", s.drift);
+    }
+
+    #[test]
+    fn folding_emits_structured_events() {
+        let mut registry = typefuse_registry::MemoryRegistry::new();
+        let mut s = state(
+            false,
+            ErrorPolicy::Skip {
+                max_errors: Some(10),
+            },
+        );
+        s.fold_batch(&lines(&[r#"{"id": 1}"#, "not json"]));
+        assert!(s.last_activity_ms.is_some(), "batch stamps activity");
+        s.publish(&mut registry, CompatMode::None);
+        s.fold_batch(&lines(&[r#"{"id": 2, "tag": "x"}"#]));
+        s.publish(&mut registry, CompatMode::None);
+        let events = s.events.recent(16);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.level == Level::Warn && e.span == "ingest"),
+            "bad record warns: {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.level == Level::Info && e.span == "publish"),
+            "publish informs: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.level == Level::Warn
+                && e.span == "drift"
+                && e.message.contains("v1→v2")),
+            "drift warns: {events:?}"
+        );
     }
 
     #[test]

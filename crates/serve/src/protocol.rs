@@ -15,11 +15,20 @@
 //! {"op": "explain", "source": NAME, "path": PATH}
 //! {"op": "health"}
 //! {"op": "diff",    "source": NAME, "from": V, "to": V}
+//! {"op": "metrics"}
+//! {"op": "metrics", "format": "prometheus"}
+//! {"op": "watch",   "interval_ms": N}
 //! {"op": "shutdown"}
 //! ```
 //!
 //! Responses carry `kind` equal to the op (errors use `"error"` with a
-//! `message` payload; `shutdown` acknowledges with `"ok"`).
+//! `message` payload; `shutdown` acknowledges with `"ok"`). Metrics
+//! snapshots use kind `"telemetry"`; the Prometheus variant uses kind
+//! `"prometheus"` with the multi-line exposition carried as a JSON
+//! string payload (`{"content_type":…,"text":…}`) so every response
+//! stays one line. `watch` is the one *streaming* op: the session keeps
+//! writing one `"telemetry"` envelope per interval until the client
+//! disconnects or the daemon stops.
 
 use crate::fold::{SourceState, SourceStatus};
 use typefuse_json::Value;
@@ -56,8 +65,27 @@ pub enum Request {
         /// Newer version.
         to: u64,
     },
+    /// One live telemetry snapshot.
+    Metrics {
+        /// Rendering of the snapshot.
+        format: MetricsFormat,
+    },
+    /// Stream telemetry snapshots until the client disconnects.
+    Watch {
+        /// Milliseconds between snapshots.
+        interval_ms: u64,
+    },
     /// Stop the daemon.
     Shutdown,
+}
+
+/// How a `metrics` response renders the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The JSON snapshot envelope (kind `telemetry`).
+    Json,
+    /// Prometheus text exposition 0.0.4 (kind `prometheus`).
+    Prometheus,
 }
 
 /// Parse one request line.
@@ -108,9 +136,33 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 to: version("to")?,
             })
         }
+        "metrics" => {
+            let format = match value.get("format").and_then(Value::as_str) {
+                None | Some("json") => MetricsFormat::Json,
+                Some("prometheus") => MetricsFormat::Prometheus,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown metrics format `{other}` (expected json or prometheus)"
+                    ))
+                }
+            };
+            Ok(Request::Metrics { format })
+        }
+        "watch" => {
+            let interval_ms = match value.get("interval_ms") {
+                None => 1000,
+                Some(v) => v
+                    .as_i64()
+                    .filter(|ms| *ms > 0)
+                    .ok_or_else(|| "op `watch` needs a positive `interval_ms`".to_string())?
+                    as u64,
+            };
+            Ok(Request::Watch { interval_ms })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (expected schema, profile, explain, health, diff or shutdown)"
+            "unknown op `{other}` (expected schema, profile, explain, health, diff, metrics, \
+             watch or shutdown)"
         )),
     }
 }
@@ -206,9 +258,16 @@ pub(crate) fn write_source_health(w: &mut JsonWriter, state: &SourceState) {
     w.number(state.records());
     w.key("skipped");
     w.number(state.report.skipped());
+    w.key("quarantined");
+    w.number(state.quarantined);
     w.key("version");
     match state.version {
         Some(v) => w.number(v),
+        None => w.raw("null"),
+    }
+    w.key("last_activity_ms");
+    match state.last_activity_ms {
+        Some(ms) => w.number(ms),
         None => w.raw("null"),
     }
     w.key("drift");
@@ -285,6 +344,44 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn parses_metrics_and_watch() {
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"json"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Prometheus
+            }
+        );
+        assert!(
+            parse_request(r#"{"op":"metrics","format":"xml"}"#).is_err(),
+            "unknown format"
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"watch"}"#).unwrap(),
+            Request::Watch { interval_ms: 1000 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"watch","interval_ms":250}"#).unwrap(),
+            Request::Watch { interval_ms: 250 }
+        );
+        assert!(
+            parse_request(r#"{"op":"watch","interval_ms":0}"#).is_err(),
+            "zero interval"
         );
     }
 

@@ -221,6 +221,178 @@ fn tcp_sources_fold_producer_connections_and_shutdown_op_stops_the_daemon() {
 }
 
 #[test]
+fn metrics_op_reports_per_source_series_that_agree_with_the_fold() {
+    let path = temp_path("metrics.ndjson");
+    std::fs::write(&path, "{\"a\":1}\n{\"a\":2}\n{\"a\":3,\"b\":true}\n").unwrap();
+
+    let daemon = Daemon::start(fast(ServeConfig::new().watch_file("events", &path))).unwrap();
+    let mut client = Client::connect(daemon.addr());
+    client.wait_for_records("events", 3);
+
+    let text = client.request(r#"{"op":"metrics"}"#);
+    let env = Envelope::expect_kind(&text, "telemetry").unwrap();
+    let counters = env.payload.get("counters").unwrap();
+    assert_eq!(
+        counters
+            .get("typefuse_source_records{source=\"events\"}")
+            .and_then(Value::as_i64),
+        Some(3),
+        "per-source counter agrees with folded records: {text}"
+    );
+    let gauges = env.payload.get("gauges").unwrap();
+    assert_eq!(
+        gauges
+            .get("typefuse_source_version{source=\"events\"}")
+            .and_then(Value::as_i64),
+        Some(1)
+    );
+    assert_eq!(
+        gauges
+            .get("typefuse_source_lag_bytes{source=\"events\"}")
+            .and_then(Value::as_i64),
+        Some(0),
+        "fully caught-up tail has no lag"
+    );
+    assert!(
+        env.payload
+            .get("approx")
+            .and_then(|a| a.get("typefuse_uptime_ms"))
+            .and_then(Value::as_i64)
+            .is_some(),
+        "wall-clock series live in the approx section"
+    );
+    let first_version = env.payload.get("version").and_then(Value::as_i64).unwrap();
+
+    // Determinism for a fixed fold sequence: a second sample renders
+    // the fold-driven sections byte-identically; only the snapshot
+    // sequence number and the request counter (this very request)
+    // advance.
+    let text2 = client.request(r#"{"op":"metrics"}"#);
+    let env2 = Envelope::expect_kind(&text2, "telemetry").unwrap();
+    assert_eq!(
+        env2.payload.get("version").and_then(Value::as_i64),
+        Some(first_version + 1)
+    );
+    assert_eq!(
+        typefuse_json::to_string(env.payload.get("gauges").unwrap()),
+        typefuse_json::to_string(env2.payload.get("gauges").unwrap()),
+        "gauges section is byte-deterministic"
+    );
+    let counters2 = env2.payload.get("counters").unwrap();
+    for (key, value) in counters.as_object().unwrap().iter() {
+        let second = counters2.get(key).and_then(Value::as_i64);
+        if key == "typefuse_requests_total" {
+            assert_eq!(second, value.as_i64().map(|v| v + 1), "one more request");
+        } else {
+            assert_eq!(second, value.as_i64(), "counter {key} drifted with no fold");
+        }
+    }
+
+    // Prometheus exposition rides inside a one-line envelope.
+    let text = client.request(r#"{"op":"metrics","format":"prometheus"}"#);
+    let env = Envelope::expect_kind(&text, "prometheus").unwrap();
+    assert_eq!(
+        env.payload.get("content_type").and_then(Value::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let exposition = env.payload.get("text").and_then(Value::as_str).unwrap();
+    assert!(
+        exposition.contains("# TYPE typefuse_source_records counter"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("typefuse_source_records{source=\"events\"} 3"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("# TYPE typefuse_uptime_ms gauge"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("typefuse_sessions_total"),
+        "{exposition}"
+    );
+
+    // Structured events recorded the boot and the publish.
+    let events = daemon.events();
+    let recent = events.recent(16);
+    assert!(
+        recent.iter().any(|e| e.span == "boot"),
+        "boot event: {recent:?}"
+    );
+    assert!(
+        recent
+            .iter()
+            .any(|e| e.span == "publish" && e.message.contains("version 1")),
+        "publish event: {recent:?}"
+    );
+
+    daemon.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn watch_streams_snapshots_and_a_disconnect_leaves_the_daemon_healthy() {
+    let path = temp_path("watch.ndjson");
+    std::fs::write(&path, "{\"n\":1}\n{\"n\":2}\n").unwrap();
+
+    let daemon = Daemon::start(fast(ServeConfig::new().watch_file("events", &path))).unwrap();
+    Client::connect(daemon.addr()).wait_for_records("events", 2);
+
+    // Subscribe and read a few streamed envelopes.
+    let stream = TcpStream::connect(daemon.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer
+        .write_all(b"{\"op\":\"watch\",\"interval_ms\":20}\n")
+        .unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut versions = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let env = Envelope::expect_kind(line.trim(), "telemetry").unwrap();
+        assert_eq!(
+            env.payload
+                .get("counters")
+                .and_then(|c| c.get("typefuse_source_records{source=\"events\"}"))
+                .and_then(Value::as_i64),
+            Some(2)
+        );
+        versions.push(env.payload.get("version").and_then(Value::as_i64).unwrap());
+    }
+    assert!(
+        versions.windows(2).all(|w| w[1] > w[0]),
+        "snapshot versions advance: {versions:?}"
+    );
+    drop(reader);
+    drop(writer);
+
+    // The abandoned stream must not wedge the daemon: a fresh session
+    // still gets answers, and health carries the new totals.
+    let mut client = Client::connect(daemon.addr());
+    let text = client.request(r#"{"op":"health"}"#);
+    let env = Envelope::expect_kind(&text, "health").unwrap();
+    assert_eq!(env.payload.get("records").and_then(Value::as_i64), Some(2));
+    assert!(env
+        .payload
+        .get("uptime_ms")
+        .and_then(Value::as_i64)
+        .is_some());
+    let sources = typefuse_json::to_string(env.payload.get("sources").unwrap());
+    assert!(
+        sources.contains("\"last_activity_ms\":") && !sources.contains("\"last_activity_ms\":null"),
+        "per-source activity stamp: {sources}"
+    );
+
+    daemon.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn watched_file_may_not_exist_yet_and_quarantine_collects_bad_records() {
     let path = temp_path("late.ndjson");
     let sink = temp_path("late.quarantine.ndjson");
