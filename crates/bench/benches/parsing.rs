@@ -96,6 +96,80 @@ fn bench_direct_vs_tree_inference(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_structural_scan(c: &mut Criterion) {
+    // Stage-1 structural indexing: the SWAR word-classified sweep vs
+    // the byte-at-a-time reference oracle, in MB/s over whole corpora.
+    let mut group = c.benchmark_group("structural_scan");
+    for profile in [Profile::GitHub, Profile::NYTimes] {
+        let (text, _) = corpus(profile, 200);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(format!("{profile}/swar"), |b| {
+            b.iter(|| {
+                typefuse_json::scan(black_box(text.as_bytes()))
+                    .structurals
+                    .len()
+            })
+        });
+        group.bench_function(format!("{profile}/scalar"), |b| {
+            b.iter(|| {
+                typefuse_json::scan::scan_scalar(black_box(text.as_bytes()))
+                    .structurals
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shape_cache(c: &mut Criterion) {
+    // The shape route's two regimes, in ns/record. GitHub events are
+    // shape-redundant (steady state is almost all hits); Wikidata's
+    // open-content records keep the cache missing.
+    let mut group = c.benchmark_group("shape_cache");
+    let opts = typefuse_json::ParserOptions::default();
+    let rec = typefuse_obs::Recorder::disabled();
+    for profile in [Profile::GitHub, Profile::Wikidata] {
+        let (text, _) = corpus(profile, 200);
+        let lines: Vec<&str> = text.lines().collect();
+        group.throughput(Throughput::Elements(lines.len() as u64));
+        group.bench_function(format!("{profile}/warm"), |b| {
+            // Warm the cache once, then measure the hit path.
+            let mut cache = typefuse_infer::ShapeCache::new();
+            for line in &lines {
+                cache.infer_line(line.as_bytes(), &opts, &rec).unwrap();
+            }
+            b.iter(|| {
+                lines
+                    .iter()
+                    .map(|l| {
+                        cache
+                            .infer_line(black_box(l.as_bytes()), &opts, &rec)
+                            .unwrap()
+                            .size()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        group.bench_function(format!("{profile}/cold"), |b| {
+            // Fresh cache per pass: every distinct signature replays
+            // the event fold.
+            b.iter(|| {
+                let mut cache = typefuse_infer::ShapeCache::new();
+                lines
+                    .iter()
+                    .map(|l| {
+                        cache
+                            .infer_line(black_box(l.as_bytes()), &opts, &rec)
+                            .unwrap()
+                            .size()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_string_escapes(c: &mut Criterion) {
     // Hot path detail: escaped vs plain strings.
     let plain = format!("\"{}\"", "a".repeat(1000));
@@ -120,6 +194,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_parse, bench_serialize, bench_infer_only, bench_direct_vs_tree_inference, bench_string_escapes
+    targets = bench_parse, bench_serialize, bench_infer_only, bench_direct_vs_tree_inference, bench_structural_scan, bench_shape_cache, bench_string_escapes
 }
 criterion_main!(benches);

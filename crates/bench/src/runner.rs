@@ -8,7 +8,11 @@ use std::time::{Duration, Instant};
 use typefuse::pipeline::MapPath;
 use typefuse_datagen::{DatasetProfile, Profile};
 use typefuse_engine::{ReducePlan, Runtime};
-use typefuse_infer::{fuse_into, fuse_with, infer_type, streaming, DedupAcc, FuseConfig};
+use typefuse_infer::{
+    fuse_into, fuse_with, infer_type, streaming, DedupAcc, FuseConfig, ShapeCache,
+};
+use typefuse_json::ParserOptions;
+use typefuse_obs::Recorder;
 use typefuse_types::Type;
 
 /// Configuration of one scale run.
@@ -331,17 +335,23 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
     let cfg = config.fuse_config;
     let (accs, metrics) = runtime.run_indexed(&ranges, |_, &(start, end)| {
         let mut acc = PartitionAcc::empty(config.dedup);
+        // Partition-local signature cache for the shape route, warm for
+        // the whole range — the deployment shape of `MapPath::Shape`.
+        let mut shape_cache = ShapeCache::new();
+        let shape_opts = ParserOptions::default();
+        let shape_rec = Recorder::disabled();
         for index in start..end {
             let value = config.profile.record(config.seed, index);
-            let ty = match config.map_path {
+            let owned;
+            let ty: &Type = match config.map_path {
                 MapPath::Values => {
                     if config.measure_bytes {
                         acc.bytes += typefuse_json::to_string(&value).len() as u64 + 1;
                     }
                     let t0 = Instant::now();
-                    let ty = infer_type(&value);
+                    owned = infer_type(&value);
                     acc.infer_time += t0.elapsed();
-                    ty
+                    &owned
                 }
                 MapPath::Events => {
                     // Serialization is setup, not measurement: the timed
@@ -352,7 +362,25 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
                         acc.bytes += line.len() as u64 + 1;
                     }
                     let t0 = Instant::now();
-                    let ty = streaming::infer_type_from_str(&line)
+                    owned = streaming::infer_type_from_str(&line)
+                        .expect("generated records serialize to valid JSON");
+                    acc.infer_time += t0.elapsed();
+                    &owned
+                }
+                MapPath::Shape => {
+                    // Same text input as the events route; the timed
+                    // section is signature + cache lookup, with misses
+                    // replaying the event fold. A hit hands out the
+                    // cached type by reference — everything downstream
+                    // (stats, fusion) absorbs by reference, so a hit
+                    // materializes nothing.
+                    let line = typefuse_json::to_string(&value);
+                    if config.measure_bytes {
+                        acc.bytes += line.len() as u64 + 1;
+                    }
+                    let t0 = Instant::now();
+                    let ty = shape_cache
+                        .infer_line_ref(line.as_bytes(), &shape_opts, &shape_rec)
                         .expect("generated records serialize to valid JSON");
                     acc.infer_time += t0.elapsed();
                     ty
@@ -363,11 +391,11 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleResult {
             acc.min_size = acc.min_size.min(size);
             acc.max_size = acc.max_size.max(size);
             acc.size_sum += size as u64;
-            acc.distinct_hashes.insert(type_hash(&ty));
+            acc.distinct_hashes.insert(type_hash(ty));
             acc.records += 1;
 
             let t1 = Instant::now();
-            acc.schema.absorb(cfg, &ty);
+            acc.schema.absorb(cfg, ty);
             acc.fuse_time += t1.elapsed();
         }
         acc

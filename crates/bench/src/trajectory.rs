@@ -116,6 +116,7 @@ impl BenchRun {
             map_path: match config.map_path {
                 typefuse::pipeline::MapPath::Values => "values".to_string(),
                 typefuse::pipeline::MapPath::Events => "events".to_string(),
+                typefuse::pipeline::MapPath::Shape => "shape".to_string(),
             },
             dedup: config.dedup,
             wall_ns: result.wall.as_nanos() as u64,

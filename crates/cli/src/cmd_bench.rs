@@ -50,13 +50,7 @@ fn run_matrix(args: &mut ArgStream) -> CliResult {
         None => vec![MapPath::Values],
         Some(csv) => csv
             .split(',')
-            .map(|name| match name.trim() {
-                "values" => Ok(MapPath::Values),
-                "events" => Ok(MapPath::Events),
-                other => Err(CliError::usage(format!(
-                    "unknown map path `{other}` (expected values or events)"
-                ))),
-            })
+            .map(|name| crate::job_args::parse_map_path(name.trim()))
             .collect::<Result<Vec<_>, _>>()?,
     };
     let dedup_modes: Vec<bool> = match args.option("--dedup")? {

@@ -12,7 +12,7 @@
 
 use crate::args::ArgStream;
 use crate::{CliError, CliResult};
-use typefuse::pipeline::{MapPath, Source};
+use typefuse::pipeline::Source;
 use typefuse::JobConfig;
 use typefuse_infer::fuse_all;
 use typefuse_obs::LogHistogram;
@@ -29,16 +29,11 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     let top: usize = args.parsed_option("--top")?.unwrap_or(10);
     let partitions: Option<usize> = args.parsed_option("--partitions")?;
     let workers: Option<usize> = args.parsed_option("--workers")?;
-    let map_path = match args.option("--map-path")?.as_deref() {
-        None => None,
-        Some("events") => Some(MapPath::Events),
-        Some("value") | Some("values") => Some(MapPath::Values),
-        Some(other) => {
-            return Err(CliError::usage(format!(
-                "unknown map path `{other}` (expected events or value)"
-            )))
-        }
-    };
+    let map_path = args
+        .option("--map-path")?
+        .as_deref()
+        .map(crate::job_args::parse_map_path)
+        .transpose()?;
     args.finish()?;
 
     let steps = parse_path(&path_text)

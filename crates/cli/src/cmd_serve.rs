@@ -42,6 +42,11 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
             )))
         }
     };
+    let map_path = args
+        .option("--map-path")?
+        .as_deref()
+        .map(crate::job_args::parse_map_path)
+        .transpose()?;
     let metrics_json = args.option("--metrics-json")?;
     let trace_json = args.option("--trace-json")?;
     let log_json = args.option("--log-json")?;
@@ -63,13 +68,17 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
     }
 
     let recorder = Recorder::enabled();
+    let mut job = flags.config(recorder.clone()).dedup(dedup);
+    if let Some(path) = map_path {
+        job = job.map_path(path);
+    }
     let mut config = ServeConfig::new()
         .listen(listen)
         .poll_interval(Duration::from_millis(poll_ms.max(1)))
         .compat(compat)
         .log_level(log_level)
         .trace_spans(trace_json.is_some())
-        .job(flags.config(recorder.clone()).dedup(dedup));
+        .job(job);
     if let Some(path) = registry {
         config = config.registry(path);
     }

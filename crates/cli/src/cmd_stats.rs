@@ -56,6 +56,22 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         }
         shapes.len() as u64
     });
+    // Raw-shape signatures predict the `--map-path shape` cache: every
+    // record after the first with a given signature is a cache hit.
+    // Computed over the canonical serialization, so whitespace-only
+    // variation in the raw input is collapsed — this is the hit rate
+    // the shape route converges to, not necessarily its first-pass one.
+    let raw_signatures = dedup.then(|| {
+        let _span = recorder.span("stats.signatures");
+        let mut signatures = std::collections::HashSet::new();
+        for value in &values {
+            let line = typefuse_json::to_string(value);
+            if let Some(sig) = typefuse_infer::shape_signature(line.as_bytes()) {
+                signatures.insert(sig);
+            }
+        }
+        signatures.len() as u64
+    });
     if let Some(distinct) = distinct_shapes {
         println!("shapes      {distinct}");
         if distinct > 0 {
@@ -65,12 +81,24 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
             );
         }
     }
+    if let Some(distinct) = raw_signatures {
+        println!("signatures  {distinct}");
+        if distinct > 0 && stats.records > 0 {
+            println!(
+                "shape-cache {:.1}% hit rate at steady state",
+                (stats.records.saturating_sub(distinct)) as f64 / stats.records as f64 * 100.0
+            );
+        }
+    }
 
     if let Some(path) = metrics_json {
         recorder.add("records", stats.records);
         recorder.gauge_max("stats.max_depth", stats.max_depth as u64);
         if let Some(distinct) = distinct_shapes {
             recorder.add("infer.distinct_shapes", distinct);
+        }
+        if let Some(distinct) = raw_signatures {
+            recorder.add("infer.distinct_signatures", distinct);
         }
         crate::job_args::write_envelope(&path, "metrics", &recorder.snapshot().to_json())?;
     }

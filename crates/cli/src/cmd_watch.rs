@@ -26,7 +26,21 @@ struct SourceRow {
     skipped: u64,
     quarantined: u64,
     shapes: u64,
+    shape_hits: u64,
+    shape_misses: u64,
     version: u64,
+}
+
+impl SourceRow {
+    /// Shape-cache hit rate as a whole percentage, `"-"` off the shape
+    /// route (both counters zero).
+    fn hit_rate(&self) -> String {
+        let total = self.shape_hits + self.shape_misses;
+        match (self.shape_hits * 100).checked_div(total) {
+            Some(pct) => format!("{pct}%"),
+            None => "-".to_string(),
+        }
+    }
 }
 
 pub(crate) fn run(args: &mut ArgStream) -> CliResult {
@@ -103,6 +117,8 @@ fn render_snapshot(payload: &Value) -> String {
                         "typefuse_source_skipped" => row.skipped = value,
                         "typefuse_source_quarantined" => row.quarantined = value,
                         "typefuse_source_distinct_shapes" => row.shapes = value,
+                        "typefuse_source_shape_hits" => row.shape_hits = value,
+                        "typefuse_source_shape_misses" => row.shape_misses = value,
                         "typefuse_source_version" => row.version = value,
                         _ => {}
                     }
@@ -123,12 +139,20 @@ fn render_snapshot(payload: &Value) -> String {
         daemon.get("typefuse_requests_total").copied().unwrap_or(0),
     ));
     out.push_str(&format!(
-        "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>8}\n",
-        "SOURCE", "RECORDS", "REC/S", "LAG(B)", "SKIPPED", "QUARANTINED", "SHAPES", "VERSION"
+        "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>6} {:>8}\n",
+        "SOURCE",
+        "RECORDS",
+        "REC/S",
+        "LAG(B)",
+        "SKIPPED",
+        "QUARANTINED",
+        "SHAPES",
+        "HIT%",
+        "VERSION"
     ));
     for (source, row) in &rows {
         out.push_str(&format!(
-            "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>8}\n",
+            "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>6} {:>8}\n",
             source,
             row.records,
             row.rate,
@@ -136,6 +160,7 @@ fn render_snapshot(payload: &Value) -> String {
             row.skipped,
             row.quarantined,
             row.shapes,
+            row.hit_rate(),
             row.version
         ));
     }

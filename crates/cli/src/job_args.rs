@@ -32,16 +32,11 @@ impl JobFlags {
     pub(crate) fn parse(args: &mut ArgStream) -> Result<JobFlags, CliError> {
         let workers = args.parsed_option("--workers")?;
         let partitions = args.parsed_option("--partitions")?;
-        let map_path = match args.option("--map-path")?.as_deref() {
-            None => None,
-            Some("events") => Some(MapPath::Events),
-            Some("value") | Some("values") => Some(MapPath::Values),
-            Some(other) => {
-                return Err(CliError::usage(format!(
-                    "unknown map path `{other}` (expected events or value)"
-                )))
-            }
-        };
+        let map_path = args
+            .option("--map-path")?
+            .as_deref()
+            .map(parse_map_path)
+            .transpose()?;
         let dedup = match args.option("--dedup")?.as_deref() {
             None | Some("auto") => DedupMode::Auto,
             Some("on") => DedupMode::On,
@@ -109,6 +104,19 @@ impl JobFlags {
             config = config.map_path(path);
         }
         config
+    }
+}
+
+/// Parse one `--map-path` value — shared by every subcommand that
+/// selects a Map route, so the accepted spellings cannot drift.
+pub(crate) fn parse_map_path(value: &str) -> Result<MapPath, CliError> {
+    match value {
+        "events" => Ok(MapPath::Events),
+        "value" | "values" => Ok(MapPath::Values),
+        "shape" => Ok(MapPath::Shape),
+        other => Err(CliError::usage(format!(
+            "unknown map path `{other}` (expected events, value or shape)"
+        ))),
     }
 }
 

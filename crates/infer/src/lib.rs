@@ -45,6 +45,7 @@ pub mod maplike;
 pub mod obs;
 pub mod profile;
 mod project;
+pub mod shape;
 pub mod streaming;
 
 pub use counting::{type_paths, CountedField, CountedSchema, Counting, CountingFuser};
@@ -58,3 +59,4 @@ pub use maplike::{find_map_like, MapLikeConfig, MapLikeSite};
 pub use obs::{fuse_with_recorded, infer_type_recorded};
 pub use profile::{PathProfile, ProfileAcc, ProfileReport, Profiling};
 pub use project::project;
+pub use shape::{shape_signature, ShapeCache};

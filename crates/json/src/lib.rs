@@ -38,6 +38,7 @@ pub mod ndjson;
 pub mod number;
 pub mod parse;
 pub mod pointer;
+pub mod scan;
 pub mod ser;
 pub mod tail;
 #[cfg(any(feature = "testkit", test))]
@@ -49,6 +50,7 @@ pub use error::{Error, ErrorKind, Position, Result, Span};
 pub use ndjson::{NdjsonReader, RetryPolicy};
 pub use number::Number;
 pub use parse::{parse_value, Parser, ParserOptions};
+pub use scan::{scan, ScanIndex};
 pub use ser::{to_string, to_string_pretty};
 pub use tail::{TailLine, TailReader, TailStatus};
 pub use value::{Map, Value};

@@ -1,0 +1,526 @@
+//! Stage-1 structural scanner: a SWAR (SIMD-within-a-register) pass that
+//! classifies every byte of a buffer in branch-light u64 arithmetic.
+//!
+//! This is the stable-Rust analogue of simdjson's stage 1 (Langdale &
+//! Lemire, *Parsing Gigabytes of JSON per Second*): one sweep over the
+//! input emits a [`ScanIndex`] — the offsets of every structural
+//! character (`{ } [ ] : ,`) outside strings, every unescaped quote, and
+//! every newline — without ever branching per byte on string state. The
+//! index is enough to walk a record's *shape* (see [`tokens`]) without
+//! re-lexing, and the newline list means NDJSON record splitting and
+//! structural indexing share the same scan (see [`ScanIndex::records`]).
+//!
+//! # How the word classification works
+//!
+//! The input is processed in 64-byte blocks. Each 8-byte word is loaded
+//! with `u64::from_le_bytes` and compared against a splatted byte with a
+//! carry-free per-byte zero detector (see `eq_mask`), then the
+//! per-byte `0x80` flags are packed into one bit per byte with a
+//! multiply, yielding a 64-bit mask per block for each character class.
+//! Three mask computations then resolve string context:
+//!
+//! 1. **Escapes**: backslash runs are resolved with the odd/even-run
+//!    carry trick — adding the run mask to the mask of odd-position run
+//!    starts makes the bit *after* each odd-length run fall out of the
+//!    sum, with the add carry propagating runs across block boundaries.
+//!    A quote preceded by an odd-length backslash run is escaped.
+//! 2. **Strings**: a prefix-XOR over the unescaped-quote mask (log-step
+//!    shift-XOR ladder, the CLMUL-free form) turns quote *positions*
+//!    into an in-string *region* mask; the block's top bit carries the
+//!    open-string state forward.
+//! 3. **Structurals**: the `{ } [ ] : ,` class mask is AND-ed with the
+//!    complement of the in-string mask.
+//!
+//! UTF-8 needs no special handling: every classified byte is ASCII
+//! (`< 0x80`) and multi-byte sequences only contain bytes `>= 0x80`, so
+//! continuation bytes can never false-positive.
+//!
+//! Newlines are recorded *unconditionally* (even inside strings), which
+//! matches NDJSON line splitting: a raw `\n` inside a string is invalid
+//! JSON anyway (control characters must be escaped), and the reader
+//! splits on every newline byte.
+//!
+//! The scanner makes no validity judgement beyond quote pairing
+//! ([`ScanIndex::unterminated`]); malformed input simply produces tokens
+//! that downstream consumers refuse to sign, falling back to the real
+//! parser for byte-identical error reporting.
+
+const ONES: u64 = 0x0101_0101_0101_0101;
+const HIGH: u64 = 0x8080_8080_8080_8080;
+const EVEN_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// The structural index produced by one [`scan`] sweep.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ScanIndex {
+    /// Offsets of `{ } [ ] : ,` outside string literals, ascending.
+    pub structurals: Vec<u32>,
+    /// Offsets of unescaped `"` bytes (string delimiters, both opening
+    /// and closing), ascending.
+    pub quotes: Vec<u32>,
+    /// Offsets of every `\n` byte, ascending — recorded regardless of
+    /// string context so record splitting can share this scan.
+    pub newlines: Vec<u32>,
+    /// True when the buffer ends inside an open string literal (odd
+    /// number of unescaped quotes).
+    pub unterminated: bool,
+}
+
+impl ScanIndex {
+    /// Split `input` into newline-delimited records using the newline
+    /// offsets found by the scan, mirroring `BufRead::read_line`
+    /// semantics: each record excludes its terminator, and a non-empty
+    /// tail without a trailing newline is a final record.
+    pub fn records<'a>(&self, input: &'a [u8]) -> Vec<&'a [u8]> {
+        let mut out = Vec::with_capacity(self.newlines.len() + 1);
+        let mut start = 0usize;
+        for &nl in &self.newlines {
+            out.push(&input[start..nl as usize]);
+            start = nl as usize + 1;
+        }
+        if start < input.len() {
+            out.push(&input[start..]);
+        }
+        out
+    }
+}
+
+/// Per-byte `0x80` flags for bytes of `w` equal to `b`.
+///
+/// Uses the carry-free zero-byte detector: with the XOR distance `x`,
+/// `(x & 0x7f…7f) + 0x7f…7f` sets bit 7 of a byte iff its low seven
+/// bits are non-zero, and each per-byte sum tops out at `0xfe`, so no
+/// carry ever crosses a byte boundary. OR-ing in `x` itself folds in
+/// bit 7, and the negation leaves `0x80` exactly where a byte is zero.
+/// (The shorter `(x - 0x01…01) & !x & 0x80…80` trick is exact only as a
+/// *has-zero predicate*: its subtract borrows across byte boundaries,
+/// so a byte at XOR distance 1 right after a true match — e.g. `\`
+/// after `]` — would false-positive.)
+#[inline]
+fn eq_mask(w: u64, b: u8) -> u64 {
+    let x = w ^ (u64::from(b).wrapping_mul(ONES));
+    !((x & !HIGH).wrapping_add(!HIGH) | x | !HIGH)
+}
+
+/// Pack per-byte `0x80` flags into one bit per byte (byte k → bit k).
+/// The multiply routes flag `8k+7` to bit `56+k`; each output bit has
+/// exactly one contributing term, so no carries occur.
+#[inline]
+fn pack_bits(flags: u64) -> u64 {
+    (flags >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56
+}
+
+/// Bit-parallel prefix XOR: bit i of the result is the parity of bits
+/// `0..=i` of the input.
+#[inline]
+fn prefix_xor(mut x: u64) -> u64 {
+    x ^= x << 1;
+    x ^= x << 2;
+    x ^= x << 4;
+    x ^= x << 8;
+    x ^= x << 16;
+    x ^= x << 32;
+    x
+}
+
+/// Character-class bit masks for one 64-byte block.
+#[derive(Default, Clone, Copy)]
+struct BlockMasks {
+    backslash: u64,
+    quote: u64,
+    structural: u64,
+    newline: u64,
+}
+
+#[inline]
+fn classify_word(w: u64) -> (u64, u64, u64, u64) {
+    let backslash = eq_mask(w, b'\\');
+    let quote = eq_mask(w, b'"');
+    let structural = eq_mask(w, b'{')
+        | eq_mask(w, b'}')
+        | eq_mask(w, b'[')
+        | eq_mask(w, b']')
+        | eq_mask(w, b':')
+        | eq_mask(w, b',');
+    let newline = eq_mask(w, b'\n');
+    (
+        pack_bits(backslash),
+        pack_bits(quote),
+        pack_bits(structural),
+        pack_bits(newline),
+    )
+}
+
+#[inline]
+fn classify_block(block: &[u8; 64]) -> BlockMasks {
+    let mut m = BlockMasks::default();
+    for k in 0..8 {
+        let w = u64::from_le_bytes(block[k * 8..k * 8 + 8].try_into().expect("8-byte chunk"));
+        let (bs, qt, st, nl) = classify_word(w);
+        let shift = (k * 8) as u32;
+        m.backslash |= bs << shift;
+        m.quote |= qt << shift;
+        m.structural |= st << shift;
+        m.newline |= nl << shift;
+    }
+    m
+}
+
+/// Positions escaped by a preceding odd-length backslash run
+/// (simdjson's `find_escaped`), with the run carried across blocks in
+/// `prev_escaped` (1 when the first byte of the next block is escaped).
+#[inline]
+fn find_escaped(backslash: u64, prev_escaped: &mut u64) -> u64 {
+    let bs = backslash & !*prev_escaped;
+    let follows_escape = (bs << 1) | *prev_escaped;
+    let odd_starts = bs & !EVEN_BITS & !follows_escape;
+    let (seq, overflow) = odd_starts.overflowing_add(bs);
+    *prev_escaped = u64::from(overflow);
+    (EVEN_BITS ^ (seq << 1)) & follows_escape
+}
+
+#[inline]
+fn push_offsets(out: &mut Vec<u32>, mut mask: u64, base: usize) {
+    while mask != 0 {
+        let bit = mask.trailing_zeros();
+        out.push((base as u32) + bit);
+        mask &= mask - 1;
+    }
+}
+
+/// Scan `input` in one SWAR sweep and return its structural index.
+pub fn scan(input: &[u8]) -> ScanIndex {
+    let mut index = ScanIndex::default();
+    scan_into(input, &mut index);
+    index
+}
+
+/// [`scan`] into a caller-owned index, reusing its offset buffers — the
+/// allocation-free form for per-record callers like the shape cache.
+pub fn scan_into(input: &[u8], index: &mut ScanIndex) {
+    index.structurals.clear();
+    index.quotes.clear();
+    index.newlines.clear();
+    index.unterminated = false;
+    let mut prev_escaped = 0u64;
+    // All-ones while inside a string at the start of the current block.
+    let mut prev_in_string = 0u64;
+
+    let mut base = 0usize;
+    let mut chunks = input.chunks_exact(64);
+    for block in &mut chunks {
+        let block: &[u8; 64] = block.try_into().expect("64-byte block");
+        scan_block(
+            &classify_block(block),
+            base,
+            64,
+            &mut prev_escaped,
+            &mut prev_in_string,
+            index,
+        );
+        base += 64;
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        // Pad with NUL bytes, which belong to no character class.
+        let mut block = [0u8; 64];
+        block[..tail.len()].copy_from_slice(tail);
+        scan_block(
+            &classify_block(&block),
+            base,
+            tail.len(),
+            &mut prev_escaped,
+            &mut prev_in_string,
+            index,
+        );
+    }
+    index.unterminated = prev_in_string != 0;
+}
+
+#[inline]
+fn scan_block(
+    m: &BlockMasks,
+    base: usize,
+    len: usize,
+    prev_escaped: &mut u64,
+    prev_in_string: &mut u64,
+    index: &mut ScanIndex,
+) {
+    let valid = if len == 64 { !0u64 } else { (1u64 << len) - 1 };
+    let escaped = find_escaped(m.backslash, prev_escaped);
+    let quotes = m.quote & !escaped;
+    let in_string = prefix_xor(quotes) ^ *prev_in_string;
+    *prev_in_string = 0u64.wrapping_sub((in_string >> 63) & 1);
+    push_offsets(&mut index.quotes, quotes & valid, base);
+    // `!escaped` only matters on malformed input (a backslash outside a
+    // string); valid JSON has escapes exclusively inside strings, which
+    // `!in_string` already masks. Kept so the scalar oracle's "escape
+    // consumes the next byte" rule holds verbatim.
+    push_offsets(
+        &mut index.structurals,
+        m.structural & !in_string & !escaped & valid,
+        base,
+    );
+    push_offsets(&mut index.newlines, m.newline & valid, base);
+}
+
+/// Byte-at-a-time reference implementation of [`scan`], used as the
+/// differential oracle in tests and as the scalar baseline in benches.
+pub fn scan_scalar(input: &[u8]) -> ScanIndex {
+    let mut index = ScanIndex::default();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in input.iter().enumerate() {
+        if b == b'\n' {
+            index.newlines.push(i as u32);
+        }
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' => escaped = true,
+            b'"' => {
+                index.quotes.push(i as u32);
+                in_string = !in_string;
+            }
+            b'{' | b'}' | b'[' | b']' | b':' | b',' if !in_string => {
+                index.structurals.push(i as u32);
+            }
+            _ => {}
+        }
+    }
+    index.unterminated = in_string;
+    index
+}
+
+/// One shape token produced by [`tokens`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// A structural character outside strings: `{ } [ ] : ,`.
+    Punct(u8),
+    /// A string literal, including its surrounding quotes, verbatim.
+    Str(&'a [u8]),
+    /// A maximal whitespace-delimited run of non-structural,
+    /// non-string bytes: a number, literal, or garbage. Not validated.
+    Scalar(&'a [u8]),
+}
+
+/// Iterator over a buffer's shape tokens, driven by a [`ScanIndex`]
+/// (no re-lexing: string bodies are skipped via the quote offsets).
+///
+/// On malformed input — an unterminated string — iteration simply ends
+/// early; callers that care must check [`ScanIndex::unterminated`]
+/// before trusting the token stream.
+pub struct Tokens<'a> {
+    input: &'a [u8],
+    index: &'a ScanIndex,
+    si: usize,
+    qi: usize,
+    pos: usize,
+}
+
+/// Walk the shape tokens of `input` using a previously computed index.
+pub fn tokens<'a>(input: &'a [u8], index: &'a ScanIndex) -> Tokens<'a> {
+    Tokens {
+        input,
+        index,
+        si: 0,
+        qi: 0,
+        pos: 0,
+    }
+}
+
+#[inline]
+fn is_ws(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r')
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = Token<'a>;
+
+    fn next(&mut self) -> Option<Token<'a>> {
+        let next_struct = self
+            .index
+            .structurals
+            .get(self.si)
+            .map_or(self.input.len(), |&o| o as usize);
+        let next_quote = self
+            .index
+            .quotes
+            .get(self.qi)
+            .map_or(self.input.len(), |&o| o as usize);
+        let boundary = next_struct.min(next_quote);
+
+        // Scalar bytes between here and the next marker.
+        while self.pos < boundary && is_ws(self.input[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos < boundary {
+            let start = self.pos;
+            while self.pos < boundary && !is_ws(self.input[self.pos]) {
+                self.pos += 1;
+            }
+            return Some(Token::Scalar(&self.input[start..self.pos]));
+        }
+        if boundary == self.input.len() {
+            return None;
+        }
+        if boundary == next_quote {
+            // Opening quote: its closer is the next quote offset.
+            let close = *self.index.quotes.get(self.qi + 1)? as usize;
+            self.qi += 2;
+            self.pos = close + 1;
+            return Some(Token::Str(&self.input[next_quote..=close]));
+        }
+        self.si += 1;
+        self.pos = boundary + 1;
+        Some(Token::Punct(self.input[boundary]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offsets(v: &[u32]) -> Vec<usize> {
+        v.iter().map(|&o| o as usize).collect()
+    }
+
+    #[test]
+    fn classifies_a_flat_record() {
+        let input = br#"{"a": 1, "b": "x"}"#;
+        let idx = scan(input);
+        assert_eq!(offsets(&idx.structurals), vec![0, 4, 7, 12, 17]);
+        assert_eq!(offsets(&idx.quotes), vec![1, 3, 9, 11, 14, 16]);
+        assert!(idx.newlines.is_empty());
+        assert!(!idx.unterminated);
+    }
+
+    #[test]
+    fn structurals_inside_strings_are_suppressed() {
+        let input = br#"{"a": "{[,:]}"}"#;
+        let idx = scan(input);
+        assert_eq!(offsets(&idx.structurals), vec![0, 4, 14]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_delimit() {
+        let input = br#"{"a": "x\"y", "b\\": 1}"#;
+        let idx = scan(input);
+        assert_eq!(idx, scan_scalar(input));
+        // The `\"` at offset 9 is content, not a delimiter.
+        assert!(!offsets(&idx.quotes).contains(&9));
+        assert!(!idx.unterminated);
+    }
+
+    #[test]
+    fn backslash_runs_carry_across_word_and_block_boundaries() {
+        // Place an escaped quote so the backslash run straddles the
+        // 8-byte word boundary and the 64-byte block boundary.
+        for pad in 0..130usize {
+            let mut s = Vec::new();
+            s.extend_from_slice(br#"{"k": ""#);
+            s.resize(s.len() + pad, b'x');
+            s.extend_from_slice(br#"\\\"q"}"#);
+            let swar = scan(&s);
+            let scalar = scan_scalar(&s);
+            assert_eq!(swar, scalar, "pad={pad}");
+            assert!(!swar.unterminated, "pad={pad}");
+        }
+    }
+
+    #[test]
+    fn xor_distance_one_neighbours_do_not_false_positive() {
+        // Regression: the borrow-propagating zero-byte trick flags a
+        // byte at XOR distance 1 right after a true match (`\` after
+        // `]`, `#` after `"`). The carry-free detector must not.
+        let idx = scan(b"[]\\");
+        assert_eq!(idx, scan_scalar(b"[]\\"));
+        assert_eq!(offsets(&idx.structurals), vec![0, 1]);
+        let idx = scan(br##""a"# {"##);
+        assert_eq!(idx, scan_scalar(br##""a"# {"##));
+        assert_eq!(offsets(&idx.quotes), vec![0, 2]);
+        assert_eq!(offsets(&idx.structurals), vec![5]);
+    }
+
+    #[test]
+    fn unterminated_string_is_flagged() {
+        let idx = scan(br#"{"a": "oops}"#);
+        assert!(idx.unterminated);
+        assert!(scan_scalar(br#"{"a": "oops}"#).unterminated);
+    }
+
+    #[test]
+    fn newlines_split_records_like_read_line() {
+        let input = b"{\"a\":1}\n{\"b\":2}\n{\"c\":\"x\\ny\"}";
+        let idx = scan(input);
+        let records = idx.records(input);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], b"{\"a\":1}");
+        assert_eq!(records[2], b"{\"c\":\"x\\ny\"}");
+        // A trailing newline yields no empty final record.
+        let idx2 = scan(b"{}\n");
+        assert_eq!(idx2.records(b"{}\n"), vec![b"{}".as_slice()]);
+    }
+
+    #[test]
+    fn utf8_multibyte_content_is_inert() {
+        let input = "{\"désc\": \"héllo • wörld\", \"n\": 42}".as_bytes();
+        assert_eq!(scan(input), scan_scalar(input));
+    }
+
+    #[test]
+    fn matches_scalar_reference_on_long_and_odd_length_inputs() {
+        // Records far longer than one 64-byte block, lengths straddling
+        // every tail size.
+        let body = r#"{"key": "value with \"escapes\" and \\ runs", "n": [1, 2, 3.5e-2]}"#;
+        let mut s = String::new();
+        for i in 0..8 {
+            s.push_str(body);
+            s.push('\n');
+            for len in 0..70 {
+                let sub = &s.as_bytes()[..s.len().saturating_sub(len).max(i)];
+                assert_eq!(scan(sub), scan_scalar(sub), "len={}", sub.len());
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_walk_punct_strings_and_scalars() {
+        let input = br#"{"a": [1, "x y", true]}"#;
+        let idx = scan(input);
+        let toks: Vec<Token> = tokens(input, &idx).collect();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Punct(b'{'),
+                Token::Str(br#""a""#),
+                Token::Punct(b':'),
+                Token::Punct(b'['),
+                Token::Scalar(b"1"),
+                Token::Punct(b','),
+                Token::Str(br#""x y""#),
+                Token::Punct(b','),
+                Token::Scalar(b"true"),
+                Token::Punct(b']'),
+                Token::Punct(b'}'),
+            ]
+        );
+    }
+
+    #[test]
+    fn adjacent_scalars_stay_distinct_tokens() {
+        let input = b"[1 2]";
+        let idx = scan(input);
+        let toks: Vec<Token> = tokens(input, &idx).collect();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Punct(b'['),
+                Token::Scalar(b"1"),
+                Token::Scalar(b"2"),
+                Token::Punct(b']'),
+            ]
+        );
+    }
+}

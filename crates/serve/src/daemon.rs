@@ -359,6 +359,7 @@ impl Daemon {
             let state = SourceState::new(
                 &spec.name,
                 dedup,
+                config.job.map_path,
                 config.job.fuse_config,
                 config.job.parser_options.clone(),
                 config.job.error_policy.clone(),
@@ -550,6 +551,12 @@ fn spawn_source_poller(
         .hub
         .gauge(source_series("typefuse_source_distinct_shapes"));
     let m_version = shared.hub.gauge(source_series("typefuse_source_version"));
+    let m_shape_hits = shared
+        .hub
+        .gauge(source_series("typefuse_source_shape_hits"));
+    let m_shape_misses = shared
+        .hub
+        .gauge(source_series("typefuse_source_shape_misses"));
     let m_rate = shared
         .hub
         .approx_gauge(source_series("typefuse_source_records_per_sec"));
@@ -651,6 +658,8 @@ fn spawn_source_poller(
                 m_quarantined.set(state.quarantined);
                 m_shapes.set(state.distinct_shapes());
                 m_version.set(state.version.unwrap_or(0));
+                m_shape_hits.set(state.shape_hits());
+                m_shape_misses.set(state.shape_misses());
                 if !state.is_active() {
                     return Tick::Stop;
                 }

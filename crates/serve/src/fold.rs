@@ -10,8 +10,9 @@
 //! inference cost once per distinct shape, not once per record.
 
 use std::path::PathBuf;
+use typefuse::pipeline::MapPath;
 use typefuse::{BadRecord, ErrorPolicy, ErrorReport};
-use typefuse_infer::{infer_type, DedupAcc, FuseConfig, Incremental, ProfileAcc};
+use typefuse_infer::{infer_type, DedupAcc, FuseConfig, Incremental, ProfileAcc, ShapeCache};
 use typefuse_json::{Map, Parser, ParserOptions, Value};
 use typefuse_obs::{EventLog, Level, Recorder};
 use typefuse_registry::{CompatMode, RegistryStore};
@@ -24,6 +25,14 @@ enum Acc {
     Dedup(Box<DedupAcc>),
     /// Plain running fusion.
     Plain(Incremental),
+}
+
+/// One successfully parsed record, in whichever form the Map route
+/// produced it: a value tree (events/values routes) or a bare type
+/// (shape route).
+enum Folded {
+    Value(Value),
+    Type(Type),
 }
 
 /// A source's health, as reported by the protocol.
@@ -64,12 +73,18 @@ pub(crate) struct SourceState {
     policy: ErrorPolicy,
     recorder: Recorder,
     events: EventLog,
+    /// Signature → type memo for the shape route (`--map-path shape`),
+    /// kept warm across poll batches — steady-state feeds are the most
+    /// shape-redundant input there is. `None` on the other routes.
+    shape: Option<ShapeCache>,
 }
 
 impl SourceState {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         name: &str,
         dedup: bool,
+        map_path: MapPath,
         fuse_config: FuseConfig,
         parser: ParserOptions,
         policy: ErrorPolicy,
@@ -96,6 +111,7 @@ impl SourceState {
             policy,
             recorder,
             events,
+            shape: (map_path == MapPath::Shape).then(ShapeCache::new),
         }
     }
 
@@ -164,9 +180,28 @@ impl SourceState {
             if trimmed.is_empty() {
                 continue;
             }
-            match Parser::with_options(trimmed, self.parser.clone()).parse_complete() {
-                Ok(value) => {
+            // Shape route: the warm signature cache infers the type
+            // without materialising a value (misses replay the event
+            // fold), so the accumulator absorbs the type directly. The
+            // profiler needs materialised values, so on this route the
+            // `profile` op reports an empty profile — the trade the
+            // route makes for hash-lookup steady state.
+            let outcome = if let Some(cache) = self.shape.as_mut() {
+                cache
+                    .infer_line(trimmed, &self.parser, &self.recorder)
+                    .map(Folded::Type)
+            } else {
+                Parser::with_options(trimmed, self.parser.clone())
+                    .parse_complete()
+                    .map(Folded::Value)
+            };
+            match outcome {
+                Ok(Folded::Value(value)) => {
                     self.absorb(&value);
+                    absorbed += 1;
+                }
+                Ok(Folded::Type(ty)) => {
+                    self.absorb_type(ty);
                     absorbed += 1;
                 }
                 Err(e) => {
@@ -189,9 +224,33 @@ impl SourceState {
             Acc::Plain(acc) => acc.absorb(value),
         }
         self.profile.absorb_value_at(line, value);
+        self.count_record();
+    }
+
+    /// Absorb an already inferred type (shape route): same accumulator
+    /// fold and counters as [`SourceState::absorb`], no value profile.
+    fn absorb_type(&mut self, ty: Type) {
+        match &mut self.acc {
+            Acc::Dedup(acc) => acc.absorb_type(self.fuse_config, &ty),
+            Acc::Plain(acc) => acc.absorb_type(ty),
+        }
+        self.count_record();
+    }
+
+    fn count_record(&mut self) {
         self.recorder.add("ingest.records", 1);
         self.recorder
             .add(&format!("ingest.records.{}", self.name), 1);
+    }
+
+    /// Signature-cache hits so far (0 off the shape route).
+    pub(crate) fn shape_hits(&self) -> u64 {
+        self.shape.as_ref().map_or(0, ShapeCache::hits)
+    }
+
+    /// Signature-cache misses so far (0 off the shape route).
+    pub(crate) fn shape_misses(&self) -> u64 {
+        self.shape.as_ref().map_or(0, ShapeCache::misses)
     }
 
     /// Apply the error policy to one bad record. Mirrors the batch
@@ -351,9 +410,14 @@ mod tests {
     }
 
     fn state(dedup: bool, policy: ErrorPolicy) -> SourceState {
+        state_on(dedup, MapPath::Events, policy)
+    }
+
+    fn state_on(dedup: bool, map_path: MapPath, policy: ErrorPolicy) -> SourceState {
         SourceState::new(
             "s",
             dedup,
+            map_path,
             FuseConfig::default(),
             ParserOptions::default(),
             policy,
@@ -377,6 +441,46 @@ mod tests {
             assert_eq!(s.schema(), batch.schema, "dedup={dedup}");
             assert_eq!(s.records(), 3);
         }
+    }
+
+    #[test]
+    fn shape_route_fold_matches_batch_schema_and_keeps_the_cache_warm() {
+        let texts = [
+            r#"{"a": 1}"#,
+            r#"{"a": 2}"#,
+            r#"{"a": "x", "b": true}"#,
+            r#"{"a": 3}"#,
+        ];
+        for dedup in [false, true] {
+            let mut s = state_on(dedup, MapPath::Shape, ErrorPolicy::FailFast);
+            assert_eq!(s.fold_batch(&lines(&texts[..2])), 2);
+            assert_eq!(s.fold_batch(&lines(&texts[2..])), 2);
+            let batch = typefuse::JobConfig::new()
+                .build()
+                .run_ndjson(texts.join("\n").as_bytes())
+                .unwrap();
+            assert_eq!(s.schema(), batch.schema, "dedup={dedup}");
+            assert_eq!(s.records(), 4);
+            // {"a":1}, {"a":2} and {"a":3} share one signature; the
+            // cache stayed warm across the two polls.
+            assert_eq!((s.shape_hits(), s.shape_misses()), (2, 2));
+        }
+    }
+
+    #[test]
+    fn shape_route_applies_the_error_policy_per_record() {
+        let mut s = state_on(
+            false,
+            MapPath::Shape,
+            ErrorPolicy::Skip {
+                max_errors: Some(10),
+            },
+        );
+        s.fold_batch(&lines(&[r#"{"a": 1}"#, "not json", r#"{"a": 2}"#]));
+        assert!(s.is_active());
+        assert_eq!(s.records(), 2);
+        assert_eq!(s.report.skipped(), 1);
+        assert_eq!(s.shape_hits(), 1, "bad record never pollutes the cache");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::faults::{BadRecord, ErrorPolicy, ErrorReport};
 use typefuse_engine::{Dataset, ReducePlan, Runtime, StageMetrics, WorkerPanic};
 use typefuse_infer::{
     infer_type_recorded, streaming, DedupFuser, FuseConfig, ProfileAcc, ProfileReport, Profiling,
-    RecordedFuser,
+    RecordedFuser, ShapeCache,
 };
 use typefuse_json::ndjson::read_line_bounded;
 use typefuse_json::{ErrorKind, Parser, ParserOptions, Position, RetryPolicy, Value};
@@ -93,6 +93,12 @@ pub enum MapPath {
     /// Parse each line into a [`Value`], then infer (the paper's literal
     /// two-step reading). Kept for differential testing.
     Values,
+    /// Raw-shape fast path: hash each record's structural skeleton off
+    /// the stage-1 SWAR scan and serve repeats from a per-partition
+    /// signature → type cache ([`typefuse_infer::ShapeCache`]); misses
+    /// replay the event fold, so output is byte-identical to
+    /// [`MapPath::Events`].
+    Shape,
 }
 
 /// Whether the Reduce phase rides the shape-dedup route
@@ -444,7 +450,12 @@ impl SchemaJob {
                         &fuser,
                         rec,
                         move |_, acc, (line, text): &(u32, String)| match map_path {
-                            MapPath::Events => acc.absorb_line(u64::from(*line), text),
+                            // Profiling must observe every record's
+                            // values, so the shape route cannot shortcut
+                            // it: fold events like the default route.
+                            MapPath::Events | MapPath::Shape => {
+                                acc.absorb_line(u64::from(*line), text)
+                            }
                             MapPath::Values => acc.absorb_line_as_value(u64::from(*line), text),
                         },
                     )
@@ -517,10 +528,14 @@ impl SchemaJob {
         )
     }
 
-    /// The unified text route for both Map paths: read lines (with
+    /// The unified text route for every Map path: read lines (with
     /// retry and the line-size guard), parse/infer each in parallel —
     /// [`MapPath::Events`] folds the token stream straight into a type,
-    /// [`MapPath::Values`] materialises the `Value` tree first — then
+    /// [`MapPath::Values`] materialises the `Value` tree first,
+    /// [`MapPath::Shape`] serves repeated raw shapes from a
+    /// per-partition signature cache (flushing `infer.shape_hits` /
+    /// `infer.shape_misses` as each partition completes) and replays the
+    /// event fold on misses — then
     /// apply the error policy to whatever failed. Counters:
     /// `json.bytes` / `json.lines` at read time, `json.records` /
     /// `json.parse_errors` at parse time (the event fold additionally
@@ -540,9 +555,14 @@ impl SchemaJob {
         let map_path = self.map_path;
         let chaos = self.chaos_panic_at;
         let options = &self.parser_options;
-        let (typed, map_metrics) = {
-            let _span = rec.span("pipeline.map");
-            dataset.try_map_metered(&self.runtime, |record: &RawRecord| {
+        // Shared per-record tail for every route: chaos injection, the
+        // reader's pre-errors, record/error counters and error
+        // re-anchoring at the record's input line (the column within the
+        // line is preserved).
+        let infer_record =
+            |record: &RawRecord,
+             infer: &mut dyn FnMut(&RawRecord) -> Result<Type, typefuse_json::Error>|
+             -> Result<Type, typefuse_json::Error> {
                 if chaos == Some(record.line) {
                     panic!("injected chaos panic at line {}", record.line);
                 }
@@ -550,33 +570,55 @@ impl SchemaJob {
                     rec.add("json.parse_errors", 1);
                     return Err(e.clone());
                 }
-                let inferred = match map_path {
-                    MapPath::Events => streaming::infer_with_options_recorded(
-                        record.text.as_bytes(),
-                        options.clone(),
-                        rec,
-                    ),
-                    MapPath::Values => {
-                        Parser::with_options(record.text.as_bytes(), options.clone())
-                            .parse_complete()
-                            .map(|v| infer_type_recorded(&v, rec))
-                    }
-                };
-                match inferred {
+                match infer(record) {
                     Ok(ty) => {
                         rec.add("json.records", 1);
                         Ok(ty)
                     }
                     Err(e) => {
                         rec.add("json.parse_errors", 1);
-                        // Re-anchor at the record's input line; the
-                        // column within the line is preserved.
                         let mut pos = e.span().start;
                         pos.line = record.line;
                         Err(typefuse_json::Error::at(e.kind().clone(), pos))
                     }
                 }
-            })
+            };
+        let (typed, map_metrics) = {
+            let _span = rec.span("pipeline.map");
+            match map_path {
+                // The shape route holds a per-partition signature cache,
+                // so it maps whole partitions; hit/miss totals flush to
+                // the recorder as the partition finishes.
+                MapPath::Shape => dataset.try_map_partitions_metered(&self.runtime, |_, part| {
+                    let mut cache = ShapeCache::new();
+                    let out = part
+                        .iter()
+                        .map(|record| {
+                            infer_record(record, &mut |r: &RawRecord| {
+                                cache.infer_line(r.text.as_bytes(), options, rec)
+                            })
+                        })
+                        .collect();
+                    cache.flush_counters(rec);
+                    out
+                }),
+                MapPath::Events => dataset.try_map_metered(&self.runtime, |record: &RawRecord| {
+                    infer_record(record, &mut |r: &RawRecord| {
+                        streaming::infer_with_options_recorded(
+                            r.text.as_bytes(),
+                            options.clone(),
+                            rec,
+                        )
+                    })
+                }),
+                MapPath::Values => dataset.try_map_metered(&self.runtime, |record: &RawRecord| {
+                    infer_record(record, &mut |r: &RawRecord| {
+                        Parser::with_options(r.text.as_bytes(), options.clone())
+                            .parse_complete()
+                            .map(|v| infer_type_recorded(&v, rec))
+                    })
+                }),
+            }
         };
         let typed = self.surface_worker(typed)?;
         let map_time = map_start.elapsed();
