@@ -47,6 +47,12 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         .as_deref()
         .map(crate::job_args::parse_map_path)
         .transpose()?;
+    let checkpoint_dir = args.option("--checkpoint-dir")?;
+    let checkpoint_interval_ms: u64 = args
+        .parsed_option("--checkpoint-interval-ms")?
+        .unwrap_or(1000);
+    let max_sessions: usize = args.parsed_option("--max-sessions")?.unwrap_or(256);
+    let session_idle_ms: Option<u64> = args.parsed_option("--session-idle-ms")?;
     let metrics_json = args.option("--metrics-json")?;
     let trace_json = args.option("--trace-json")?;
     let log_json = args.option("--log-json")?;
@@ -78,7 +84,15 @@ pub(crate) fn run(args: &mut ArgStream) -> CliResult {
         .compat(compat)
         .log_level(log_level)
         .trace_spans(trace_json.is_some())
+        .checkpoint_interval(Duration::from_millis(checkpoint_interval_ms.max(1)))
+        .max_sessions(max_sessions.max(1))
         .job(job);
+    if let Some(dir) = checkpoint_dir {
+        config = config.checkpoint_dir(dir);
+    }
+    if let Some(ms) = session_idle_ms {
+        config = config.session_idle_timeout(Duration::from_millis(ms.max(1)));
+    }
     if let Some(path) = registry {
         config = config.registry(path);
     }

@@ -29,6 +29,10 @@ struct SourceRow {
     shape_hits: u64,
     shape_misses: u64,
     version: u64,
+    breaker: u64,
+    restarts: u64,
+    ckpt_bytes: Option<u64>,
+    ckpt_age_ms: Option<u64>,
 }
 
 impl SourceRow {
@@ -40,6 +44,21 @@ impl SourceRow {
             Some(pct) => format!("{pct}%"),
             None => "-".to_string(),
         }
+    }
+
+    /// The supervisor's circuit-breaker state for this source.
+    fn breaker_state(&self) -> &'static str {
+        match self.breaker {
+            0 => "ok",
+            1 => "backoff",
+            _ => "tripped",
+        }
+    }
+
+    /// `"-"` until the first checkpoint is written (or when
+    /// checkpointing is off).
+    fn opt(value: Option<u64>) -> String {
+        value.map_or_else(|| "-".to_string(), |v| v.to_string())
     }
 }
 
@@ -120,6 +139,10 @@ fn render_snapshot(payload: &Value) -> String {
                         "typefuse_source_shape_hits" => row.shape_hits = value,
                         "typefuse_source_shape_misses" => row.shape_misses = value,
                         "typefuse_source_version" => row.version = value,
+                        "typefuse_source_breaker" => row.breaker = value,
+                        "typefuse_source_restarts" => row.restarts = value,
+                        "typefuse_source_checkpoint_bytes" => row.ckpt_bytes = Some(value),
+                        "typefuse_source_checkpoint_age_ms" => row.ckpt_age_ms = Some(value),
                         _ => {}
                     }
                 }
@@ -133,13 +156,17 @@ fn render_snapshot(payload: &Value) -> String {
     let mut out = String::new();
     let version = payload.get("version").and_then(Value::as_i64).unwrap_or(0);
     out.push_str(&format!(
-        "snapshot #{version}  uptime {}s  sessions {}  requests {}\n",
+        "snapshot #{version}  uptime {}s  sessions {}  requests {}  restarts {}\n",
         daemon.get("typefuse_uptime_ms").copied().unwrap_or(0) / 1000,
         daemon.get("typefuse_sessions_total").copied().unwrap_or(0),
         daemon.get("typefuse_requests_total").copied().unwrap_or(0),
+        daemon
+            .get("typefuse_supervisor_restarts_total")
+            .copied()
+            .unwrap_or(0),
     ));
     out.push_str(&format!(
-        "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>6} {:>8}\n",
+        "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>6} {:>8} {:>8} {:>8} {:>9} {:>11}\n",
         "SOURCE",
         "RECORDS",
         "REC/S",
@@ -148,11 +175,15 @@ fn render_snapshot(payload: &Value) -> String {
         "QUARANTINED",
         "SHAPES",
         "HIT%",
-        "VERSION"
+        "VERSION",
+        "BREAKER",
+        "RESTARTS",
+        "CKPT(B)",
+        "CKPT-AGE(MS)"
     ));
     for (source, row) in &rows {
         out.push_str(&format!(
-            "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>6} {:>8}\n",
+            "{:<20} {:>10} {:>8} {:>12} {:>8} {:>12} {:>8} {:>6} {:>8} {:>8} {:>8} {:>9} {:>11}\n",
             source,
             row.records,
             row.rate,
@@ -161,7 +192,11 @@ fn render_snapshot(payload: &Value) -> String {
             row.quarantined,
             row.shapes,
             row.hit_rate(),
-            row.version
+            row.version,
+            row.breaker_state(),
+            row.restarts,
+            SourceRow::opt(row.ckpt_bytes),
+            SourceRow::opt(row.ckpt_age_ms)
         ));
     }
     out.push('\n');
@@ -216,6 +251,8 @@ mod tests {
                 "counters":{"typefuse_source_records{source=\"events\"}":42,
                             "typefuse_requests_total":7},
                 "gauges":{"typefuse_source_lag_bytes{source=\"events\"}":128,
+                          "typefuse_source_breaker{source=\"events\"}":1,
+                          "typefuse_source_checkpoint_bytes{source=\"events\"}":77,
                           "typefuse_source_version{source=\"events\"}":2},
                 "approx":{"typefuse_uptime_ms":5500,
                           "typefuse_source_records_per_sec{source=\"events\"}":6}}"#,
@@ -228,5 +265,9 @@ mod tests {
         assert!(row.contains("42"), "{row}");
         assert!(row.contains("128"), "{row}");
         assert!(row.contains('6'), "{row}");
+        assert!(row.contains("backoff"), "{row}");
+        assert!(row.contains("77"), "{row}");
+        // No checkpoint-age series in the payload → placeholder.
+        assert!(row.trim_end().ends_with('-'), "{row}");
     }
 }

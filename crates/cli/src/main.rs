@@ -212,6 +212,13 @@ COMMANDS:
         --compat MODE      backward | forward | full | none: gate each
                            published snapshot (default: none)
         --dedup M          auto | on | off (as in infer)
+        --checkpoint-dir D persist per-source checkpoints under D and
+                           resume from them on restart (crash-safe: a
+                           SIGKILL loses at most the records since the
+                           last checkpoint tick, never the schema)
+        --checkpoint-interval-ms N  checkpoint cadence (default: 1000)
+        --max-sessions N   reject protocol sessions beyond N (default: 256)
+        --session-idle-ms N  close sessions idle for N ms (default: keep)
         --metrics-json F   write the run report on shutdown
         --trace-json F     write a Chrome trace of poller/session spans
                            on shutdown (load in Perfetto)
@@ -227,7 +234,8 @@ COMMANDS:
 
     watch ADDR           live per-source telemetry tables from a running
                          daemon (records, records/s, tail lag, skipped,
-                         quarantined, shapes, published version)
+                         quarantined, shapes, published version, breaker
+                         state, restarts, checkpoint size and age)
         --interval-ms N    snapshot interval (default: 1000)
         --count N          stop after N snapshots (default: stream until
                            the daemon stops)

@@ -1066,3 +1066,154 @@ fn serve_folds_appends_and_answers_the_protocol() {
     let _ = std::fs::remove_file(&data);
     let _ = std::fs::remove_file(&metrics);
 }
+
+/// The crash-safety contract, end to end through the release binary:
+/// SIGKILL the daemon mid-run, restart it on the same checkpoint
+/// directory, and the served schema is byte-identical to a batch
+/// `typefuse infer` over the whole file — with the checkpointed prefix
+/// never re-read (the per-source records counter starts at zero each
+/// process, so it counts only post-restart folds).
+#[test]
+fn serve_checkpoint_survives_sigkill_and_resumes_without_rereading() {
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+    use std::process::Child;
+
+    fn spawn_daemon(data: &std::path::Path, ckpt: &std::path::Path) -> (Child, String) {
+        let mut daemon = Command::new(env!("CARGO_BIN_EXE_typefuse"))
+            .args([
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--watch",
+                &format!("events={}", data.display()),
+                "--poll-ms",
+                "5",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--checkpoint-interval-ms",
+                "25",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        let mut daemon_out = BufReader::new(daemon.stdout.take().unwrap());
+        let mut line = String::new();
+        daemon_out.read_line(&mut line).unwrap();
+        typefuse_json::Envelope::expect_kind(&line, "listening").expect("listening envelope");
+        let addr = typefuse_json::parse_value(&line)
+            .unwrap()
+            .pointer("/payload/addr")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        (daemon, addr)
+    }
+
+    fn request(addr: &str, payload: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(payload.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(conn).read_line(&mut reply).unwrap();
+        reply
+    }
+
+    /// One series from a `metrics` snapshot, whichever section holds it.
+    fn series(addr: &str, key: &str) -> Option<i64> {
+        let reply = request(addr, "{\"op\":\"metrics\"}");
+        let env = typefuse_json::Envelope::expect_kind(&reply, "telemetry").ok()?;
+        for section in ["counters", "gauges"] {
+            if let Some(v) = env.payload.get(section).and_then(|s| s.get(key)) {
+                return v.as_i64();
+            }
+        }
+        None
+    }
+
+    fn wait_series(addr: &str, key: &str, want: i64) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if series(addr, key) == Some(want) {
+                return;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {key} == {want}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    let dir = std::env::temp_dir().join("typefuse-cli-test-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let pid = std::process::id();
+    let data = dir.join(format!("events-kill-{pid}.ndjson"));
+    let ckpt = dir.join(format!("ckpt-{pid}"));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    std::fs::write(
+        &data,
+        "{\"id\":1}\n{\"id\":2,\"tags\":[\"a\"]}\n{\"id\":3,\"name\":\"x\"}\n",
+    )
+    .unwrap();
+
+    let records = "typefuse_source_records{source=\"events\"}";
+    let ckpt_lines = "typefuse_source_checkpoint_lines{source=\"events\"}";
+
+    // First life: fold all three records and wait until a durable
+    // checkpoint covers them, then SIGKILL — no shutdown hook runs.
+    let (mut daemon, addr) = spawn_daemon(&data, &ckpt);
+    wait_series(&addr, records, 3);
+    wait_series(&addr, ckpt_lines, 3);
+    daemon.kill().expect("SIGKILL");
+    daemon.wait().expect("killed daemon reaped");
+
+    // The file keeps growing while the daemon is down.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&data)
+            .unwrap();
+        f.write_all(b"{\"id\":4,\"name\":\"y\",\"extra\":true}\n{\"id\":5}\n")
+            .unwrap();
+    }
+
+    // Second life: resume from the checkpoint. Only the two new
+    // records are read — the counter is per-process, so 2 (not 5)
+    // proves the checkpointed prefix was never re-ingested.
+    let (mut daemon, addr) = spawn_daemon(&data, &ckpt);
+    wait_series(&addr, records, 2);
+
+    let reply = request(&addr, "{\"op\":\"schema\",\"source\":\"events\"}");
+    let envelope = typefuse_json::Envelope::expect_kind(&reply, "schema").expect("schema");
+    assert_eq!(
+        envelope
+            .payload
+            .pointer("/records")
+            .and_then(|v| v.as_i64()),
+        Some(5),
+        "restored 3 + appended 2: {reply}"
+    );
+    let served = envelope
+        .payload
+        .pointer("/schema")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    let batch = typefuse(&["infer", data.to_str().unwrap(), "--format", "text"], None);
+    assert_eq!(
+        served,
+        stdout(&batch).trim(),
+        "post-crash schema == uninterrupted batch run"
+    );
+
+    let reply = request(&addr, "{\"op\":\"shutdown\"}");
+    typefuse_json::Envelope::expect_kind(&reply, "ok").expect("shutdown ack");
+    assert!(daemon.wait().expect("daemon exits").success());
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}

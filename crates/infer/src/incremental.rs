@@ -27,7 +27,7 @@ use typefuse_types::Type;
 /// assert_eq!(inc.schema().to_string(), "{a: Num + Str, b: Bool?}");
 /// assert_eq!(inc.count(), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Incremental {
     schema: Type,
     count: u64,

@@ -252,7 +252,7 @@ type Facts = BTreeMap<String, RecordFacts>;
 
 /// The [`Profiling`] accumulator: a fused schema plus per-path profiles
 /// and the provenance index. Merge is associative and commutative.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileAcc {
     schema: Incremental,
     paths: BTreeMap<String, PathProfile>,
@@ -485,6 +485,155 @@ impl ProfileAcc {
     /// Whether nothing (not even an error) has been absorbed.
     pub fn is_empty(&self) -> bool {
         self.records() == 0 && self.paths.is_empty() && self.first_error.is_none()
+    }
+
+    /// Serialize the full accumulator state for a crash-recovery
+    /// checkpoint. Every component round-trips exactly:
+    /// the schema through the lossless [`typefuse_types::wire`] codec,
+    /// integers as decimal strings, histograms via
+    /// [`LogHistogram::to_compact`], numeric min/max as `f64::to_bits`,
+    /// and the first error via [`typefuse_json::codec`] — so
+    /// [`from_checkpoint_value`](ProfileAcc::from_checkpoint_value)
+    /// restores a `==`-identical accumulator and the resumed fold is
+    /// byte-identical to an uninterrupted one.
+    pub fn checkpoint_value(&self) -> Value {
+        use typefuse_json::codec::{error_to_value, u64_to_value};
+        use typefuse_json::Map;
+        let join = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let mut obj = Map::new();
+        obj.insert(
+            "schema",
+            Value::from(typefuse_types::wire::to_wire(self.schema.schema())),
+        );
+        obj.insert("records", u64_to_value(self.schema.count()));
+        if let Some((line, error)) = &self.first_error {
+            let mut fe = Map::new();
+            fe.insert("line", u64_to_value(*line));
+            fe.insert("error", error_to_value(error));
+            obj.insert("first_error", Value::Object(fe));
+        }
+        let mut children = Map::new();
+        for (parent, names) in &self.children {
+            let names: Vec<Value> = names.iter().map(|n| Value::from(n.clone())).collect();
+            children.insert(parent.clone(), Value::Array(names));
+        }
+        obj.insert("children", Value::Object(children));
+        let mut paths = Map::new();
+        for (path, p) in &self.paths {
+            let mut entry = Map::new();
+            entry.insert("count", u64_to_value(p.count));
+            entry.insert("kinds", Value::from(join(&p.kind_counts)));
+            entry.insert("first", Value::from(join(&p.kind_first_line)));
+            if let Some(line) = p.first_absent_line {
+                entry.insert("absent", u64_to_value(line));
+            }
+            entry.insert("str_len", Value::from(p.str_len.to_compact()));
+            entry.insert("arr_len", Value::from(p.arr_len.to_compact()));
+            entry.insert("rec_width", Value::from(p.rec_width.to_compact()));
+            if let Some(min) = p.num_min {
+                entry.insert("num_min", u64_to_value(min.to_bits()));
+            }
+            if let Some(max) = p.num_max {
+                entry.insert("num_max", u64_to_value(max.to_bits()));
+            }
+            paths.insert(path.clone(), Value::Object(entry));
+        }
+        obj.insert("paths", Value::Object(paths));
+        Value::Object(obj)
+    }
+
+    /// Restore an accumulator serialized by
+    /// [`checkpoint_value`](ProfileAcc::checkpoint_value), resuming
+    /// fusion under `config` (the config is not checkpointed — the
+    /// service re-derives it from its job configuration, and it must
+    /// match the original run for the incremental ≡ batch law to hold).
+    pub fn from_checkpoint_value(v: &Value, config: FuseConfig) -> Result<Self, String> {
+        use typefuse_json::codec::{error_from_value, opt_u64_from_value, u64_from_value};
+        let split = |text: &str| -> Result<[u64; KINDS], String> {
+            let mut out = [0u64; KINDS];
+            let parts: Vec<&str> = text.split(',').collect();
+            if parts.len() != KINDS {
+                return Err(format!("expected {KINDS} kind slots, got {}", parts.len()));
+            }
+            for (slot, part) in out.iter_mut().zip(parts) {
+                *slot = part.parse().map_err(|e| format!("bad kind slot: {e}"))?;
+            }
+            Ok(out)
+        };
+        let str_field = |v: &Value, name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("profile path missing `{name}`"))
+        };
+        let schema = typefuse_types::wire::from_wire(
+            v.get("schema")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "profile missing `schema`".to_string())?,
+        )?;
+        let records = v
+            .get("records")
+            .ok_or_else(|| "profile missing `records`".to_string())
+            .and_then(u64_from_value)?;
+        let first_error = match v.get("first_error") {
+            None | Some(Value::Null) => None,
+            Some(fe) => {
+                let line = fe
+                    .get("line")
+                    .ok_or_else(|| "first_error missing `line`".to_string())
+                    .and_then(u64_from_value)?;
+                let error = fe
+                    .get("error")
+                    .ok_or_else(|| "first_error missing `error`".to_string())
+                    .and_then(error_from_value)?;
+                Some((line, error))
+            }
+        };
+        let mut children = BTreeMap::new();
+        if let Some(map) = v.get("children").and_then(Value::as_object) {
+            for (parent, names) in map.iter() {
+                let names = names
+                    .as_array()
+                    .ok_or_else(|| "children value is not an array".to_string())?;
+                let mut set = BTreeSet::new();
+                for name in names {
+                    set.insert(
+                        name.as_str()
+                            .ok_or_else(|| "child name is not a string".to_string())?
+                            .to_string(),
+                    );
+                }
+                children.insert(parent.to_string(), set);
+            }
+        }
+        let mut paths = BTreeMap::new();
+        let path_map = v
+            .get("paths")
+            .and_then(Value::as_object)
+            .ok_or_else(|| "profile missing `paths`".to_string())?;
+        for (path, entry) in path_map.iter() {
+            let profile = PathProfile {
+                count: entry
+                    .get("count")
+                    .ok_or_else(|| "profile path missing `count`".to_string())
+                    .and_then(u64_from_value)?,
+                kind_counts: split(&str_field(entry, "kinds")?)?,
+                kind_first_line: split(&str_field(entry, "first")?)?,
+                first_absent_line: opt_u64_from_value(entry.get("absent"))?,
+                str_len: LogHistogram::from_compact(&str_field(entry, "str_len")?)?,
+                arr_len: LogHistogram::from_compact(&str_field(entry, "arr_len")?)?,
+                rec_width: LogHistogram::from_compact(&str_field(entry, "rec_width")?)?,
+                num_min: opt_u64_from_value(entry.get("num_min"))?.map(f64::from_bits),
+                num_max: opt_u64_from_value(entry.get("num_max"))?.map(f64::from_bits),
+            };
+            paths.insert(path.to_string(), profile);
+        }
+        Ok(ProfileAcc {
+            schema: Incremental::resume(schema, records, config),
+            paths,
+            children,
+            first_error,
+        })
     }
 
     /// Finish into the immutable dataset profile.
@@ -960,6 +1109,44 @@ mod tests {
         }
         // It parses with the workspace's own parser.
         typefuse_json::parse_value(&json).expect("profile JSON is valid JSON");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_resumes_identically() {
+        let lines = [
+            r#"{"a": 1, "b": "x"}"#,
+            r#"{"a": null}"#,
+            "not json at all",
+            r#"{"a": 1, "c": [true, {"d": 2.5}]}"#,
+            r#"{"a": "s", "c": []}"#,
+        ];
+        let full = acc_of(&lines);
+        for cut in 0..lines.len() {
+            let mut before = ProfileAcc::new();
+            for (i, line) in lines[..cut].iter().enumerate() {
+                before.absorb_line(i as u64 + 1, line);
+            }
+            let value = before.checkpoint_value();
+            // Through a real serialize/parse cycle, as on disk.
+            let reparsed = typefuse_json::parse_value(&value.to_string()).unwrap();
+            let mut resumed =
+                ProfileAcc::from_checkpoint_value(&reparsed, FuseConfig::default()).unwrap();
+            assert_eq!(resumed, before, "restore at cut {cut} is exact");
+            for (i, line) in lines[cut..].iter().enumerate() {
+                resumed.absorb_line((cut + i) as u64 + 1, line);
+            }
+            assert_eq!(resumed, full, "resume at cut {cut} matches full fold");
+            assert_eq!(
+                resumed.clone().finish().to_json(),
+                full.clone().finish().to_json(),
+                "serialized profile at cut {cut}"
+            );
+        }
+        assert!(ProfileAcc::from_checkpoint_value(
+            &typefuse_json::parse_value("{}").unwrap(),
+            FuseConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

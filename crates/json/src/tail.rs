@@ -105,6 +105,32 @@ impl<R: Read> TailReader<R> {
         self
     }
 
+    /// Restore checkpointed progress: the partial-line carry buffer
+    /// (with its overflow flag) and the byte/line counters. The caller
+    /// is responsible for positioning the underlying stream at byte
+    /// `bytes` (e.g. `Seek` after re-opening a file); from there the
+    /// reader continues exactly where the checkpointed one stopped —
+    /// same line numbering, same pending tail, same truncation state.
+    pub fn with_resume_state(
+        mut self,
+        pending: Vec<u8>,
+        pending_overflow: bool,
+        bytes: u64,
+        lines: u64,
+    ) -> Self {
+        self.pending = pending;
+        self.pending_overflow = pending_overflow;
+        self.bytes = bytes;
+        self.lines = lines;
+        self
+    }
+
+    /// Whether the pending tail overflowed the line-size cap (part of
+    /// the state a checkpoint must persist).
+    pub fn pending_overflow(&self) -> bool {
+        self.pending_overflow
+    }
+
     /// Complete lines surfaced so far.
     pub fn lines_read(&self) -> u64 {
         self.lines
@@ -302,6 +328,33 @@ mod tests {
         assert!(!last.truncated);
         assert!(tail.take_pending().is_none());
         assert_eq!(tail.lines_read(), 2);
+    }
+
+    #[test]
+    fn resume_state_continues_mid_line() {
+        // Uninterrupted reference run.
+        let data: &[u8] = b"{\"a\":1}\n{\"b\"\n{\"c\":3}\n";
+        let mut whole = TailReader::new(data);
+        let mut expected = Vec::new();
+        whole.poll(&mut expected).unwrap();
+
+        // Crash after the first 10 bytes (mid-line), checkpoint the
+        // reader state, resume over the remaining bytes.
+        let mut before = TailReader::new(&data[..10]);
+        let mut out = Vec::new();
+        before.poll(&mut out).unwrap();
+        let (pending, overflow, bytes, lines) = (
+            before.pending().to_vec(),
+            before.pending_overflow(),
+            before.bytes_read(),
+            before.lines_read(),
+        );
+        let mut resumed = TailReader::new(&data[bytes as usize..])
+            .with_resume_state(pending, overflow, bytes, lines);
+        resumed.poll(&mut out).unwrap();
+        assert_eq!(out, expected);
+        assert_eq!(resumed.lines_read(), whole.lines_read());
+        assert_eq!(resumed.bytes_read(), whole.bytes_read());
     }
 
     #[test]

@@ -153,6 +153,58 @@ impl LogHistogram {
         self.count == 0
     }
 
+    /// Serialize to the compact checkpoint form:
+    /// `count,sum,min,max;idx:n,idx:n,…` with sparse buckets, all
+    /// fields exact decimal `u64`. [`LogHistogram::from_compact`]
+    /// restores the identical value, including the `u64::MAX` min
+    /// sentinel of an empty histogram.
+    pub fn to_compact(&self) -> String {
+        let mut out = format!("{},{},{},{};", self.count, self.sum, self.min, self.max);
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{i}:{n}"));
+        }
+        out
+    }
+
+    /// Parse a [`LogHistogram::to_compact`] encoding.
+    pub fn from_compact(text: &str) -> Result<Self, String> {
+        let (moments, buckets) = text
+            .split_once(';')
+            .ok_or_else(|| "histogram encoding missing `;`".to_string())?;
+        let parts: Vec<&str> = moments.split(',').collect();
+        let [count, sum, min, max] = parts[..] else {
+            return Err(format!("expected 4 moments, got {}", parts.len()));
+        };
+        let parse =
+            |s: &str| -> Result<u64, String> { s.parse().map_err(|e| format!("bad u64: {e}")) };
+        let mut hist = LogHistogram {
+            buckets: [0; BUCKETS],
+            count: parse(count)?,
+            sum: parse(sum)?,
+            min: parse(min)?,
+            max: parse(max)?,
+        };
+        for pair in buckets.split(',').filter(|p| !p.is_empty()) {
+            let (idx, n) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad bucket pair {pair:?}"))?;
+            let idx: usize = idx.parse().map_err(|e| format!("bad bucket index: {e}"))?;
+            if idx >= BUCKETS {
+                return Err(format!("bucket index {idx} out of range"));
+            }
+            hist.buckets[idx] = parse(n)?;
+        }
+        Ok(hist)
+    }
+
     /// Snapshot as a [`HistogramReport`](crate::HistogramReport) —
     /// identical shape to the recorder histograms, so the same
     /// serialization and quantile estimation apply.
@@ -271,6 +323,26 @@ mod tests {
             report.buckets.iter().map(|b| b.count).sum::<u64>(),
             report.count
         );
+    }
+
+    #[test]
+    fn compact_encoding_round_trips_exactly() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 5, 1000, 1 << 62] {
+            h.record(v);
+        }
+        assert_eq!(LogHistogram::from_compact(&h.to_compact()).unwrap(), h);
+        // The empty histogram keeps its u64::MAX min sentinel so that
+        // later merges stay correct.
+        let empty = LogHistogram::new();
+        let back = LogHistogram::from_compact(&empty.to_compact()).unwrap();
+        assert_eq!(back, empty);
+        let mut merged = back;
+        merged.record(3);
+        assert_eq!(merged.report().min, 3);
+        for bad in ["", "1,2,3;", "1,2,3,4", "1,2,3,4;x", "1,2,3,4;99:1"] {
+            assert!(LogHistogram::from_compact(bad).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

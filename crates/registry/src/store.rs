@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::OpenOptions;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use typefuse_json::{Map, Value};
@@ -303,36 +303,90 @@ pub trait RegistryStore {
 pub struct Registry {
     path: PathBuf,
     index: Index,
+    recovered: Option<String>,
 }
 
 impl Registry {
     /// Open (or create) a registry log at `path`.
+    ///
+    /// A malformed *final* record is treated as a torn append (the
+    /// writer died mid-`write`): it is dropped, the log is truncated
+    /// back to the last good record, and [`Registry::recovered`]
+    /// reports what happened. Corruption anywhere *before* the tail
+    /// cannot be a torn append and still fails with
+    /// [`RegistryError::Corrupt`].
     pub fn open(path: impl AsRef<Path>) -> Result<Registry, RegistryError> {
         let path = path.as_ref().to_path_buf();
         let mut index = Index::default();
+        let mut recovered = None;
+        let mut data = Vec::new();
         match std::fs::File::open(&path) {
-            Ok(file) => {
-                for (idx, line) in BufReader::new(file).lines().enumerate() {
-                    let line = line?;
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let entry = parse_entry(&line).map_err(|message| RegistryError::Corrupt {
-                        line: idx + 1,
-                        message,
-                    })?;
-                    index
-                        .insert_loaded(entry)
-                        .map_err(|message| RegistryError::Corrupt {
-                            line: idx + 1,
-                            message,
-                        })?;
-                }
+            Ok(mut file) => {
+                file.read_to_end(&mut data)?;
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        Ok(Registry { path, index })
+        // Byte-accurate line scan (rather than BufRead::lines) so a
+        // torn tail can be truncated away at its exact start offset.
+        let mut pos = 0usize;
+        let mut line_no = 0usize;
+        while pos < data.len() {
+            let start = pos;
+            let (raw, next) = match data[pos..].iter().position(|&b| b == b'\n') {
+                Some(i) => (&data[pos..pos + i], pos + i + 1),
+                None => (&data[pos..], data.len()),
+            };
+            line_no += 1;
+            pos = next;
+            let parsed = std::str::from_utf8(raw)
+                .map_err(|_| "invalid UTF-8".to_string())
+                .and_then(|line| {
+                    if line.trim().is_empty() {
+                        Ok(None)
+                    } else {
+                        parse_entry(line).map(Some)
+                    }
+                });
+            let message = match parsed {
+                Ok(None) => continue,
+                Ok(Some(entry)) => match index.insert_loaded(entry) {
+                    Ok(()) => continue,
+                    Err(message) => message,
+                },
+                Err(message) => message,
+            };
+            let tail_is_blank = data[pos..].iter().all(|b| b.is_ascii_whitespace());
+            if !tail_is_blank {
+                return Err(RegistryError::Corrupt {
+                    line: line_no,
+                    message,
+                });
+            }
+            // Torn final record: drop it and truncate the log so the
+            // next append starts at a clean boundary.
+            OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(start as u64)?;
+            recovered = Some(format!(
+                "registry log recovered: dropped torn trailing record at line {line_no} \
+                 ({message}); truncated to {start} bytes"
+            ));
+            break;
+        }
+        Ok(Registry {
+            path,
+            index,
+            recovered,
+        })
+    }
+
+    /// What `open` did to recover the log, if anything: a description
+    /// of the torn trailing record it dropped, or `None` when the log
+    /// loaded cleanly.
+    pub fn recovered(&self) -> Option<&str> {
+        self.recovered.as_deref()
     }
 
     /// All subject names, sorted.
@@ -607,19 +661,71 @@ mod tests {
 
     #[test]
     fn corrupt_logs_are_rejected() {
+        // Corruption *before* the tail cannot be a torn append: reject.
         let path = fresh("corrupt.ndjson");
-        std::fs::write(&path, "not json\n").unwrap();
+        std::fs::write(
+            &path,
+            "not json\n{\"name\":\"a\",\"version\":1,\"schema\":\"Num\"}\n",
+        )
+        .unwrap();
         assert!(matches!(
             Registry::open(&path),
             Err(RegistryError::Corrupt { line: 1, .. })
         ));
 
         let path = fresh("skip.ndjson");
-        std::fs::write(&path, "{\"name\":\"a\",\"version\":2,\"schema\":\"Num\"}\n").unwrap();
+        std::fs::write(
+            &path,
+            "{\"name\":\"a\",\"version\":2,\"schema\":\"Num\"}\n\
+             {\"name\":\"a\",\"version\":3,\"schema\":\"Num\"}\n",
+        )
+        .unwrap();
         assert!(
             matches!(Registry::open(&path), Err(RegistryError::Corrupt { .. })),
             "out-of-sequence version"
         );
+    }
+
+    #[test]
+    fn torn_trailing_record_is_truncated_and_reported() {
+        let path = fresh("torn.ndjson");
+        // Publish two entries, then simulate a crash mid-append by
+        // hand-truncating the final record.
+        {
+            let mut reg = Registry::open(&path).unwrap();
+            reg.publish("a", &t("{x: Num}"), CompatMode::None).unwrap();
+            reg.publish("a", &t("{x: Str}"), CompatMode::None).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let cut = full.len() - 7;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let reg = Registry::open(&path).unwrap();
+        let warning = reg.recovered().expect("recovery reported");
+        assert!(warning.contains("torn trailing record"), "{warning}");
+        assert_eq!(reg.latest("a").unwrap().version, 1, "v2 was torn away");
+        // The file itself was truncated back to the last good record…
+        let kept = std::fs::read(&path).unwrap();
+        assert!(kept.len() < cut);
+        assert!(kept.ends_with(b"\n"));
+        // …so the next open is clean and the next publish appends at a
+        // record boundary.
+        let mut reg = Registry::open(&path).unwrap();
+        assert!(reg.recovered().is_none());
+        reg.publish("a", &t("{x: Str}"), CompatMode::None).unwrap();
+        let reg = Registry::open(&path).unwrap();
+        assert!(reg.recovered().is_none());
+        assert_eq!(reg.latest("a").unwrap().version, 2);
+    }
+
+    #[test]
+    fn lone_torn_record_recovers_to_an_empty_registry() {
+        let path = fresh("lone-torn.ndjson");
+        std::fs::write(&path, "{\"name\":\"a\",\"ver").unwrap();
+        let reg = Registry::open(&path).unwrap();
+        assert!(reg.recovered().is_some());
+        assert!(reg.names().is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
     }
 
     #[test]

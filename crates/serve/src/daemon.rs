@@ -1,21 +1,23 @@
-//! The resident daemon: source pollers, the registry publisher, and the
-//! TCP protocol listener.
+//! The resident daemon: supervised source pollers, durable checkpoints,
+//! the registry publisher, and the TCP protocol listener.
 
+use crate::checkpoint::{self, Checkpointer};
 use crate::fold::SourceState;
 use crate::protocol::{self, MetricsFormat, Request};
+use crate::supervisor::{spawn_supervised, Exit, Supervised, SupervisorCells, SupervisorPolicy};
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use typefuse::pipeline::DedupMode;
 use typefuse::JobConfig;
-use typefuse_engine::{spawn_periodic, BackgroundTask, Tick};
-use typefuse_json::{TailLine, TailReader, TailStatus};
+use typefuse_engine::{spawn_periodic, BackgroundTask};
+use typefuse_json::{RetryPolicy, TailLine, TailReader, TailStatus};
 use typefuse_obs::{envelope, series_key, EventLog, JsonWriter, Level, Recorder, TelemetryHub};
 use typefuse_registry::{CompatMode, MemoryRegistry, Registry, RegistryStore};
 
@@ -39,6 +41,29 @@ pub struct SourceSpec {
     pub name: String,
     /// Where the bytes come from.
     pub input: SourceInput,
+}
+
+/// Injected poller fault: panic the named source's poll loop.
+#[derive(Debug, Clone)]
+pub struct PollerPanic {
+    /// The source whose poller crashes.
+    pub source: String,
+    /// Panic once the source's folded record count reaches this.
+    pub at_records: u64,
+    /// How many times to crash before behaving (so tests can observe
+    /// both bounded restarts and the eventual recovery).
+    pub times: u32,
+}
+
+/// Daemon-level fault injection, for the chaos tests. All fields
+/// default to "no faults"; production configs never set them.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Panic a source's poll loop at a record count, N times.
+    pub poller_panic: Option<PollerPanic>,
+    /// Fail this many checkpoint writes with an injected I/O error
+    /// (each failed write is retried on the next checkpoint tick).
+    pub checkpoint_write_failures: u32,
 }
 
 /// Daemon configuration. The ingest knobs (error policy, parser
@@ -69,6 +94,24 @@ pub struct ServeConfig {
     /// Off by default: a resident daemon would grow the trace buffer
     /// without bound; the CLI enables it only under `--trace-json`.
     pub trace_spans: bool,
+    /// Persist per-source checkpoints under this directory and resume
+    /// from them at startup; `None` disables durability.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// How often dirty sources are checkpointed.
+    pub checkpoint_interval: Duration,
+    /// Concurrent protocol sessions beyond which new connections are
+    /// rejected with an error envelope.
+    pub max_sessions: usize,
+    /// Close a session that has not sent a request for this long;
+    /// `None` keeps idle sessions open forever.
+    pub session_idle: Option<Duration>,
+    /// Write timeout on session sockets, bounding how long a slow or
+    /// stalled client can pin a session (or watch) thread.
+    pub write_timeout: Option<Duration>,
+    /// Poller restart/backoff/breaker thresholds.
+    pub supervisor: SupervisorPolicy,
+    /// Fault injection (tests only).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +127,13 @@ impl Default for ServeConfig {
             log_level: Level::Info,
             event_capacity: 1024,
             trace_spans: false,
+            checkpoint_dir: None,
+            checkpoint_interval: Duration::from_millis(1000),
+            max_sessions: 256,
+            session_idle: None,
+            write_timeout: Some(Duration::from_secs(10)),
+            supervisor: SupervisorPolicy::default(),
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -167,6 +217,48 @@ impl ServeConfig {
         self.trace_spans = on;
         self
     }
+
+    /// Persist per-source checkpoints under `dir` and resume from them.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Set how often dirty sources are checkpointed.
+    pub fn checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Cap concurrent protocol sessions.
+    pub fn max_sessions(mut self, cap: usize) -> Self {
+        self.max_sessions = cap;
+        self
+    }
+
+    /// Close sessions idle for longer than `timeout`.
+    pub fn session_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.session_idle = Some(timeout);
+        self
+    }
+
+    /// Bound how long a write to a slow client may block.
+    pub fn write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = Some(timeout);
+        self
+    }
+
+    /// Set poller restart/backoff/breaker thresholds.
+    pub fn supervisor(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervisor = policy;
+        self
+    }
+
+    /// Inject daemon-level faults (tests only).
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
 }
 
 /// Shared daemon state: protocol sessions read it, pollers write it.
@@ -178,6 +270,9 @@ struct Shared {
     events: EventLog,
     trace_spans: bool,
     compat: CompatMode,
+    max_sessions: usize,
+    session_idle: Option<Duration>,
+    write_timeout: Option<Duration>,
     sources: BTreeMap<String, Arc<Mutex<SourceState>>>,
     registry: Mutex<Box<dyn RegistryStore + Send>>,
 }
@@ -201,18 +296,28 @@ impl Shared {
     /// Route one parsed request to its reply.
     fn respond(&self, request: &Request) -> Reply {
         let result = match request {
-            Request::Schema { source } => self
-                .source(source)
-                .map(|s| protocol::schema_response(&s.lock().expect("source lock"))),
-            Request::Profile { source } => self
-                .source(source)
-                .map(|s| protocol::profile_response(&s.lock().expect("source lock"))),
-            Request::Explain { source, path } => self
-                .source(source)
-                .and_then(|s| protocol::explain_response(&s.lock().expect("source lock"), path)),
+            Request::Schema { source } => self.source(source).map(|s| {
+                protocol::schema_response(
+                    &s.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+                )
+            }),
+            Request::Profile { source } => self.source(source).map(|s| {
+                protocol::profile_response(
+                    &s.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+                )
+            }),
+            Request::Explain { source, path } => self.source(source).and_then(|s| {
+                protocol::explain_response(
+                    &s.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+                    path,
+                )
+            }),
             Request::Health => Ok(self.health_response()),
             Request::Diff { source, from, to } => self.source(source).and_then(|_| {
-                let registry = self.registry.lock().expect("registry lock");
+                let registry = self
+                    .registry
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 registry
                     .changes(source, *from, *to)
                     .map(|changes| protocol::diff_response(source, *from, *to, &changes))
@@ -244,13 +349,22 @@ impl Shared {
         w.number(
             self.sources
                 .values()
-                .map(|s| s.lock().expect("source lock").records())
+                .map(|s| {
+                    s.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .records()
+                })
                 .sum::<u64>(),
         );
         w.key("sources");
         w.begin_array();
         for state in self.sources.values() {
-            protocol::write_source_health(&mut w, &state.lock().expect("source lock"));
+            protocol::write_source_health(
+                &mut w,
+                &state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
         }
         w.end_array();
         w.end_object();
@@ -292,12 +406,12 @@ impl Shared {
     }
 }
 
-/// The tailing end of one source, owned by its poller thread.
+/// The tailing end of one source, owned by its poller incarnation.
 enum SourceTail {
     /// A file that may not exist yet; reopened each tick until it does.
     PendingFile(PathBuf),
     /// An open growing file / FIFO, keeping the path so the poller can
-    /// stat it for tail lag.
+    /// stat it for tail lag and rotation detection.
     File(PathBuf, TailReader<std::fs::File>),
     /// A TCP listener plus every live producer connection.
     Tcp {
@@ -313,27 +427,24 @@ pub struct Daemon {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     shared: Arc<Shared>,
-    pollers: Vec<BackgroundTask>,
+    pollers: Vec<Supervised>,
+    checkpointer: Option<Arc<Mutex<Checkpointer>>>,
+    checkpoint_task: Option<BackgroundTask>,
     accept: Option<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
     recorder: Recorder,
 }
 
 impl Daemon {
-    /// Bind the protocol listener, open the registry, and start one
-    /// poller per source. Returns once everything is listening.
+    /// Bind the protocol listener, open the registry, load per-source
+    /// checkpoints (when a checkpoint dir is configured), and start one
+    /// supervised poller per source. Returns once everything is
+    /// listening.
     pub fn start(config: ServeConfig) -> std::io::Result<Daemon> {
         let recorder = config.job.recorder.clone();
         let listener = TcpListener::bind(&config.listen)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-
-        let registry: Box<dyn RegistryStore + Send> = match &config.registry_path {
-            Some(path) => Box::new(Registry::open(path).map_err(|e| {
-                std::io::Error::other(format!("cannot open registry {path:?}: {e}"))
-            })?),
-            None => Box::new(MemoryRegistry::new()),
-        };
 
         let events = match &config.log_sink {
             Some(path) => EventLog::with_sink(config.event_capacity, config.log_level, path)
@@ -348,24 +459,33 @@ impl Daemon {
             "boot",
             format!("listening on {addr}"),
         );
+
+        let registry: Box<dyn RegistryStore + Send> = match &config.registry_path {
+            Some(path) => {
+                let registry = Registry::open(path).map_err(|e| {
+                    std::io::Error::other(format!("cannot open registry {path:?}: {e}"))
+                })?;
+                if let Some(warning) = registry.recovered() {
+                    recorder.add("serve.registry_recovered", 1);
+                    events.log(Level::Warn, "daemon", "registry", warning.to_string());
+                }
+                Box::new(registry)
+            }
+            None => Box::new(MemoryRegistry::new()),
+        };
+
         let hub = TelemetryHub::new();
 
         let dedup = match config.job.dedup {
             DedupMode::On | DedupMode::Auto => true,
             DedupMode::Off => false,
         };
+        if let Some(dir) = &config.checkpoint_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let mut sources = BTreeMap::new();
         for spec in &config.sources {
-            let state = SourceState::new(
-                &spec.name,
-                dedup,
-                config.job.map_path,
-                config.job.fuse_config,
-                config.job.parser_options.clone(),
-                config.job.error_policy.clone(),
-                recorder.clone(),
-                events.clone(),
-            );
+            let state = load_or_new_state(spec, &config, dedup, &recorder, &events);
             if sources
                 .insert(spec.name.clone(), Arc::new(Mutex::new(state)))
                 .is_some()
@@ -385,6 +505,9 @@ impl Daemon {
             events,
             trace_spans: config.trace_spans,
             compat: config.compat,
+            max_sessions: config.max_sessions,
+            session_idle: config.session_idle,
+            write_timeout: config.write_timeout,
             sources,
             registry: Mutex::new(registry),
         });
@@ -397,6 +520,31 @@ impl Daemon {
                 Arc::clone(&shared),
                 Arc::clone(&stop),
             )?);
+        }
+
+        let mut checkpointer = None;
+        let mut checkpoint_task = None;
+        if let Some(dir) = &config.checkpoint_dir {
+            let cp = Arc::new(Mutex::new(Checkpointer::new(
+                dir,
+                shared
+                    .sources
+                    .iter()
+                    .map(|(name, state)| (name.clone(), Arc::clone(state))),
+                &shared.hub,
+                recorder.clone(),
+                shared.events.clone(),
+                config.chaos.checkpoint_write_failures,
+            )));
+            let tick_cp = Arc::clone(&cp);
+            checkpoint_task = Some(spawn_periodic(
+                "checkpoint",
+                config.checkpoint_interval,
+                Arc::clone(&stop),
+                recorder.clone(),
+                move || tick_cp.lock().expect("checkpointer lock").tick(),
+            ));
+            checkpointer = Some(cp);
         }
 
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -412,6 +560,8 @@ impl Daemon {
             stop,
             shared,
             pollers,
+            checkpointer,
+            checkpoint_task,
             accept: Some(accept),
             sessions,
             recorder,
@@ -468,8 +618,9 @@ impl Daemon {
         }
     }
 
-    /// Stop and join every thread: pollers, the accept loop, and all
-    /// protocol sessions.
+    /// Stop and join every thread: pollers, the checkpointer (with a
+    /// final compacting checkpoint), the accept loop, and all protocol
+    /// sessions.
     pub fn shutdown(mut self) {
         self.stop();
         // Wake the blocking accept with a throwaway connection.
@@ -485,58 +636,224 @@ impl Daemon {
         for poller in self.pollers.drain(..) {
             poller.join();
         }
+        if let Some(task) = self.checkpoint_task.take() {
+            task.join();
+        }
+        if let Some(cp) = self.checkpointer.take() {
+            cp.lock().expect("checkpointer lock").final_sync();
+        }
     }
 }
 
-/// Spawn the periodic poller for one source: tail the input, fold new
-/// lines, publish the snapshot, record drift. Panics in a tick are
-/// caught and counted by the scheduler (`background.panics.*`).
+/// Build a source's state: resume from its checkpoint when one is
+/// configured and loadable, start fresh otherwise. Never fails — a
+/// corrupt or unusable checkpoint degrades to a cold start with a
+/// warning, because refusing to serve is the worse failure.
+fn load_or_new_state(
+    spec: &SourceSpec,
+    config: &ServeConfig,
+    dedup: bool,
+    recorder: &Recorder,
+    events: &EventLog,
+) -> SourceState {
+    let fresh = || {
+        SourceState::new(
+            &spec.name,
+            dedup,
+            config.job.map_path,
+            config.job.fuse_config,
+            config.job.parser_options.clone(),
+            config.job.error_policy.clone(),
+            recorder.clone(),
+            events.clone(),
+        )
+    };
+    let Some(dir) = &config.checkpoint_dir else {
+        return fresh();
+    };
+    let path = checkpoint::checkpoint_path(dir, &spec.name);
+    match checkpoint::load(&path) {
+        Ok(Some(loaded)) => {
+            if loaded.torn {
+                recorder.add("serve.checkpoint_torn", 1);
+                events.log(
+                    Level::Warn,
+                    &spec.name,
+                    "checkpoint",
+                    "torn checkpoint tail: resuming from the last good frame",
+                );
+            }
+            match SourceState::restore(
+                &spec.name,
+                dedup,
+                config.job.map_path,
+                config.job.fuse_config,
+                config.job.parser_options.clone(),
+                config.job.error_policy.clone(),
+                recorder.clone(),
+                events.clone(),
+                &loaded.payload,
+            ) {
+                Ok(state) => {
+                    recorder.add("serve.checkpoint_resumed", 1);
+                    events.log(
+                        Level::Info,
+                        &spec.name,
+                        "checkpoint",
+                        format!(
+                            "resumed from checkpoint: {} records, line {}, offset {}",
+                            state.records(),
+                            state.lines(),
+                            state.tail_offset
+                        ),
+                    );
+                    state
+                }
+                Err(e) => {
+                    events.log(
+                        Level::Warn,
+                        &spec.name,
+                        "checkpoint",
+                        format!("unusable checkpoint ({e}); starting fresh from byte 0"),
+                    );
+                    fresh()
+                }
+            }
+        }
+        Ok(None) => {
+            if path.exists() {
+                recorder.add("serve.checkpoint_torn", 1);
+                events.log(
+                    Level::Warn,
+                    &spec.name,
+                    "checkpoint",
+                    "checkpoint file has no valid frame; starting fresh from byte 0",
+                );
+            }
+            fresh()
+        }
+        Err(e) => {
+            events.log(
+                Level::Warn,
+                &spec.name,
+                "checkpoint",
+                format!("cannot read checkpoint: {e}; starting fresh from byte 0"),
+            );
+            fresh()
+        }
+    }
+}
+
+/// Open a file source honoring the tail-resume position in `state`:
+/// seek to the remembered offset and restore the carried partial line.
+/// A file shorter than the remembered offset was rotated or truncated
+/// out from under us — reset to byte 0 with a warning (the fused
+/// schema is kept; fusion is idempotent, so re-reading a recreated
+/// file only re-confirms it).
+fn open_file_tail(
+    path: &Path,
+    state: &Arc<Mutex<SourceState>>,
+    retry: RetryPolicy,
+    max_line_bytes: Option<usize>,
+    recorder: &Recorder,
+    events: &EventLog,
+) -> std::io::Result<SourceTail> {
+    let len = match std::fs::metadata(path) {
+        Ok(metadata) => metadata.len(),
+        // Not-yet-created files are watched, not fatal: keep trying.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(SourceTail::PendingFile(path.to_path_buf()))
+        }
+        Err(e) => return Err(e),
+    };
+    let (offset, pending, overflow, lines) = {
+        let mut state = state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if len < state.tail_offset {
+            recorder.add("serve.rotations", 1);
+            events.log(
+                Level::Warn,
+                &state.name,
+                "ingest",
+                format!(
+                    "source file shrank below the resume offset ({len} < {}): \
+                     rotation assumed, re-reading from byte 0",
+                    state.tail_offset
+                ),
+            );
+            state.sync_tail(0, &[], false);
+        }
+        (
+            state.tail_offset,
+            state.tail_pending.clone(),
+            state.tail_pending_overflow,
+            state.lines(),
+        )
+    };
+    let mut file = std::fs::File::open(path)?;
+    if offset > 0 {
+        file.seek(SeekFrom::Start(offset))?;
+    }
+    let mut tail = TailReader::new(file)
+        .with_retry(retry)
+        .with_recorder(recorder.clone())
+        .with_resume_state(pending, overflow, offset, lines);
+    if let Some(cap) = max_line_bytes {
+        tail = tail.with_max_line_bytes(cap);
+    }
+    Ok(SourceTail::File(path.to_path_buf(), tail))
+}
+
+fn build_tail(
+    input: &SourceInput,
+    state: &Arc<Mutex<SourceState>>,
+    retry: RetryPolicy,
+    max_line_bytes: Option<usize>,
+    recorder: &Recorder,
+    events: &EventLog,
+) -> std::io::Result<SourceTail> {
+    match input {
+        SourceInput::File(path) => {
+            open_file_tail(path, state, retry, max_line_bytes, recorder, events)
+        }
+        SourceInput::Tcp(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            Ok(SourceTail::Tcp {
+                listener,
+                conns: Vec::new(),
+                closed_bytes: 0,
+            })
+        }
+    }
+}
+
+/// Spawn the supervised poller for one source. Each incarnation
+/// reopens the input from the shared state's resume position, folds
+/// new lines, mirrors the tail position back into the state (for the
+/// checkpointer), publishes snapshots and records drift. A crash —
+/// fatal read error or a panic anywhere in the loop — ends the
+/// incarnation and the supervisor restarts it with backoff; repeated
+/// crashes trip the per-source breaker.
 fn spawn_source_poller(
     spec: &SourceSpec,
     config: &ServeConfig,
     shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
-) -> std::io::Result<BackgroundTask> {
+) -> std::io::Result<Supervised> {
     let recorder = shared.recorder.clone();
+    let events = shared.events.clone();
     let retry = config.job.retry;
     let max_line_bytes = config.job.max_line_bytes;
-    let make_file_tail = move |file: std::fs::File, recorder: &Recorder| {
-        let mut tail = TailReader::new(file)
-            .with_retry(retry)
-            .with_recorder(recorder.clone());
-        if let Some(cap) = max_line_bytes {
-            tail = tail.with_max_line_bytes(cap);
-        }
-        tail
-    };
-
-    let mut tail = match &spec.input {
-        SourceInput::File(path) => match std::fs::File::open(path) {
-            Ok(file) => SourceTail::File(path.clone(), make_file_tail(file, &recorder)),
-            // Not-yet-created files are watched, not fatal: keep trying.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                SourceTail::PendingFile(path.clone())
-            }
-            Err(e) => return Err(e),
-        },
-        SourceInput::Tcp(addr) => {
-            let listener = TcpListener::bind(addr)?;
-            listener.set_nonblocking(true)?;
-            SourceTail::Tcp {
-                listener,
-                conns: Vec::new(),
-                closed_bytes: 0,
-            }
-        }
-    };
-
     let state = Arc::clone(shared.source(&spec.name).expect("source registered"));
     let compat = shared.compat;
     let poll_recorder = recorder.clone();
     let name = spec.name.clone();
     let trace_spans = shared.trace_spans;
+    let poll_interval = config.poll_interval;
 
-    // Hot-path telemetry handles, hoisted out of the tick closure.
+    // Hot-path telemetry handles, hoisted out of the poll loop.
     let source_series = |metric: &str| series_key(metric, &[("source", &spec.name)]);
     let m_records = shared.hub.counter(source_series("typefuse_source_records"));
     let m_skipped = shared.hub.gauge(source_series("typefuse_source_skipped"));
@@ -560,27 +877,139 @@ fn spawn_source_poller(
     let m_rate = shared
         .hub
         .approx_gauge(source_series("typefuse_source_records_per_sec"));
+    let cells = SupervisorCells {
+        breaker: shared.hub.gauge(source_series("typefuse_source_breaker")),
+        restarts: shared
+            .hub
+            .counter(source_series("typefuse_source_restarts")),
+        total_restarts: shared.hub.counter("typefuse_supervisor_restarts_total"),
+    };
     let mut window: VecDeque<(Instant, u64)> = VecDeque::new();
 
-    Ok(spawn_periodic(
-        &format!("poll-{name}"),
-        config.poll_interval,
-        stop,
-        recorder,
-        move || {
+    // Probe the input once so a misconfigured source (unbindable TCP
+    // address, unreadable file) still fails `Daemon::start`.
+    let mut initial = Some(build_tail(
+        &spec.input,
+        &state,
+        retry,
+        max_line_bytes,
+        &recorder,
+        &events,
+    )?);
+
+    let chaos = config
+        .chaos
+        .poller_panic
+        .clone()
+        .filter(|p| p.source == spec.name);
+    let chaos_budget = Arc::new(AtomicU32::new(chaos.as_ref().map_or(0, |p| p.times)));
+
+    let input = spec.input.clone();
+    let group_stop = Arc::clone(&stop);
+    let incarnation_shared = Arc::clone(&shared);
+    let incarnation_events = events.clone();
+    let trip_state = Arc::clone(&state);
+
+    let incarnation = move |own: &AtomicBool| -> Exit {
+        let stopped = || group_stop.load(Ordering::Acquire) || own.load(Ordering::Acquire);
+        let mut tail = match initial.take() {
+            Some(tail) => tail,
+            None => match build_tail(
+                &input,
+                &state,
+                retry,
+                max_line_bytes,
+                &poll_recorder,
+                &incarnation_events,
+            ) {
+                Ok(tail) => tail,
+                Err(e) => return Exit::Crash(format!("cannot reopen source: {e}")),
+            },
+        };
+        // Re-publish a restored schema so a fresh (in-memory) registry
+        // sees it before any new record arrives; idempotent when the
+        // registry already holds it.
+        {
+            let mut state = state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if state.records() > 0 && state.is_active() {
+                let mut registry = incarnation_shared
+                    .registry
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state.publish(registry.as_mut(), compat);
+            }
+        }
+        let mut last_synced_offset = u64::MAX;
+        loop {
+            if stopped() {
+                return Exit::Stop;
+            }
+
+            // Rotation check: the file shrinking below what we already
+            // read means it was replaced or truncated — reopen at 0.
+            let mut file_len = None;
+            if let SourceTail::File(path, reader) = &tail {
+                let len = std::fs::metadata(path).map(|m| m.len()).ok();
+                file_len = len;
+                if len.is_some_and(|len| len < reader.bytes_read()) {
+                    poll_recorder.add("serve.rotations", 1);
+                    incarnation_events.log(
+                        Level::Warn,
+                        &name,
+                        "ingest",
+                        format!(
+                            "source file shrank ({} < {}): rotation assumed, \
+                             re-reading from byte 0",
+                            len.unwrap_or(0),
+                            reader.bytes_read()
+                        ),
+                    );
+                    {
+                        let mut state = state
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        state.sync_tail(0, &[], false);
+                    }
+                    let path = path.clone();
+                    tail = match open_file_tail(
+                        &path,
+                        &state,
+                        retry,
+                        max_line_bytes,
+                        &poll_recorder,
+                        &incarnation_events,
+                    ) {
+                        Ok(tail) => tail,
+                        Err(e) => return Exit::Crash(format!("cannot reopen rotated file: {e}")),
+                    };
+                    last_synced_offset = u64::MAX;
+                    file_len = None;
+                }
+            }
+
             let mut lines: Vec<TailLine> = Vec::new();
             match &mut tail {
                 SourceTail::PendingFile(path) => {
-                    if let Ok(file) = std::fs::File::open(&*path) {
-                        tail = SourceTail::File(path.clone(), make_file_tail(file, &poll_recorder));
+                    let path = path.clone();
+                    match open_file_tail(
+                        &path,
+                        &state,
+                        retry,
+                        max_line_bytes,
+                        &poll_recorder,
+                        &incarnation_events,
+                    ) {
+                        Ok(opened) => tail = opened,
+                        Err(e) => return Exit::Crash(format!("cannot open source: {e}")),
                     }
-                    return Tick::Continue;
+                    sliced_sleep(poll_interval, &stopped);
+                    continue;
                 }
                 SourceTail::File(_, reader) => {
                     if let Err(e) = reader.poll(&mut lines) {
-                        let mut state = state.lock().expect("source lock");
-                        state.fail(format!("read error: {e}"));
-                        return Tick::Stop;
+                        return Exit::Crash(format!("read error: {e}"));
                     }
                 }
                 SourceTail::Tcp {
@@ -628,11 +1057,10 @@ fn spawn_source_poller(
             // input we are (files only — a TCP source has no length).
             match &tail {
                 SourceTail::PendingFile(_) => {}
-                SourceTail::File(path, reader) => {
+                SourceTail::File(_, reader) => {
                     let offset = reader.bytes_read();
                     m_offset.set(offset);
-                    let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(offset);
-                    m_lag.set(len.saturating_sub(offset));
+                    m_lag.set(file_len.unwrap_or(offset).saturating_sub(offset));
                 }
                 SourceTail::Tcp {
                     conns,
@@ -644,13 +1072,49 @@ fn spawn_source_poller(
             }
 
             let absorbed = if lines.is_empty() {
+                // No complete line, but the reader may still have
+                // consumed bytes into its partial-line carry — keep the
+                // checkpointable position current.
+                if let SourceTail::File(_, reader) = &tail {
+                    if reader.bytes_read() != last_synced_offset {
+                        let mut state = state
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        state.sync_tail(
+                            reader.bytes_read(),
+                            reader.pending(),
+                            reader.pending_overflow(),
+                        );
+                        last_synced_offset = reader.bytes_read();
+                    }
+                }
                 0
             } else {
-                let mut state = state.lock().expect("source lock");
+                let mut state = state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let _span = trace_spans.then(|| poll_recorder.span(format!("serve.fold.{name}")));
                 let absorbed = state.fold_batch(&lines);
+                // Pair the folded schema with the exact tail position
+                // it covers, under the same lock the checkpointer
+                // serializes under.
+                match &tail {
+                    SourceTail::File(_, reader) => {
+                        state.sync_tail(
+                            reader.bytes_read(),
+                            reader.pending(),
+                            reader.pending_overflow(),
+                        );
+                        last_synced_offset = reader.bytes_read();
+                    }
+                    SourceTail::Tcp { .. } => state.mark_dirty(),
+                    SourceTail::PendingFile(_) => {}
+                }
                 if absorbed > 0 {
-                    let mut registry = shared.registry.lock().expect("registry lock");
+                    let mut registry = incarnation_shared
+                        .registry
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     state.publish(registry.as_mut(), compat);
                 }
                 m_records.add(absorbed);
@@ -661,10 +1125,33 @@ fn spawn_source_poller(
                 m_shape_hits.set(state.shape_hits());
                 m_shape_misses.set(state.shape_misses());
                 if !state.is_active() {
-                    return Tick::Stop;
+                    return Exit::Stop;
                 }
                 absorbed
             };
+
+            // Fault injection: panic once the folded record count
+            // reaches the trigger. Checked outside the state lock (so
+            // the mutex is never poisoned by the injected crash) and
+            // against the *live* count, so an input that keeps the
+            // trigger satisfied re-crashes each incarnation until the
+            // budget drains — which is how the breaker tests exercise
+            // repeated failures.
+            if let Some(panic_at) = &chaos {
+                if chaos_budget.load(Ordering::Acquire) > 0
+                    && state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .records()
+                        >= panic_at.at_records
+                {
+                    chaos_budget.fetch_sub(1, Ordering::AcqRel);
+                    panic!(
+                        "chaos: injected poller panic at record {}",
+                        panic_at.at_records
+                    );
+                }
+            }
 
             // Sliding-window throughput: absorbed records over the last
             // RATE_WINDOW, decayed even on idle ticks.
@@ -680,15 +1167,44 @@ fn spawn_source_poller(
             }
             let in_window: u64 = window.iter().map(|(_, n)| n).sum();
             m_rate.set(in_window / RATE_WINDOW.as_secs());
-            Tick::Continue
+
+            sliced_sleep(poll_interval, &stopped);
+        }
+    };
+
+    Ok(spawn_supervised(
+        &spec.name,
+        config.supervisor,
+        stop,
+        recorder,
+        events,
+        cells,
+        move |alert| {
+            trip_state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .fail(alert);
         },
+        incarnation,
     ))
+}
+
+/// Sleep `interval` in small slices so a stop request interrupts the
+/// wait promptly.
+fn sliced_sleep(interval: Duration, stopped: &impl Fn() -> bool) {
+    let mut remaining = interval;
+    let slice = Duration::from_millis(5);
+    while !remaining.is_zero() && !stopped() {
+        let nap = remaining.min(slice);
+        std::thread::sleep(nap);
+        remaining = remaining.saturating_sub(nap);
+    }
 }
 
 fn make_file_tail_tcp(
     conn: TcpStream,
     recorder: &Recorder,
-    retry: typefuse_json::RetryPolicy,
+    retry: RetryPolicy,
     max_line_bytes: Option<usize>,
 ) -> TailReader<TcpStream> {
     let mut tail = TailReader::new(conn)
@@ -702,7 +1218,9 @@ fn make_file_tail_tcp(
 }
 
 /// Accept protocol connections until stopped; each session runs on its
-/// own thread with panic isolation.
+/// own thread with panic isolation. The session cap bounds how many
+/// concurrent clients can pin threads; beyond it a connection gets one
+/// error envelope and is closed.
 fn spawn_accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
@@ -710,16 +1228,45 @@ fn spawn_accept_loop(
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) -> JoinHandle<()> {
     let m_sessions = shared.hub.counter("typefuse_sessions_total");
+    let m_rejected = shared.hub.counter("typefuse_sessions_rejected_total");
     std::thread::Builder::new()
         .name("serve-accept".to_string())
         .spawn(move || {
             while !stop.load(Ordering::Acquire) {
-                let (stream, _) = match listener.accept() {
+                let (mut stream, _) = match listener.accept() {
                     Ok(accepted) => accepted,
                     Err(_) => continue,
                 };
                 if stop.load(Ordering::Acquire) {
                     break;
+                }
+                let _ = stream.set_write_timeout(shared.write_timeout);
+                let at_capacity = {
+                    let mut sessions = sessions.lock().expect("sessions lock");
+                    // Reap finished sessions so the vec stays bounded.
+                    sessions.retain(|h| !h.is_finished());
+                    sessions.len() >= shared.max_sessions
+                };
+                if at_capacity {
+                    shared.recorder.add("serve.sessions_rejected", 1);
+                    m_rejected.add(1);
+                    shared.events.log(
+                        Level::Warn,
+                        "daemon",
+                        "session",
+                        format!(
+                            "session limit reached ({}); rejecting connection",
+                            shared.max_sessions
+                        ),
+                    );
+                    let _ = write_line(
+                        &mut stream,
+                        &protocol::error_response(&format!(
+                            "session limit reached ({})",
+                            shared.max_sessions
+                        )),
+                    );
+                    continue;
                 }
                 shared.recorder.add("serve.sessions", 1);
                 m_sessions.add(1);
@@ -744,8 +1291,6 @@ fn spawn_accept_loop(
                     })
                     .expect("spawn session thread");
                 let mut sessions = sessions.lock().expect("sessions lock");
-                // Reap finished sessions so the vec stays bounded.
-                sessions.retain(|h| !h.is_finished());
                 sessions.push(handle);
             }
         })
@@ -753,10 +1298,10 @@ fn spawn_accept_loop(
 }
 
 /// One protocol session: read request lines, write response envelopes.
-/// The read timeout keeps the thread responsive to daemon shutdown. A
-/// `watch` request turns the session into a telemetry stream: one
-/// snapshot envelope per interval until the client disconnects or the
-/// daemon stops.
+/// The read timeout keeps the thread responsive to daemon shutdown and
+/// drives the idle-session timeout. A `watch` request turns the
+/// session into a telemetry stream: one snapshot envelope per interval
+/// until the client disconnects or the daemon stops.
 fn run_session(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let recorder = shared.recorder.clone();
@@ -767,6 +1312,7 @@ fn run_session(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut last_request = Instant::now();
     loop {
         line.clear();
         match reader.read_line(&mut line) {
@@ -781,6 +1327,17 @@ fn run_session(stream: TcpStream, shared: &Shared) {
                 if shared.stop.load(Ordering::Acquire) {
                     return;
                 }
+                if shared
+                    .session_idle
+                    .is_some_and(|limit| last_request.elapsed() >= limit)
+                {
+                    recorder.add("serve.sessions_idle_closed", 1);
+                    let _ = write_line(
+                        &mut writer,
+                        &protocol::error_response("session idle timeout; closing"),
+                    );
+                    return;
+                }
                 continue;
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -790,6 +1347,7 @@ fn run_session(stream: TcpStream, shared: &Shared) {
         if trimmed.is_empty() {
             continue;
         }
+        last_request = Instant::now();
         recorder.add("serve.requests", 1);
         m_requests.add(1);
         recorder.record("serve.request_bytes", trimmed.len() as u64);

@@ -68,6 +68,16 @@ pub(crate) struct SourceState {
     /// Unix-millisecond timestamp of the last batch that brought any
     /// line (folded or bad); `None` until the source first produces.
     pub(crate) last_activity_ms: Option<u64>,
+    /// Tail-resume info, mirrored from the poller's reader under this
+    /// state's mutex right after every fold, so a checkpoint written
+    /// from another thread always pairs the folded schema with the
+    /// exact byte position it covers.
+    pub(crate) tail_offset: u64,
+    pub(crate) tail_pending: Vec<u8>,
+    pub(crate) tail_pending_overflow: bool,
+    /// Bumped on every change worth persisting; the checkpointer skips
+    /// sources whose revision it has already written.
+    pub(crate) ckpt_rev: u64,
     fuse_config: FuseConfig,
     parser: ParserOptions,
     policy: ErrorPolicy,
@@ -106,6 +116,10 @@ impl SourceState {
             status: SourceStatus::Active,
             quarantined: 0,
             last_activity_ms: None,
+            tail_offset: 0,
+            tail_pending: Vec::new(),
+            tail_pending_overflow: false,
+            ckpt_rev: 0,
             fuse_config,
             parser,
             policy,
@@ -147,6 +161,196 @@ impl SourceState {
 
     pub(crate) fn is_active(&self) -> bool {
         matches!(self.status, SourceStatus::Active)
+    }
+
+    /// 1-based count of input lines consumed so far (bad lines
+    /// included) — the line counter a resumed tail reader continues.
+    pub(crate) fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Mirror the poller's tail position into the state (see the field
+    /// docs) and mark the state dirty if anything moved.
+    pub(crate) fn sync_tail(&mut self, offset: u64, pending: &[u8], overflow: bool) {
+        if self.tail_offset == offset
+            && self.tail_pending == pending
+            && self.tail_pending_overflow == overflow
+        {
+            return;
+        }
+        self.tail_offset = offset;
+        self.tail_pending = pending.to_vec();
+        self.tail_pending_overflow = overflow;
+        self.ckpt_rev += 1;
+    }
+
+    /// Mark the state dirty without a tail position (TCP sources, whose
+    /// producers cannot be resumed by offset).
+    pub(crate) fn mark_dirty(&mut self) {
+        self.ckpt_rev += 1;
+    }
+
+    /// Serialize everything a restart needs to resume this source
+    /// exactly: the accumulator (schema + record count), profile, error
+    /// report, line/tail position, and publish bookkeeping. All `u64`s
+    /// travel as decimal strings (see `typefuse_json::codec`) so values
+    /// above 2^53 survive the JSON round trip.
+    pub(crate) fn checkpoint_value(&self) -> Value {
+        use typefuse_json::codec::u64_to_value;
+        let mut m = Map::new();
+        m.insert("v", Value::from(1i64));
+        m.insert("name", Value::from(self.name.clone()));
+        m.insert("lines", u64_to_value(self.lines));
+        m.insert("tail_offset", u64_to_value(self.tail_offset));
+        m.insert("tail_pending", Value::from(to_hex(&self.tail_pending)));
+        m.insert(
+            "tail_pending_overflow",
+            Value::Bool(self.tail_pending_overflow),
+        );
+        m.insert("dedup", Value::Bool(matches!(self.acc, Acc::Dedup(_))));
+        m.insert(
+            "schema",
+            Value::from(typefuse_types::wire::to_wire(&self.schema())),
+        );
+        m.insert("records", u64_to_value(self.records()));
+        m.insert("profile", self.profile.checkpoint_value());
+        m.insert("report", self.report.checkpoint_value());
+        if let Some(version) = self.version {
+            m.insert("version", u64_to_value(version));
+        }
+        m.insert("quarantined", u64_to_value(self.quarantined));
+        m.insert(
+            "drift",
+            Value::Array(self.drift.iter().map(|d| Value::from(d.clone())).collect()),
+        );
+        let (status, reason) = match &self.status {
+            SourceStatus::Active => ("active", None),
+            SourceStatus::Closed => ("closed", None),
+            SourceStatus::Failed(reason) => ("failed", Some(reason.clone())),
+        };
+        m.insert("status", Value::from(status));
+        if let Some(reason) = reason {
+            m.insert("status_reason", Value::from(reason));
+        }
+        if let Some(at) = self.last_activity_ms {
+            m.insert("last_activity_ms", u64_to_value(at));
+        }
+        Value::Object(m)
+    }
+
+    /// Rebuild a source from a checkpoint payload. Takes the same
+    /// configuration as [`SourceState::new`] — the fuse config, parser
+    /// options and error policy are *not* persisted; a resumed daemon
+    /// must run the same job configuration as the one that wrote the
+    /// checkpoint, or the incremental ≡ batch law breaks. The dedup
+    /// route and shape cache restart cold (pure perf state); the fused
+    /// schema, profile and error report resume exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore(
+        name: &str,
+        dedup: bool,
+        map_path: MapPath,
+        fuse_config: FuseConfig,
+        parser: ParserOptions,
+        policy: ErrorPolicy,
+        recorder: Recorder,
+        events: EventLog,
+        payload: &Value,
+    ) -> Result<Self, String> {
+        use typefuse_json::codec::{opt_u64_from_value, u64_from_value};
+        let version_tag = payload
+            .get("v")
+            .and_then(Value::as_i64)
+            .ok_or("missing checkpoint version")?;
+        if version_tag != 1 {
+            return Err(format!("unsupported checkpoint version {version_tag}"));
+        }
+        let stored_name = payload
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing name")?;
+        if stored_name != name {
+            return Err(format!(
+                "checkpoint belongs to source `{stored_name}`, not `{name}`"
+            ));
+        }
+        let lines = u64_from_value(payload.get("lines").ok_or("missing lines")?)?;
+        let tail_offset = u64_from_value(payload.get("tail_offset").ok_or("missing tail_offset")?)?;
+        let tail_pending = from_hex(
+            payload
+                .get("tail_pending")
+                .and_then(Value::as_str)
+                .ok_or("missing tail_pending")?,
+        )?;
+        let tail_pending_overflow = payload
+            .get("tail_pending_overflow")
+            .and_then(Value::as_bool)
+            .ok_or("missing tail_pending_overflow")?;
+        let schema = typefuse_types::wire::from_wire(
+            payload
+                .get("schema")
+                .and_then(Value::as_str)
+                .ok_or("missing schema")?,
+        )?;
+        let records = u64_from_value(payload.get("records").ok_or("missing records")?)?;
+        let profile = ProfileAcc::from_checkpoint_value(
+            payload.get("profile").ok_or("missing profile")?,
+            fuse_config,
+        )?;
+        let report =
+            ErrorReport::from_checkpoint_value(payload.get("report").ok_or("missing report")?)?;
+        let version = opt_u64_from_value(payload.get("version"))?;
+        let quarantined = u64_from_value(payload.get("quarantined").ok_or("missing quarantined")?)?;
+        let drift = payload
+            .get("drift")
+            .and_then(Value::as_array)
+            .ok_or("missing drift")?
+            .iter()
+            .map(|d| {
+                d.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string drift alert".to_string())
+            })
+            .collect::<Result<Vec<String>, String>>()?;
+        let status = match payload.get("status").and_then(Value::as_str) {
+            Some("active") => SourceStatus::Active,
+            Some("closed") => SourceStatus::Closed,
+            Some("failed") => SourceStatus::Failed(
+                payload
+                    .get("status_reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown failure")
+                    .to_string(),
+            ),
+            other => return Err(format!("bad status {other:?}")),
+        };
+        let last_activity_ms = opt_u64_from_value(payload.get("last_activity_ms"))?;
+        Ok(SourceState {
+            name: name.to_string(),
+            acc: if dedup {
+                Acc::Dedup(Box::new(DedupAcc::resume(&schema, records)))
+            } else {
+                Acc::Plain(Incremental::resume(schema, records, fuse_config))
+            },
+            profile,
+            report,
+            lines,
+            version,
+            drift,
+            status,
+            quarantined,
+            last_activity_ms,
+            tail_offset,
+            tail_pending,
+            tail_pending_overflow,
+            ckpt_rev: 0,
+            fuse_config,
+            parser,
+            policy,
+            recorder,
+            events,
+            shape: (map_path == MapPath::Shape).then(ShapeCache::new),
+        })
     }
 
     /// Fold one batch of tailed lines. Returns how many records were
@@ -365,6 +569,29 @@ impl SourceState {
     }
 }
 
+/// Hex-encode arbitrary bytes (the carried partial line may be invalid
+/// UTF-8, so it cannot ride in a JSON string as-is).
+pub(crate) fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+pub(crate) fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("odd-length hex string".to_string());
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(text.get(i..i + 2).ok_or("non-ascii hex")?, 16)
+                .map_err(|e| format!("bad hex byte at {i}: {e}"))
+        })
+        .collect()
+}
+
 fn unix_ms() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::SystemTime::UNIX_EPOCH)
@@ -581,6 +808,211 @@ mod tests {
                 && e.message.contains("v1→v2")),
             "drift warns: {events:?}"
         );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_for_every_cut() {
+        let texts = [
+            r#"{"a": 1}"#,
+            "not json",
+            r#"{"a": "x", "b": [1, null]}"#,
+            r#"{"b": {"c": 1.5}}"#,
+            r#"{"a": 2}"#,
+        ];
+        let policy = || ErrorPolicy::Skip {
+            max_errors: Some(10),
+        };
+        for dedup in [false, true] {
+            for map_path in [MapPath::Events, MapPath::Shape] {
+                let mut full = state_on(dedup, map_path, policy());
+                full.fold_batch(&lines(&texts));
+                for cut in 0..=texts.len() {
+                    let mut head = state_on(dedup, map_path, policy());
+                    head.fold_batch(&lines(&texts[..cut]));
+                    head.sync_tail(17, b"{\"part", false);
+                    let payload = head.checkpoint_value();
+                    let mut resumed = SourceState::restore(
+                        "s",
+                        dedup,
+                        map_path,
+                        FuseConfig::default(),
+                        ParserOptions::default(),
+                        policy(),
+                        Recorder::enabled(),
+                        EventLog::new(64, Level::Debug),
+                        &payload,
+                    )
+                    .unwrap();
+                    assert_eq!(resumed.tail_offset, 17);
+                    assert_eq!(resumed.tail_pending, b"{\"part");
+                    assert_eq!(resumed.lines(), head.lines());
+                    resumed.fold_batch(&lines(&texts[cut..]));
+                    let ctx = format!("dedup={dedup} map_path={map_path:?} cut={cut}");
+                    assert_eq!(
+                        resumed.schema().to_string(),
+                        full.schema().to_string(),
+                        "schema ({ctx})"
+                    );
+                    assert_eq!(resumed.records(), full.records(), "records ({ctx})");
+                    assert_eq!(
+                        resumed.report.checkpoint_value(),
+                        full.report.checkpoint_value(),
+                        "report ({ctx})"
+                    );
+                    assert_eq!(
+                        resumed.profile_report().to_json(),
+                        full.profile_report().to_json(),
+                        "profile ({ctx})"
+                    );
+                }
+            }
+        }
+    }
+
+    // The deterministic every-cut test above pins a handful of shapes;
+    // this drives the same byte-identity law over *arbitrary* record
+    // streams (valid and malformed lines interleaved), an arbitrary
+    // crash point, and both dedup and map-path routes. This is the
+    // exactness guarantee the crash-safe daemon rests on: fusion is a
+    // monoid fold, so checkpoint-then-resume is indistinguishable from
+    // never having crashed.
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_line() -> impl Strategy<Value = String> {
+            prop_oneof![
+                // Mostly records; depth/width bounded so 64 cases stay fast.
+                4 => typefuse_json::testkit::arb_value_sized(3, 3)
+                    .prop_map(|v| typefuse_json::to_string(&v)),
+                // A sprinkling of the malformed lines a real tail sees.
+                1 => prop::sample::select(vec![
+                    "not json",
+                    "{\"a\": ",
+                    "[1, 2",
+                    "nulll",
+                    "\u{1}binary-ish\u{2}",
+                ])
+                .prop_map(str::to_string),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn checkpoint_resume_is_byte_identical_at_any_crash_point(
+                texts in prop::collection::vec(arb_line(), 0..12),
+                cut in any::<prop::sample::Index>(),
+                dedup in any::<bool>(),
+                shape_route in any::<bool>(),
+            ) {
+                let map_path = if shape_route {
+                    MapPath::Shape
+                } else {
+                    MapPath::Events
+                };
+                let policy = || ErrorPolicy::Skip {
+                    max_errors: Some(100),
+                };
+                let cut = cut.index(texts.len() + 1);
+                let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+
+                let mut full = state_on(dedup, map_path, policy());
+                full.fold_batch(&lines(&refs));
+
+                let mut head = state_on(dedup, map_path, policy());
+                head.fold_batch(&lines(&refs[..cut]));
+                head.sync_tail(17, b"{\"part", false);
+                let payload = head.checkpoint_value();
+                let mut resumed = SourceState::restore(
+                    "s",
+                    dedup,
+                    map_path,
+                    FuseConfig::default(),
+                    ParserOptions::default(),
+                    policy(),
+                    Recorder::enabled(),
+                    EventLog::new(64, Level::Debug),
+                    &payload,
+                )
+                .unwrap();
+                prop_assert_eq!(resumed.tail_offset, 17);
+                prop_assert_eq!(&resumed.tail_pending[..], &b"{\"part"[..]);
+                prop_assert_eq!(resumed.lines(), head.lines());
+                resumed.fold_batch(&lines(&refs[cut..]));
+
+                prop_assert_eq!(
+                    resumed.schema().to_string(),
+                    full.schema().to_string()
+                );
+                prop_assert_eq!(resumed.records(), full.records());
+                prop_assert_eq!(
+                    resumed.report.checkpoint_value(),
+                    full.report.checkpoint_value()
+                );
+                prop_assert_eq!(
+                    resumed.profile_report().to_json(),
+                    full.profile_report().to_json()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_foreign_and_malformed_payloads() {
+        let mut s = state(false, ErrorPolicy::FailFast);
+        s.fold_batch(&lines(&[r#"{"a": 1}"#]));
+        let payload = s.checkpoint_value();
+        let restore = |name: &str, payload: &Value| {
+            SourceState::restore(
+                name,
+                false,
+                MapPath::Events,
+                FuseConfig::default(),
+                ParserOptions::default(),
+                ErrorPolicy::FailFast,
+                Recorder::enabled(),
+                EventLog::new(64, Level::Debug),
+                payload,
+            )
+        };
+        match restore("other", &payload) {
+            Err(message) => assert!(message.contains("belongs to source"), "{message}"),
+            Ok(_) => panic!("foreign checkpoint accepted"),
+        }
+        assert!(restore("s", &Value::Object(Map::new())).is_err());
+        assert!(restore("s", &payload).is_ok());
+    }
+
+    #[test]
+    fn hex_round_trips_arbitrary_bytes() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn failed_status_survives_the_checkpoint_round_trip() {
+        let mut s = state(false, ErrorPolicy::FailFast);
+        s.fold_batch(&lines(&[r#"{"a": 1}"#, "boom"]));
+        assert!(matches!(s.status, SourceStatus::Failed(_)));
+        let resumed = SourceState::restore(
+            "s",
+            false,
+            MapPath::Events,
+            FuseConfig::default(),
+            ParserOptions::default(),
+            ErrorPolicy::FailFast,
+            Recorder::enabled(),
+            EventLog::new(64, Level::Debug),
+            &s.checkpoint_value(),
+        )
+        .unwrap();
+        assert_eq!(resumed.status, s.status, "a parked source stays parked");
+        assert_eq!(resumed.schema().to_string(), "{a: Num}");
     }
 
     #[test]

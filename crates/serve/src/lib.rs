@@ -48,9 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod daemon;
 mod fold;
 pub mod protocol;
+mod supervisor;
 
-pub use daemon::{Daemon, ServeConfig, SourceInput, SourceSpec};
+pub use daemon::{ChaosConfig, Daemon, PollerPanic, ServeConfig, SourceInput, SourceSpec};
 pub use fold::SourceStatus;
+pub use supervisor::SupervisorPolicy;

@@ -48,6 +48,7 @@ pub mod summary;
 #[cfg(any(feature = "testkit", test))]
 pub mod testkit;
 mod ty;
+pub mod wire;
 
 pub use intern::{NameId, TypeId, TypeInterner};
 pub use kind::TypeKind;

@@ -199,6 +199,70 @@ impl ErrorReport {
         self.records.truncate(MAX_KEPT);
     }
 
+    /// Reconstruct a report from checkpointed parts. The records are
+    /// re-normalized, so a round trip through
+    /// [`checkpoint_value`](ErrorReport::checkpoint_value) is exact.
+    pub fn from_parts(records: Vec<BadRecord>, skipped: u64) -> Self {
+        let mut report = ErrorReport { records, skipped };
+        report.normalize();
+        report
+    }
+
+    /// Serialize for a crash-recovery checkpoint: every retained record
+    /// with its exact error (kind + span, via
+    /// [`typefuse_json::codec`]) plus the skip tally. Unlike the
+    /// quarantine sidecar this round-trips losslessly —
+    /// [`from_checkpoint_value`](ErrorReport::from_checkpoint_value)
+    /// restores a `==`-identical report.
+    pub fn checkpoint_value(&self) -> Value {
+        use typefuse_json::codec::{error_to_value, u64_to_value};
+        let mut obj = Map::new();
+        obj.insert("skipped", u64_to_value(self.skipped));
+        let records: Vec<Value> = self
+            .records
+            .iter()
+            .map(|bad| {
+                let mut entry = Map::new();
+                entry.insert("at", u64_to_value(bad.at));
+                entry.insert("error", error_to_value(&bad.error));
+                if let Some(text) = &bad.text {
+                    entry.insert("text", Value::from(text.clone()));
+                }
+                Value::Object(entry)
+            })
+            .collect();
+        obj.insert("records", Value::Array(records));
+        Value::Object(obj)
+    }
+
+    /// Restore a report serialized by
+    /// [`checkpoint_value`](ErrorReport::checkpoint_value).
+    pub fn from_checkpoint_value(v: &Value) -> Result<Self, String> {
+        use typefuse_json::codec::{error_from_value, u64_from_value};
+        let skipped = v
+            .get("skipped")
+            .ok_or_else(|| "report missing `skipped`".to_string())
+            .and_then(u64_from_value)?;
+        let entries = v
+            .get("records")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "report missing `records`".to_string())?;
+        let mut records = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let at = entry
+                .get("at")
+                .ok_or_else(|| "bad record missing `at`".to_string())
+                .and_then(u64_from_value)?;
+            let error = entry
+                .get("error")
+                .ok_or_else(|| "bad record missing `error`".to_string())
+                .and_then(error_from_value)?;
+            let text = entry.get("text").and_then(Value::as_str).map(String::from);
+            records.push(BadRecord { at, error, text });
+        }
+        Ok(ErrorReport::from_parts(records, skipped))
+    }
+
     /// The earliest bad record, if any.
     pub fn first(&self) -> Option<&BadRecord> {
         self.records.first()
@@ -363,6 +427,26 @@ mod tests {
         assert_eq!(r.first().unwrap().at, 7);
         assert!(!r.is_empty());
         assert!(ErrorReport::new().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_value_round_trips_identically() {
+        let mut r = ErrorReport::new();
+        r.note(bad(3, "{\"a\": nul}"));
+        r.note(bad(12, "[1, 2,"));
+        r.note(BadRecord {
+            at: 40,
+            error: parse_value("}").unwrap_err(),
+            text: None,
+        });
+        // Skip tally beyond the retained records (as after MAX_KEPT).
+        let r = ErrorReport::from_parts(r.records().to_vec(), 17);
+        let value = r.checkpoint_value();
+        let reparsed = parse_value(&value.to_string()).unwrap();
+        let back = ErrorReport::from_checkpoint_value(&reparsed).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.skipped(), 17);
+        assert!(ErrorReport::from_checkpoint_value(&parse_value("{}").unwrap()).is_err());
     }
 
     #[test]
